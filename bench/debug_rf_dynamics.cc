@@ -1,0 +1,122 @@
+// Diagnostic (not a paper figure): dissects the RF dynamics on a scenario.
+// Prints per-window truth vs heuristic score vs round-1 SVM decision, the
+// training-set composition, and per-label feature statistics.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "linalg/stats.h"
+
+using namespace mivid;
+
+int main(int argc, char** argv) {
+  const bool intersection = argc > 1 && std::string(argv[1]) == "intersection";
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kVisionTracks;
+  const ScenarioSpec scenario =
+      intersection ? MakeIntersectionScenario() : MakeTunnelScenario();
+
+  Result<ClipAnalysis> analysis_or = AnalyzeScenario(scenario, options);
+  if (!analysis_or.ok()) {
+    std::fprintf(stderr, "%s\n", analysis_or.status().ToString().c_str());
+    return 1;
+  }
+  const ClipAnalysis& analysis = analysis_or.value();
+  const size_t base_dim = analysis.scaler.dimension();
+  const EventModel heuristic = EventModel::Accident(base_dim);
+
+  // Per-label stats of heuristic instance scores.
+  RunningStats rel_stats, irr_stats;
+  for (const auto& bag : analysis.dataset.bags()) {
+    const bool relevant =
+        analysis.truth.at(bag.id) == BagLabel::kRelevant;
+    const double s = HeuristicBagScore(bag, heuristic, base_dim);
+    (relevant ? rel_stats : irr_stats).Add(s);
+  }
+  std::printf("bag heuristic scores: relevant n=%zu mean=%.3f [%.3f..%.3f]\n",
+              rel_stats.count(), rel_stats.mean(), rel_stats.min(),
+              rel_stats.max());
+  std::printf("                      irrelevant n=%zu mean=%.3f [%.3f..%.3f]\n",
+              irr_stats.count(), irr_stats.mean(), irr_stats.min(),
+              irr_stats.max());
+
+  // Round 0: heuristic ranking, oracle feedback on top-20.
+  MilDataset dataset = analysis.dataset;
+  const auto ranking0 = HeuristicRanking(dataset, heuristic, base_dim);
+  const auto ids0 = RankingIds(ranking0);
+  std::printf("\ninitial top-20 (score, truth):\n");
+  for (size_t i = 0; i < 20 && i < ranking0.size(); ++i) {
+    const bool rel = analysis.truth.at(ranking0[i].bag_id) ==
+                     BagLabel::kRelevant;
+    std::printf("  vs=%3d score=%.3f %s\n", ranking0[i].bag_id,
+                ranking0[i].score, rel ? "REL" : "-");
+  }
+  std::printf("accuracy@20 = %.2f\n",
+              AccuracyAtN(ids0, analysis.truth, 20));
+
+  for (size_t i = 0; i < 20 && i < ids0.size(); ++i) {
+    (void)dataset.SetLabel(ids0[i], analysis.truth.at(ids0[i]));
+  }
+
+  MilRfOptions mil;
+  mil.base_dim = base_dim;
+  MilRfEngine engine(&dataset, mil);
+  const Status s = engine.Learn();
+  if (!s.ok()) {
+    std::fprintf(stderr, "learn: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nround-1 model: nu=%.3f train=%zu SVs=%zu sigma=%.3f\n",
+              engine.last_nu(), engine.last_training_size(),
+              engine.model()->num_support_vectors(),
+              engine.model()->kernel().sigma);
+
+  const auto ranking1 = engine.Rank();
+  std::printf("\nround-1 top-25 (decision, heuristic, truth):\n");
+  for (size_t i = 0; i < 25 && i < ranking1.size(); ++i) {
+    const MilBag* bag = dataset.FindBag(ranking1[i].bag_id);
+    const bool rel =
+        analysis.truth.at(ranking1[i].bag_id) == BagLabel::kRelevant;
+    std::printf("  vs=%3d f=%+.4f h=%.3f %s%s\n", ranking1[i].bag_id,
+                ranking1[i].score, HeuristicBagScore(*bag, heuristic, base_dim),
+                rel ? "REL" : "-",
+                bag->label == BagLabel::kRelevant ? " (labeled)" : "");
+  }
+  std::printf("accuracy@20 = %.2f\n",
+              AccuracyAtN(RankingIds(ranking1), analysis.truth, 20));
+
+  // Weighted baseline: weights per round.
+  {
+    MilDataset wdataset = analysis.dataset;
+    WeightedRfOptions wopts;
+    wopts.base_dim = base_dim;
+    WeightedRfEngine wengine(&wdataset, wopts);
+    std::map<int, BagLabel> given;
+    for (int round = 0; round < 4; ++round) {
+      const auto ranking = wengine.Rank();
+      const auto ids = RankingIds(ranking);
+      std::printf("\nweighted round %d: acc@20=%.2f weights=[", round,
+                  AccuracyAtN(ids, analysis.truth, 20));
+      for (double w : wengine.weights()) std::printf("%.3f ", w);
+      std::printf("]\n");
+      for (size_t i = 0; i < 20 && i < ids.size(); ++i) {
+        (void)wdataset.SetLabel(ids[i], analysis.truth.at(ids[i]));
+      }
+      (void)wengine.Learn();
+    }
+  }
+
+  // Where do the relevant windows rank now?
+  std::printf("\nranks of all relevant windows in round-1 ranking:\n  ");
+  for (size_t i = 0; i < ranking1.size(); ++i) {
+    if (analysis.truth.at(ranking1[i].bag_id) == BagLabel::kRelevant) {
+      std::printf("%zu ", i);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Extension bench: passive vs active feedback selection.
+//
+// The paper shows the user the top-20 ranked windows every round. Active
+// selection replaces part of the display set with the most *uncertain*
+// windows (decision values nearest the one-class boundary), trading some
+// immediate precision for more informative labels. This bench compares
+// convergence under both strategies at several explore fractions.
+// Accuracy is always the plain top-20 of the CURRENT ranking (what a user
+// querying right now would see), regardless of what was shown for
+// labeling.
+
+#include <cstdio>
+
+#include "common/ascii_plot.h"
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "retrieval/active_selection.h"
+
+using namespace mivid;
+
+namespace {
+
+std::vector<double> RunStrategy(const ClipAnalysis& analysis,
+                                double explore_fraction, int rounds,
+                                size_t top_n,
+                                double min_training_score = 0.0) {
+  MilDataset ds = analysis.dataset;
+  MilRfOptions mil;
+  mil.base_dim = analysis.scaler.dimension();
+  mil.min_training_score = min_training_score;
+  MilRfEngine engine(&ds, mil);
+  const EventModel heuristic =
+      EventModel::Accident(analysis.scaler.dimension());
+  ActiveSelectionOptions active;
+  active.explore_fraction = explore_fraction;
+
+  std::vector<double> curve;
+  for (int round = 0; round <= rounds; ++round) {
+    const auto ranking =
+        engine.trained() ? engine.Rank()
+                         : HeuristicRanking(ds, heuristic, mil.base_dim);
+    curve.push_back(AccuracyAtN(RankingIds(ranking), analysis.truth, top_n));
+    if (round == rounds) break;
+
+    // The display set for labeling uses the strategy under test.
+    const std::vector<int> shown =
+        SelectForFeedback(ranking, ds, top_n, /*boundary=*/0.0, active);
+    for (int id : shown) {
+      auto it = analysis.truth.find(id);
+      (void)ds.SetLabel(id, it == analysis.truth.end() ? BagLabel::kIrrelevant
+                                                       : it->second);
+    }
+    if (ds.CountLabel(BagLabel::kRelevant) > 0) (void)engine.Learn();
+  }
+  return curve;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Passive vs active feedback selection, clip 1 (tunnel)\n\n");
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kVisionTracks;
+  Result<ClipAnalysis> analysis =
+      AnalyzeScenario(MakeTunnelScenario(), options);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (double explore : {0.0, 0.2, 0.4}) {
+    const auto curve = RunStrategy(*analysis, explore, 4, options.top_n);
+    std::vector<std::string> row{
+        explore == 0.0 ? std::string("fresh-labels passive")
+                       : StrFormat("active %.0f%% explore", 100 * explore)};
+    for (double a : curve) row.push_back(StrFormat("%.1f%%", 100 * a));
+    rows.push_back(std::move(row));
+  }
+  {
+    // The remedy for over-labeling: a floor on the heuristic score of
+    // training TSs keeps feature-less relevant windows (a crashed car
+    // sitting still) from anchoring the support region at the origin.
+    const auto curve =
+        RunStrategy(*analysis, 0.2, 4, options.top_n,
+                    /*min_training_score=*/0.05);
+    std::vector<std::string> row{"active 20% + training floor"};
+    for (double a : curve) row.push_back(StrFormat("%.1f%%", 100 * a));
+    rows.push_back(std::move(row));
+  }
+  std::printf("%s", AsciiTable({"strategy", "Initial", "First", "Second",
+                                "Third", "Fourth"},
+                               rows)
+                        .c_str());
+  std::printf(
+      "\nAll strategies label 20 previously-unseen windows per round (the\n"
+      "paper re-shows confident results instead, which self-limits its\n"
+      "training set). Finding: exhaustively labeling the corpus HURTS the\n"
+      "one-class model once weakly-relevant windows (e.g. a crashed car\n"
+      "sitting still, features ~ normal driving) enter the training set and\n"
+      "anchor the support region at the feature origin; the training-score\n"
+      "floor restores stability.\n");
+  return 0;
+}

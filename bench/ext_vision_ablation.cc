@@ -1,0 +1,132 @@
+// Extension bench: ablates the vision front end on the tunnel clip —
+// background method (selective mean vs temporal median), SPCPE refinement
+// on/off, and sensor noise level — and reports both tracking fidelity
+// (vision tracks vs ground-truth vehicles) and the end-to-end retrieval
+// accuracy the variant supports.
+
+#include <cstdio>
+
+#include "common/ascii_plot.h"
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "segment/segmenter.h"
+#include "track/tracker.h"
+#include "trafficsim/renderer.h"
+
+using namespace mivid;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  BackgroundMethod method;
+  bool use_spcpe;
+  double noise;
+};
+
+struct Outcome {
+  size_t gt_vehicles = 0;
+  size_t vision_tracks = 0;
+  double mil_final = 0.0;
+};
+
+Outcome RunVariant(const ScenarioSpec& scenario, const Variant& variant) {
+  Outcome outcome;
+
+  // Ground truth for the oracle.
+  TrafficWorld gt_world(scenario);
+  const GroundTruth gt = gt_world.Run();
+  outcome.gt_vehicles = gt.tracks.size();
+
+  // Vision with the variant's configuration.
+  TrafficWorld world(scenario);
+  RenderOptions render;
+  render.noise_stddev = variant.noise;
+  Renderer renderer(scenario.layout, render);
+  SegmenterOptions seg;
+  seg.background.method = variant.method;
+  seg.use_spcpe = variant.use_spcpe;
+  VehicleSegmenter segmenter(seg);
+  Tracker tracker;
+  while (!world.Done()) {
+    world.Step();
+    tracker.Observe(world.frame() - 1,
+                    segmenter.Process(renderer.Render(world.vehicles())));
+  }
+  const std::vector<Track> tracks = tracker.Finish();
+  outcome.vision_tracks = tracks.size();
+
+  // End-to-end retrieval with these tracks.
+  ExperimentOptions options;
+  FeatureOptions fopts;
+  WindowOptions wopts;
+  const auto features = ComputeTrackFeatures(tracks, fopts);
+  const FeatureScaler scaler = FeatureScaler::Fit(features, false);
+  const auto windows =
+      ExtractWindows(features, scenario.total_frames, fopts, wopts);
+  if (windows.empty()) return outcome;
+  MilDataset dataset = MilDataset::FromVideoSequences(windows, scaler, false);
+  FeedbackOracle oracle(&gt);
+  const auto truth = oracle.LabelAll(windows);
+
+  MilRfOptions mil;
+  MilRfEngine engine(&dataset, mil);
+  const EventModel heuristic = EventModel::Accident(3);
+  double acc = 0;
+  for (int round = 0; round <= 4; ++round) {
+    const auto ids = RankingIds(
+        engine.trained() ? engine.Rank()
+                         : HeuristicRanking(dataset, heuristic, 3));
+    acc = AccuracyAtN(ids, truth, options.top_n);
+    if (round == 4) break;
+    for (size_t i = 0; i < ids.size() && i < options.top_n; ++i) {
+      auto it = truth.find(ids[i]);
+      (void)dataset.SetLabel(ids[i], it == truth.end() ? BagLabel::kIrrelevant
+                                                       : it->second);
+    }
+    if (dataset.CountLabel(BagLabel::kRelevant) > 0) (void)engine.Learn();
+  }
+  outcome.mil_final = acc;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Vision front-end ablation on clip 1 (tunnel)\n");
+  const ScenarioSpec scenario = MakeTunnelScenario();
+
+  const Variant variants[] = {
+      {"selective mean + SPCPE (default)", BackgroundMethod::kSelectiveMean,
+       true, 6.0},
+      {"selective mean, no SPCPE", BackgroundMethod::kSelectiveMean, false,
+       6.0},
+      {"temporal median + SPCPE", BackgroundMethod::kTemporalMedian, true,
+       6.0},
+      {"temporal median, no SPCPE", BackgroundMethod::kTemporalMedian, false,
+       6.0},
+      {"default, low noise (sigma 2)", BackgroundMethod::kSelectiveMean, true,
+       2.0},
+      {"default, heavy noise (sigma 12)", BackgroundMethod::kSelectiveMean,
+       true, 12.0},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Variant& v : variants) {
+    const Outcome o = RunVariant(scenario, v);
+    rows.push_back({v.name, StrFormat("%zu", o.gt_vehicles),
+                    StrFormat("%zu", o.vision_tracks),
+                    StrFormat("%.1f%%", 100 * o.mil_final)});
+  }
+  std::printf("%s",
+              AsciiTable({"variant", "vehicles (truth)", "vision tracks",
+                          "MIL final accuracy@20"},
+                         rows)
+                  .c_str());
+  std::printf(
+      "\nReading guide: vision tracks close to the vehicle count mean "
+      "little fragmentation;\nthe retrieval column shows how much tracker "
+      "quality the MIL engine can absorb.\n");
+  return 0;
+}

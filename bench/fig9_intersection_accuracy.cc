@@ -1,0 +1,35 @@
+// Reproduces paper Fig. 9: retrieval accuracy within the top-20 VSs over
+// five rounds on clip 2 (road intersection, multi-vehicle accidents).
+//
+// Paper shape: the MIL framework improves across rounds (gains smaller
+// than on clip 1); Weighted_RF degrades right after the initial iteration
+// and stays below the proposed method.
+
+#include <cstdio>
+
+#include "eval/experiment.h"
+
+int main() {
+  using namespace mivid;
+
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kVisionTracks;
+  // Clip 2 is only 592 frames; with non-overlapping windows the corpus is
+  // ~37 VSs and a top-20 metric saturates. The paper's sliding window is
+  // "consecutive yet overlapped" (Fig. 4), so this experiment slides by
+  // one sampling point.
+  options.windows.stride = 1;
+
+  const ScenarioSpec scenario = MakeIntersectionScenario();
+  Result<ExperimentResult> result = RunRfExperiment(scenario, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Fig. 9 analogue — clip 2 (intersection), accuracy@%zu per round\n\n",
+      options.top_n);
+  std::printf("%s\n", FormatExperimentResult(result.value()).c_str());
+  return 0;
+}

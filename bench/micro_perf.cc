@@ -1,0 +1,159 @@
+// Micro benchmarks (google-benchmark) for the compute-heavy components:
+// one-class SMO training, kernel/Gram evaluation, segmentation throughput,
+// tracking association, polynomial fitting, codec, and the end-to-end
+// retrieval pipeline on a short clip.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "db/feature_store.h"
+#include "eval/experiment.h"
+#include "segment/segmenter.h"
+#include "svm/one_class_svm.h"
+#include "track/assignment.h"
+#include "trafficsim/renderer.h"
+#include "trajectory/polyfit.h"
+
+namespace mivid {
+namespace {
+
+std::vector<Vec> RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> points(n, Vec(dim));
+  for (auto& p : points) {
+    for (auto& v : p) v = rng.Uniform();
+  }
+  return points;
+}
+
+void BM_OneClassSvmTrain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto points = RandomPoints(n, 9, 11);
+  OneClassSvmOptions options;
+  options.nu = 0.2;
+  options.kernel.sigma = 0.5;
+  OneClassSvmTrainer trainer(options);
+  for (auto _ : state) {
+    auto model = trainer.Train(points);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_OneClassSvmTrain)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_OneClassSvmPredict(benchmark::State& state) {
+  const auto points = RandomPoints(256, 9, 13);
+  OneClassSvmOptions options;
+  options.nu = 0.3;
+  auto model = OneClassSvmTrainer(options).Train(points);
+  const auto queries = RandomPoints(100, 9, 17);
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.value().DecisionValue(queries[qi++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_OneClassSvmPredict);
+
+void BM_GramMatrix(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto points = RandomPoints(n, 9, 19);
+  KernelParams params;
+  for (auto _ : state) {
+    GramMatrix gram(params, points);
+    benchmark::DoNotOptimize(gram.At(0, 0));
+  }
+}
+BENCHMARK(BM_GramMatrix)->Arg(64)->Arg(256);
+
+void BM_SegmentFrame(benchmark::State& state) {
+  const RoadLayout layout = MakeTunnelLayout();
+  Renderer renderer(layout);
+  VehicleState v;
+  v.id = 0;
+  v.mode = MotionMode::kLaneFollow;
+  v.position = {160, 110};
+  v.shade = 220;
+  VehicleSegmenter segmenter;
+  // Warm the background model.
+  for (int i = 0; i < 15; ++i) {
+    (void)segmenter.Process(renderer.Render({}));
+  }
+  const Frame frame = renderer.Render({v});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segmenter.Process(frame));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(frame.size()));
+}
+BENCHMARK(BM_SegmentFrame);
+
+void BM_HungarianAssign(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  Matrix cost(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) cost.At(r, c) = rng.Uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HungarianAssign(cost, 1e9));
+  }
+}
+BENCHMARK(BM_HungarianAssign)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PolyFit(benchmark::State& state) {
+  Rng rng(29);
+  Track track;
+  for (int f = 0; f <= 500; f += 5) {
+    track.points.push_back(
+        {f, {f * 0.6 + rng.Gaussian(), 100 + 20 * std::sin(f * 0.01)}, {}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitTrack(track, 4));
+  }
+}
+BENCHMARK(BM_PolyFit);
+
+void BM_TracksCodecRoundtrip(benchmark::State& state) {
+  Rng rng(31);
+  std::vector<Track> tracks(20);
+  for (size_t t = 0; t < tracks.size(); ++t) {
+    tracks[t].id = static_cast<int>(t);
+    for (int f = 0; f < 500; ++f) {
+      tracks[t].points.push_back(
+          {f, {rng.Uniform(0, 320), rng.Uniform(0, 240)},
+           BBox(0, 0, 16, 8)});
+    }
+  }
+  for (auto _ : state) {
+    const std::string bytes = SerializeTracks(tracks);
+    auto back = DeserializeTracks(bytes);
+    benchmark::DoNotOptimize(back);
+    state.counters["bytes"] = static_cast<double>(bytes.size());
+  }
+}
+BENCHMARK(BM_TracksCodecRoundtrip);
+
+void BM_EndToEndPipeline(benchmark::State& state) {
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 400;
+  scenario_options.num_wall_crashes = 1;
+  scenario_options.num_sudden_stops = 1;
+  scenario_options.num_speeding = 0;
+  scenario_options.num_uturns = 0;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kVisionTracks;
+  options.feedback_rounds = 2;
+  for (auto _ : state) {
+    auto result = RunRfExperiment(scenario, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * scenario.total_frames);
+}
+BENCHMARK(BM_EndToEndPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mivid
+
+BENCHMARK_MAIN();

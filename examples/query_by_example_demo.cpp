@@ -1,0 +1,83 @@
+// Query-by-example and query-by-sketch demo (paper Sec. 7 future work).
+//
+// 1. Query by example: pick one accident window from the tunnel corpus and
+//    retrieve the windows most similar to it — no feedback loop needed.
+// 2. Query by sketch: draw a U-turn-shaped polyline and retrieve the
+//    windows whose trajectories match that shape.
+
+#include <cstdio>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "retrieval/query_by_example.h"
+
+using namespace mivid;
+
+int main() {
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 2504;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kVisionTracks;
+  Result<ClipAnalysis> analysis = AnalyzeScenario(scenario, options);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  KernelParams kernel;
+  kernel.sigma = 0.4;
+
+  // --- Query by example: the first relevant window plays the example. ---
+  const MilBag* example = nullptr;
+  for (const auto& bag : analysis->dataset.bags()) {
+    if (analysis->truth.at(bag.id) == BagLabel::kRelevant &&
+        !bag.instances.empty()) {
+      example = &bag;
+      break;
+    }
+  }
+  if (example == nullptr) {
+    std::fprintf(stderr, "no relevant window in the corpus\n");
+    return 1;
+  }
+  const auto qbe = QueryByExample(analysis->dataset, *example, kernel);
+  std::printf("query by example (example VS %d, an accident window):\n",
+              example->id);
+  int shown = 0;
+  for (const auto& sb : qbe) {
+    if (sb.bag_id == example->id) continue;  // skip the example itself
+    const bool rel = analysis->truth.at(sb.bag_id) == BagLabel::kRelevant;
+    std::printf("  VS %-4d similarity %.3f %s\n", sb.bag_id, sb.score,
+                rel ? "ACCIDENT" : "");
+    if (++shown == 8) break;
+  }
+  std::printf("accuracy@10 (excluding the example) = %.0f%%\n\n",
+              100 * AccuracyAtN(RankingIds(qbe), analysis->truth, 10));
+
+  // --- Query by sketch: a U-turn shaped polyline. ---
+  TrajectorySketch sketch;
+  for (int i = 0; i <= 5; ++i) sketch.points.push_back({40.0 + 14 * i, 110});
+  sketch.points.push_back({118, 118});  // the turn-back
+  for (int i = 0; i <= 5; ++i) sketch.points.push_back({110.0 - 14 * i, 126});
+  Result<std::vector<ScoredBag>> qbs =
+      QueryBySketch(analysis->dataset, sketch, analysis->scaler,
+                    options.features, options.windows, kernel);
+  if (!qbs.ok()) {
+    std::fprintf(stderr, "%s\n", qbs.status().ToString().c_str());
+    return 1;
+  }
+  // Which windows overlap a ground-truth U-turn?
+  FeedbackOracle uturn_oracle(&analysis->ground_truth,
+                              {IncidentType::kUTurn});
+  const auto uturn_truth = uturn_oracle.LabelAll(analysis->windows);
+  std::printf("query by sketch (a drawn U-turn):\n");
+  for (size_t i = 0; i < 8 && i < qbs->size(); ++i) {
+    const int id = (*qbs)[i].bag_id;
+    const bool is_uturn = uturn_truth.at(id) == BagLabel::kRelevant;
+    std::printf("  VS %-4d similarity %.3f %s\n", id, (*qbs)[i].score,
+                is_uturn ? "U-TURN" : "");
+  }
+  std::printf("recall of U-turn windows in top-10 = %.0f%%\n",
+              100 * RecallAtN(RankingIds(qbs.value()), uturn_truth, 10));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: the complete mivid workflow in one file.
+//
+// 1. Simulate a short surveillance clip (stand-in for camera footage).
+// 2. Run the vision front end: background subtraction + SPCPE -> blobs ->
+//    tracks.
+// 3. Extract checkpoint features and sliding-window VS/TS structure.
+// 4. Run an interactive retrieval session: initial heuristic query, then
+//    two rounds of (simulated) relevance feedback refining the results
+//    with the One-class SVM MIL engine.
+//
+// Build and run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/oracle.h"
+#include "retrieval/session.h"
+#include "trafficsim/scenarios.h"
+
+using namespace mivid;
+
+int main() {
+  // --- 1+2+3: simulate, segment, track, featurize (one call). ---
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 1200;
+  scenario_options.num_wall_crashes = 2;
+  scenario_options.num_sudden_stops = 1;
+  scenario_options.num_speeding = 1;
+  scenario_options.num_uturns = 1;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+
+  ExperimentOptions pipeline_options;
+  pipeline_options.pipeline = PipelineMode::kVisionTracks;
+  Result<ClipAnalysis> analysis = AnalyzeScenario(scenario, pipeline_options);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("clip: %d frames -> %zu tracks -> %zu video sequences (VS), "
+              "%zu trajectory sequences (TS)\n",
+              scenario.total_frames, analysis->tracks.size(),
+              analysis->windows.size(),
+              CountTrajectorySequences(analysis->windows));
+
+  // --- 4: interactive accident retrieval. ---
+  SessionOptions session_options;
+  session_options.top_n = 10;
+  RetrievalSession session(analysis->dataset, session_options);
+
+  // The oracle plays the user, answering from simulation ground truth.
+  FeedbackOracle oracle(&analysis->ground_truth);
+
+  for (int round = 0; round <= 2; ++round) {
+    const std::vector<int> top = session.TopBags();
+    std::printf("\nround %d (%s ranking) - top %zu windows:\n", round,
+                session.engine().trained() ? "One-class SVM" : "heuristic",
+                top.size());
+
+    std::vector<std::pair<int, BagLabel>> feedback;
+    int hits = 0;
+    for (int vs_id : top) {
+      const BagLabel label = analysis->truth.at(vs_id);
+      hits += label == BagLabel::kRelevant ? 1 : 0;
+      std::printf("  VS %-4d -> user says %s\n", vs_id,
+                  label == BagLabel::kRelevant ? "ACCIDENT" : "normal");
+      feedback.emplace_back(vs_id, label);
+    }
+    std::printf("accuracy@%zu = %d%%\n", top.size(),
+                100 * hits / static_cast<int>(top.size()));
+    if (round == 2) break;
+
+    const Status s = session.SubmitFeedback(feedback);
+    if (!s.ok()) {
+      std::fprintf(stderr, "feedback failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "baseline/rocchio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mivid {
+
+namespace {
+
+/// Mean feature vector across every instance of `bags`; empty when there
+/// are no instances.
+Vec InstanceMean(const std::vector<const MilBag*>& bags) {
+  Vec mean;
+  size_t count = 0;
+  for (const MilBag* bag : bags) {
+    for (const auto& inst : bag->instances) {
+      if (mean.empty()) mean.assign(inst.features.size(), 0.0);
+      for (size_t d = 0; d < mean.size(); ++d) mean[d] += inst.features[d];
+      ++count;
+    }
+  }
+  if (count > 0) {
+    for (double& v : mean) v /= static_cast<double>(count);
+  }
+  return mean;
+}
+
+}  // namespace
+
+RocchioEngine::RocchioEngine(const MilDataset* dataset,
+                             RocchioOptions options)
+    : dataset_(dataset), options_(options) {}
+
+Status RocchioEngine::Learn() {
+  const auto relevant = dataset_->BagsWithLabel(BagLabel::kRelevant);
+  if (relevant.empty()) return Status::OK();  // nothing to move toward yet
+  const Vec rel_mean = InstanceMean(relevant);
+  if (rel_mean.empty()) return Status::OK();
+
+  const auto irrelevant = dataset_->BagsWithLabel(BagLabel::kIrrelevant);
+  const Vec irr_mean = InstanceMean(irrelevant);
+
+  if (!query_) {
+    query_ = rel_mean;  // seed at the relevant centroid
+  }
+  Vec next(query_->size(), 0.0);
+  for (size_t d = 0; d < next.size(); ++d) {
+    next[d] = options_.alpha * (*query_)[d] + options_.beta * rel_mean[d];
+    if (d < irr_mean.size()) next[d] -= options_.gamma * irr_mean[d];
+  }
+  query_ = std::move(next);
+  return Status::OK();
+}
+
+std::vector<ScoredBag> RocchioEngine::Rank() const {
+  std::vector<ScoredBag> ranking;
+  if (!query_) return ranking;
+  ranking.reserve(dataset_->size());
+  for (const auto& bag : dataset_->bags()) {
+    double best = -1e300;
+    for (const auto& inst : bag.instances) {
+      if (inst.features.size() != query_->size()) continue;
+      best = std::max(
+          best, -std::sqrt(SquaredDistance(inst.features, *query_)));
+    }
+    ranking.push_back({bag.id, best});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const ScoredBag& a, const ScoredBag& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.bag_id < b.bag_id;
+                   });
+  return ranking;
+}
+
+}  // namespace mivid

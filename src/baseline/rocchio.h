@@ -1,0 +1,58 @@
+// Rocchio query-point movement — the classical relevance-feedback
+// technique the paper surveys in Sec. 2.2 ("Rocchio's formula [23] is
+// frequently used to iteratively update the estimation of the 'ideal
+// query point'"), implemented as an additional baseline ranker.
+//
+//   q_{t+1} = alpha q_t + beta mean(relevant) - gamma mean(irrelevant)
+//
+// Bags are ranked by the negated distance of their best instance to the
+// query point (query point movement has no MIL notion; like weighted RF
+// it consumes every instance of the labeled bags).
+
+#ifndef MIVID_BASELINE_ROCCHIO_H_
+#define MIVID_BASELINE_ROCCHIO_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "mil/dataset.h"
+#include "retrieval/heuristic.h"
+
+namespace mivid {
+
+/// Rocchio update weights (classic SMART defaults).
+struct RocchioOptions {
+  double alpha = 1.0;   ///< inertia of the current query point
+  double beta = 0.75;   ///< pull toward relevant instances
+  double gamma = 0.15;  ///< push away from irrelevant instances
+};
+
+/// Query-point-movement ranker over a labeled MilDataset (normalized
+/// feature space).
+class RocchioEngine {
+ public:
+  /// `dataset` must outlive the engine.
+  RocchioEngine(const MilDataset* dataset, RocchioOptions options);
+
+  /// Moves the query point per the current labels. The first successful
+  /// call seeds the point at the relevant mean; later calls apply the
+  /// full Rocchio update. Without relevant labels the point is unchanged.
+  Status Learn();
+
+  bool trained() const { return query_.has_value(); }
+
+  /// Ranks all bags by -min distance of any instance to the query point.
+  std::vector<ScoredBag> Rank() const;
+
+  /// The current query point (valid when trained()).
+  const Vec& query_point() const { return *query_; }
+
+ private:
+  const MilDataset* dataset_;
+  RocchioOptions options_;
+  std::optional<Vec> query_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_BASELINE_ROCCHIO_H_

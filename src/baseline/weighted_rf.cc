@@ -1,0 +1,106 @@
+#include "baseline/weighted_rf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace mivid {
+
+const char* WeightNormalizationName(WeightNormalization normalization) {
+  switch (normalization) {
+    case WeightNormalization::kNone:
+      return "none";
+    case WeightNormalization::kLinear:
+      return "linear";
+    case WeightNormalization::kPercentage:
+      return "percentage";
+  }
+  return "?";
+}
+
+WeightedRfEngine::WeightedRfEngine(const MilDataset* dataset,
+                                   WeightedRfOptions options)
+    : dataset_(dataset), options_(options) {
+  weights_.assign(options_.base_dim, 1.0);
+}
+
+Status WeightedRfEngine::Learn() {
+  const std::vector<const MilBag*> relevant =
+      dataset_->BagsWithLabel(BagLabel::kRelevant);
+  if (relevant.empty()) return Status::OK();  // keep current weights
+
+  // Gather every checkpoint vector of every TS in the relevant VSs.
+  std::vector<Vec> rows;
+  const size_t d = options_.base_dim;
+  for (const MilBag* bag : relevant) {
+    for (const auto& inst : bag->instances) {
+      for (size_t offset = 0; offset + d <= inst.raw_features.size();
+           offset += d) {
+        rows.emplace_back(inst.raw_features.begin() + static_cast<long>(offset),
+                          inst.raw_features.begin() + static_cast<long>(offset + d));
+      }
+    }
+  }
+  if (rows.empty()) return Status::OK();
+
+  const Vec stddev = ColumnStdDevs(rows);
+  Vec w(d);
+  for (size_t f = 0; f < d; ++f) {
+    w[f] = 1.0 / std::max(stddev[f], options_.epsilon);
+  }
+
+  switch (options_.normalization) {
+    case WeightNormalization::kNone:
+      break;
+    case WeightNormalization::kLinear: {
+      const double lo = *std::min_element(w.begin(), w.end());
+      const double hi = *std::max_element(w.begin(), w.end());
+      const double span = hi - lo;
+      for (double& x : w) x = span > 0 ? (x - lo) / span : 1.0;
+      break;
+    }
+    case WeightNormalization::kPercentage: {
+      double total = 0.0;
+      for (double x : w) total += x;
+      for (double& x : w) x = total > 0 ? x / total : 1.0 / static_cast<double>(d);
+      break;
+    }
+  }
+  weights_ = std::move(w);
+  return Status::OK();
+}
+
+double WeightedRfEngine::InstanceScore(const Vec& flattened) const {
+  const size_t d = options_.base_dim;
+  double best = 0.0;
+  for (size_t offset = 0; offset + d <= flattened.size(); offset += d) {
+    double s = 0.0;
+    for (size_t f = 0; f < d; ++f) {
+      const double x = flattened[offset + f];
+      s += weights_[f] * x * x;
+    }
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+std::vector<ScoredBag> WeightedRfEngine::Rank() const {
+  std::vector<ScoredBag> ranking;
+  ranking.reserve(dataset_->size());
+  for (const auto& bag : dataset_->bags()) {
+    double best = 0.0;
+    for (const auto& inst : bag.instances) {
+      best = std::max(best, InstanceScore(inst.raw_features));
+    }
+    ranking.push_back({bag.id, best});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const ScoredBag& a, const ScoredBag& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.bag_id < b.bag_id;
+                   });
+  return ranking;
+}
+
+}  // namespace mivid

@@ -1,0 +1,63 @@
+// Baseline: traditional weighted relevance feedback (paper Sec. 6.2).
+//
+// Each checkpoint feature has a weight, initially 1 (so round 0 equals the
+// proposed method's initial square-sum heuristic). After feedback, the
+// feature vectors of all relevant trajectory sequences are gathered, each
+// feature's weight becomes the inverse of its standard deviation, and the
+// weights are normalized. The paper compares three normalizations and
+// finds percentage-of-total the best; all three are implemented.
+
+#ifndef MIVID_BASELINE_WEIGHTED_RF_H_
+#define MIVID_BASELINE_WEIGHTED_RF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mil/dataset.h"
+#include "retrieval/heuristic.h"
+
+namespace mivid {
+
+/// Weight post-processing (paper Sec. 6.2).
+enum class WeightNormalization : uint8_t {
+  kNone = 0,        ///< raw 1/stddev weights
+  kLinear = 1,      ///< linearly rescaled to [0, 1] (zero kills a feature)
+  kPercentage = 2,  ///< each weight's share of the total (paper's best)
+};
+
+const char* WeightNormalizationName(WeightNormalization normalization);
+
+/// Engine configuration.
+struct WeightedRfOptions {
+  WeightNormalization normalization = WeightNormalization::kPercentage;
+  size_t base_dim = 3;     ///< checkpoint feature dimension
+  double epsilon = 1e-6;   ///< guards 1/stddev for constant features
+};
+
+/// The weighted-RF ranker over a labeled MilDataset.
+class WeightedRfEngine {
+ public:
+  /// `dataset` must outlive the engine. Weights start at all-ones.
+  WeightedRfEngine(const MilDataset* dataset, WeightedRfOptions options);
+
+  /// Re-estimates weights from the bags currently labeled relevant.
+  /// With no relevant bag the weights stay unchanged.
+  Status Learn();
+
+  /// Ranks all bags: per-checkpoint weighted square sum, maximized over
+  /// checkpoints and instances.
+  std::vector<ScoredBag> Rank() const;
+
+  const Vec& weights() const { return weights_; }
+
+ private:
+  double InstanceScore(const Vec& flattened) const;
+
+  const MilDataset* dataset_;
+  WeightedRfOptions options_;
+  Vec weights_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_BASELINE_WEIGHTED_RF_H_

@@ -1,0 +1,155 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace mivid {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void Add(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double Span() const { return hi - lo; }
+};
+
+}  // namespace
+
+std::string AsciiLinePlot(const std::vector<PlotSeries>& series,
+                          const PlotOptions& options) {
+  const int w = std::max(10, options.width);
+  const int h = std::max(5, options.height);
+
+  Range xr, yr;
+  for (const auto& s : series) {
+    for (double x : s.xs) xr.Add(x);
+    for (double y : s.ys) yr.Add(y);
+  }
+  if (!std::isfinite(xr.lo) || !std::isfinite(yr.lo)) {
+    return "(empty plot)\n";
+  }
+  if (options.y_from_zero) yr.Add(0.0);
+  if (xr.Span() <= 0) xr.hi = xr.lo + 1;
+  if (yr.Span() <= 0) yr.hi = yr.lo + 1;
+
+  std::vector<std::string> grid(static_cast<size_t>(h), std::string(w, ' '));
+  auto put = [&](double x, double y, char g) {
+    int cx = static_cast<int>(std::lround((x - xr.lo) / xr.Span() * (w - 1)));
+    int cy = static_cast<int>(std::lround((y - yr.lo) / yr.Span() * (h - 1)));
+    cx = std::clamp(cx, 0, w - 1);
+    cy = std::clamp(cy, 0, h - 1);
+    grid[static_cast<size_t>(h - 1 - cy)][static_cast<size_t>(cx)] = g;
+  };
+
+  for (const auto& s : series) {
+    const size_t n = std::min(s.xs.size(), s.ys.size());
+    // Connect consecutive points with interpolated glyphs.
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const int steps = w;
+      for (int t = 0; t <= steps; ++t) {
+        const double a = static_cast<double>(t) / steps;
+        put(s.xs[i] + a * (s.xs[i + 1] - s.xs[i]),
+            s.ys[i] + a * (s.ys[i + 1] - s.ys[i]),
+            t == 0 || t == steps ? s.glyph : (s.glyph == '*' ? '.' : '-'));
+      }
+    }
+    for (size_t i = 0; i < n; ++i) put(s.xs[i], s.ys[i], s.glyph);
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  const std::string ytop = StrFormat("%8.3g", yr.hi);
+  const std::string ybot = StrFormat("%8.3g", yr.lo);
+  for (int r = 0; r < h; ++r) {
+    if (r == 0) {
+      out += ytop;
+    } else if (r == h - 1) {
+      out += ybot;
+    } else {
+      out += std::string(8, ' ');
+    }
+    out += " |" + grid[static_cast<size_t>(r)] + "\n";
+  }
+  out += std::string(9, ' ') + "+" + std::string(static_cast<size_t>(w), '-') + "\n";
+  out += std::string(10, ' ') + StrFormat("%-10.3g", xr.lo) +
+         std::string(static_cast<size_t>(std::max(0, w - 20)), ' ') +
+         StrFormat("%10.3g", xr.hi) + "\n";
+  if (!options.x_label.empty()) {
+    out += std::string(10, ' ') + options.x_label + "\n";
+  }
+  for (const auto& s : series) {
+    out += StrFormat("    %c = %s\n", s.glyph, s.name.c_str());
+  }
+  return out;
+}
+
+std::string AsciiBarChart(const std::vector<std::pair<std::string, double>>& rows,
+                          const std::string& title, int width) {
+  double maxv = 0;
+  size_t label_w = 0;
+  for (const auto& [label, v] : rows) {
+    maxv = std::max(maxv, std::fabs(v));
+    label_w = std::max(label_w, label.size());
+  }
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  for (const auto& [label, v] : rows) {
+    const int n = maxv > 0 ? static_cast<int>(std::lround(
+                                 std::fabs(v) / maxv * width))
+                           : 0;
+    out += StrFormat("  %-*s | %s %s\n", static_cast<int>(label_w),
+                     label.c_str(), std::string(static_cast<size_t>(n), '#').c_str(),
+                     DoubleToString(v, 4).c_str());
+  }
+  return out;
+}
+
+std::string AsciiScatter(const std::vector<double>& xs,
+                         const std::vector<double>& ys,
+                         const std::vector<double>& fit_xs,
+                         const std::vector<double>& fit_ys,
+                         const PlotOptions& options) {
+  std::vector<PlotSeries> series;
+  PlotSeries fit{"fitted curve", fit_xs, fit_ys, '.'};
+  PlotSeries pts{"centroids", xs, ys, 'o'};
+  // Draw the curve first so raw points stay visible on top.
+  series.push_back(fit);
+  series.push_back(pts);
+  return AsciiLinePlot(series, options);
+}
+
+std::string AsciiTable(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += StrFormat(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(header) + sep;
+  for (const auto& row : rows) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+}  // namespace mivid

@@ -1,0 +1,54 @@
+// Terminal plotting used by benchmark harnesses to render the paper's
+// figures (accuracy-vs-iteration curves, fitted trajectories) as text.
+
+#ifndef MIVID_COMMON_ASCII_PLOT_H_
+#define MIVID_COMMON_ASCII_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace mivid {
+
+/// A named series of (x, y) points for AsciiLinePlot.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char glyph = '*';
+};
+
+/// Options controlling plot size and axis labels.
+struct PlotOptions {
+  int width = 72;   ///< interior plot columns
+  int height = 20;  ///< interior plot rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool y_from_zero = false;  ///< force the y axis to start at 0
+};
+
+/// Renders one or more series into a multi-line ASCII chart.
+///
+/// Each series is drawn with its glyph; overlapping points show the glyph of
+/// the later series. A legend maps glyphs to series names.
+std::string AsciiLinePlot(const std::vector<PlotSeries>& series,
+                          const PlotOptions& options);
+
+/// Renders a horizontal bar chart: one row per (label, value).
+std::string AsciiBarChart(const std::vector<std::pair<std::string, double>>& rows,
+                          const std::string& title, int width = 50);
+
+/// Renders a scatter of points (used for the Fig. 2 curve-fitting demo).
+std::string AsciiScatter(const std::vector<double>& xs,
+                         const std::vector<double>& ys,
+                         const std::vector<double>& fit_xs,
+                         const std::vector<double>& fit_ys,
+                         const PlotOptions& options);
+
+/// Formats a table with aligned columns; `rows[i]` must match header size.
+std::string AsciiTable(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mivid
+
+#endif  // MIVID_COMMON_ASCII_PLOT_H_

@@ -1,0 +1,70 @@
+// Minimal leveled logging for mivid.
+//
+// Usage:
+//   MIVID_LOG(INFO) << "ingested " << n << " frames";
+//
+// Severity below the global threshold is compiled into a cheap runtime check.
+// FATAL logs abort after flushing.
+
+#ifndef MIVID_COMMON_LOGGING_H_
+#define MIVID_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mivid {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum severity that is emitted. Default: kWarn
+/// (so library code is quiet in tests and benches unless asked).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below threshold.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define MIVID_LOG(severity)                                              \
+  (::mivid::LogLevel::k##severity < ::mivid::GetLogLevel())              \
+      ? (void)0                                                          \
+      : (void)::mivid::internal::LogMessage(::mivid::LogLevel::k##severity, \
+                                            __FILE__, __LINE__)          \
+            .stream()
+
+#define MIVID_CHECK(cond)                                                   \
+  if (!(cond))                                                              \
+  ::mivid::internal::LogMessage(::mivid::LogLevel::kFatal, __FILE__,        \
+                                __LINE__)                                   \
+          .stream()                                                         \
+      << "Check failed: " #cond " "
+
+}  // namespace mivid
+
+#endif  // MIVID_COMMON_LOGGING_H_

@@ -1,0 +1,186 @@
+// Status / Result error-handling primitives for mivid.
+//
+// Library boundaries do not throw: fallible operations return a Status, or a
+// Result<T> when they also produce a value (RocksDB-style). Status is cheap to
+// copy in the OK case (no allocation).
+
+#ifndef MIVID_COMMON_STATUS_H_
+#define MIVID_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mivid {
+
+/// Error category for a failed operation.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIOError = 4,
+  kCorruption = 5,
+  kNotSupported = 6,
+  kOutOfRange = 7,
+  kFailedPrecondition = 8,
+  kInternal = 9,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// The OK state carries no allocation; error states allocate a small record.
+/// Typical use:
+///
+///   Status s = db.Open(path);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with `code` and a descriptive `message`.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/// A value of type T or an error Status. Exactly one is present.
+///
+///   Result<Model> r = Train(data);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables `return status;`).
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define MIVID_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::mivid::Status _s = (expr);               \
+    if (!_s.ok()) return _s;                   \
+  } while (0)
+
+#define MIVID_CONCAT_IMPL_(a, b) a##b
+#define MIVID_CONCAT_(a, b) MIVID_CONCAT_IMPL_(a, b)
+#define MIVID_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` or
+/// returning the error.
+#define MIVID_ASSIGN_OR_RETURN(lhs, expr) \
+  MIVID_ASSIGN_OR_RETURN_IMPL_(MIVID_CONCAT_(_mivid_result_, __LINE__), lhs, expr)
+
+}  // namespace mivid
+
+#endif  // MIVID_COMMON_STATUS_H_

@@ -1,0 +1,129 @@
+#include "db/codec.h"
+
+#include <cstring>
+
+namespace mivid {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutDouble(std::string* dst, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutFixed32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+void PutVec(std::string* dst, const Vec& value) {
+  PutFixed32(dst, static_cast<uint32_t>(value.size()));
+  for (double v : value) PutDouble(dst, v);
+}
+
+Status Decoder::GetByte(uint8_t* value) {
+  if (pos_ + 1 > data_.size()) return Status::Corruption("truncated byte");
+  *value = static_cast<uint8_t>(data_[pos_++]);
+  return Status::OK();
+}
+
+Status Decoder::GetFixed32(uint32_t* value) {
+  if (pos_ + 4 > data_.size()) {
+    return Status::Corruption("truncated fixed32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  *value = v;
+  return Status::OK();
+}
+
+Status Decoder::GetFixed64(uint64_t* value) {
+  if (pos_ + 8 > data_.size()) {
+    return Status::Corruption("truncated fixed64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  *value = v;
+  return Status::OK();
+}
+
+Status Decoder::GetDouble(double* value) {
+  uint64_t bits;
+  MIVID_RETURN_IF_ERROR(GetFixed64(&bits));
+  std::memcpy(value, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status Decoder::GetLengthPrefixed(std::string* value) {
+  uint32_t len;
+  MIVID_RETURN_IF_ERROR(GetFixed32(&len));
+  if (pos_ + len > data_.size()) {
+    return Status::Corruption("truncated length-prefixed string");
+  }
+  value->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Decoder::GetVec(Vec* value) {
+  uint32_t len;
+  MIVID_RETURN_IF_ERROR(GetFixed32(&len));
+  if (pos_ + static_cast<size_t>(len) * 8 > data_.size()) {
+    return Status::Corruption("truncated double vector");
+  }
+  value->resize(len);
+  for (uint32_t i = 0; i < len; ++i) {
+    MIVID_RETURN_IF_ERROR(GetDouble(&(*value)[i]));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+const uint32_t* Crc32cTable() {
+  static uint32_t table[256];
+  static bool initialized = [] {
+    const uint32_t poly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ (crc & 1 ? poly : 0);
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  const uint32_t* table = Crc32cTable();
+  uint32_t crc = 0xffffffffu;
+  for (char ch : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(ch)) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace mivid

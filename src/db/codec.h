@@ -1,0 +1,60 @@
+// Binary encoding primitives for on-disk records (little-endian fixed
+// widths plus length-prefixed strings), in the style of RocksDB's coding
+// utilities. All multi-byte values are encoded explicitly byte-by-byte so
+// files are portable across hosts.
+
+#ifndef MIVID_DB_CODEC_H_
+#define MIVID_DB_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace mivid {
+
+/// Appends a fixed-width little-endian 32-bit value.
+void PutFixed32(std::string* dst, uint32_t value);
+
+/// Appends a fixed-width little-endian 64-bit value.
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// Appends an IEEE-754 double (as its 64-bit pattern).
+void PutDouble(std::string* dst, double value);
+
+/// Appends a length-prefixed string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Appends a length-prefixed vector of doubles.
+void PutVec(std::string* dst, const Vec& value);
+
+/// Cursor over an encoded buffer. All Get* calls fail with Corruption once
+/// the buffer is exhausted; check ok() or the returned Status.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Status GetByte(uint8_t* value);
+  Status GetFixed32(uint32_t* value);
+  Status GetFixed64(uint64_t* value);
+  Status GetDouble(double* value);
+  Status GetLengthPrefixed(std::string* value);
+  Status GetVec(Vec* value);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool Done() const { return pos_ >= data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (Castagnoli polynomial, unaccelerated) for record integrity.
+uint32_t Crc32c(std::string_view data);
+
+}  // namespace mivid
+
+#endif  // MIVID_DB_CODEC_H_

@@ -1,0 +1,165 @@
+#include "db/feature_store.h"
+
+#include <cstdio>
+
+#include "db/codec.h"
+
+namespace mivid {
+
+namespace {
+constexpr uint32_t kTracksMagic = 0x534b5254u;     // "TRKS"
+constexpr uint32_t kIncidentsMagic = 0x53434e49u;  // "INCS"
+constexpr uint32_t kVersion = 1;
+
+std::string Envelope(uint32_t magic, const std::string& body) {
+  std::string out;
+  PutFixed32(&out, magic);
+  PutFixed32(&out, Crc32c(body));
+  out += body;
+  return out;
+}
+
+Result<std::string_view> OpenEnvelope(uint32_t magic,
+                                      const std::string& bytes) {
+  Decoder header(bytes);
+  uint32_t got_magic, crc;
+  MIVID_RETURN_IF_ERROR(header.GetFixed32(&got_magic));
+  if (got_magic != magic) return Status::Corruption("bad magic");
+  MIVID_RETURN_IF_ERROR(header.GetFixed32(&crc));
+  const std::string_view body(bytes.data() + 8, bytes.size() - 8);
+  if (Crc32c(body) != crc) return Status::Corruption("checksum mismatch");
+  return body;
+}
+
+}  // namespace
+
+std::string SerializeTracks(const std::vector<Track>& tracks) {
+  std::string body;
+  PutFixed32(&body, kVersion);
+  PutFixed32(&body, static_cast<uint32_t>(tracks.size()));
+  for (const auto& t : tracks) {
+    PutFixed32(&body, static_cast<uint32_t>(t.id));
+    PutFixed32(&body, static_cast<uint32_t>(t.points.size()));
+    for (const auto& p : t.points) {
+      PutFixed32(&body, static_cast<uint32_t>(p.frame));
+      PutDouble(&body, p.centroid.x);
+      PutDouble(&body, p.centroid.y);
+      PutDouble(&body, p.bbox.min_x);
+      PutDouble(&body, p.bbox.min_y);
+      PutDouble(&body, p.bbox.max_x);
+      PutDouble(&body, p.bbox.max_y);
+    }
+  }
+  return Envelope(kTracksMagic, body);
+}
+
+Result<std::vector<Track>> DeserializeTracks(const std::string& bytes) {
+  MIVID_ASSIGN_OR_RETURN(std::string_view body,
+                         OpenEnvelope(kTracksMagic, bytes));
+  Decoder dec(body);
+  uint32_t version, count;
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&version));
+  if (version != kVersion) return Status::NotSupported("unknown version");
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&count));
+  std::vector<Track> tracks(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id, npoints;
+    MIVID_RETURN_IF_ERROR(dec.GetFixed32(&id));
+    MIVID_RETURN_IF_ERROR(dec.GetFixed32(&npoints));
+    tracks[i].id = static_cast<int>(id);
+    tracks[i].points.resize(npoints);
+    for (uint32_t j = 0; j < npoints; ++j) {
+      TrackPoint& p = tracks[i].points[j];
+      uint32_t frame;
+      MIVID_RETURN_IF_ERROR(dec.GetFixed32(&frame));
+      p.frame = static_cast<int>(frame);
+      MIVID_RETURN_IF_ERROR(dec.GetDouble(&p.centroid.x));
+      MIVID_RETURN_IF_ERROR(dec.GetDouble(&p.centroid.y));
+      MIVID_RETURN_IF_ERROR(dec.GetDouble(&p.bbox.min_x));
+      MIVID_RETURN_IF_ERROR(dec.GetDouble(&p.bbox.min_y));
+      MIVID_RETURN_IF_ERROR(dec.GetDouble(&p.bbox.max_x));
+      MIVID_RETURN_IF_ERROR(dec.GetDouble(&p.bbox.max_y));
+    }
+  }
+  return tracks;
+}
+
+std::string SerializeIncidents(const std::vector<IncidentRecord>& incidents) {
+  std::string body;
+  PutFixed32(&body, kVersion);
+  PutFixed32(&body, static_cast<uint32_t>(incidents.size()));
+  for (const auto& rec : incidents) {
+    PutFixed32(&body, static_cast<uint32_t>(rec.type));
+    PutFixed32(&body, static_cast<uint32_t>(rec.begin_frame));
+    PutFixed32(&body, static_cast<uint32_t>(rec.end_frame));
+    PutFixed32(&body, static_cast<uint32_t>(rec.vehicle_ids.size()));
+    for (int id : rec.vehicle_ids) {
+      PutFixed32(&body, static_cast<uint32_t>(id));
+    }
+  }
+  return Envelope(kIncidentsMagic, body);
+}
+
+Result<std::vector<IncidentRecord>> DeserializeIncidents(
+    const std::string& bytes) {
+  MIVID_ASSIGN_OR_RETURN(std::string_view body,
+                         OpenEnvelope(kIncidentsMagic, bytes));
+  Decoder dec(body);
+  uint32_t version, count;
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&version));
+  if (version != kVersion) return Status::NotSupported("unknown version");
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&count));
+  std::vector<IncidentRecord> incidents(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t type, begin, end, nveh;
+    MIVID_RETURN_IF_ERROR(dec.GetFixed32(&type));
+    MIVID_RETURN_IF_ERROR(dec.GetFixed32(&begin));
+    MIVID_RETURN_IF_ERROR(dec.GetFixed32(&end));
+    MIVID_RETURN_IF_ERROR(dec.GetFixed32(&nveh));
+    if (type > static_cast<uint32_t>(IncidentType::kSpeeding)) {
+      return Status::Corruption("invalid incident type");
+    }
+    incidents[i].type = static_cast<IncidentType>(type);
+    incidents[i].begin_frame = static_cast<int>(begin);
+    incidents[i].end_frame = static_cast<int>(end);
+    incidents[i].vehicle_ids.resize(nveh);
+    for (uint32_t j = 0; j < nveh; ++j) {
+      uint32_t id;
+      MIVID_RETURN_IF_ERROR(dec.GetFixed32(&id));
+      incidents[i].vehicle_ids[j] = static_cast<int>(id);
+    }
+  }
+  return incidents;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open " + tmp + " for writing");
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, got);
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace mivid

@@ -1,0 +1,132 @@
+#include "db/frame_store.h"
+
+#include "db/codec.h"
+
+namespace mivid {
+
+namespace {
+constexpr uint32_t kFramesMagic = 0x534d5246u;  // "FRMS"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+std::string RleEncode(const std::vector<uint8_t>& bytes) {
+  std::string out;
+  out.reserve(bytes.size() / 4);
+  size_t i = 0;
+  while (i < bytes.size()) {
+    const uint8_t value = bytes[i];
+    size_t run = 1;
+    while (i + run < bytes.size() && bytes[i + run] == value && run < 255) {
+      ++run;
+    }
+    out.push_back(static_cast<char>(run));
+    out.push_back(static_cast<char>(value));
+    i += run;
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> RleDecode(std::string_view encoded,
+                                       size_t expected_size) {
+  std::vector<uint8_t> out;
+  out.reserve(expected_size);
+  if (encoded.size() % 2 != 0) {
+    return Status::Corruption("RLE stream has odd length");
+  }
+  for (size_t i = 0; i < encoded.size(); i += 2) {
+    const uint8_t run = static_cast<uint8_t>(encoded[i]);
+    const uint8_t value = static_cast<uint8_t>(encoded[i + 1]);
+    if (run == 0) return Status::Corruption("RLE run of length zero");
+    if (out.size() + run > expected_size) {
+      return Status::Corruption("RLE stream overruns expected size");
+    }
+    out.insert(out.end(), run, value);
+  }
+  if (out.size() != expected_size) {
+    return Status::Corruption("RLE stream underruns expected size");
+  }
+  return out;
+}
+
+std::string SerializeFrames(const VideoClip& clip) {
+  std::string body;
+  PutFixed32(&body, kVersion);
+  PutFixed32(&body, static_cast<uint32_t>(clip.metadata().width));
+  PutFixed32(&body, static_cast<uint32_t>(clip.metadata().height));
+  PutDouble(&body, clip.metadata().fps);
+  PutFixed32(&body, static_cast<uint32_t>(clip.frame_count()));
+  for (size_t i = 0; i < clip.frame_count(); ++i) {
+    // Adaptive per frame: RLE when it wins (static scenes), raw otherwise
+    // (noisy frames have no runs and RLE would double them).
+    const auto& pixels = clip.frame(i).pixels();
+    std::string rle = RleEncode(pixels);
+    if (rle.size() < pixels.size()) {
+      body.push_back(1);  // RLE marker
+      PutLengthPrefixed(&body, rle);
+    } else {
+      body.push_back(0);  // raw marker
+      PutLengthPrefixed(&body,
+                        std::string_view(
+                            reinterpret_cast<const char*>(pixels.data()),
+                            pixels.size()));
+    }
+  }
+  std::string out;
+  PutFixed32(&out, kFramesMagic);
+  PutFixed32(&out, Crc32c(body));
+  out += body;
+  return out;
+}
+
+Result<VideoClip> DeserializeFrames(const std::string& bytes) {
+  Decoder header(bytes);
+  uint32_t magic, crc;
+  MIVID_RETURN_IF_ERROR(header.GetFixed32(&magic));
+  if (magic != kFramesMagic) return Status::Corruption("bad frames magic");
+  MIVID_RETURN_IF_ERROR(header.GetFixed32(&crc));
+  const std::string_view body(bytes.data() + 8, bytes.size() - 8);
+  if (Crc32c(body) != crc) {
+    return Status::Corruption("frames checksum mismatch");
+  }
+
+  Decoder dec(body);
+  uint32_t version, width, height, count;
+  double fps;
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&version));
+  if (version != kVersion) return Status::NotSupported("unknown version");
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&width));
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&height));
+  MIVID_RETURN_IF_ERROR(dec.GetDouble(&fps));
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&count));
+  if (width == 0 || height == 0 || width > 1 << 14 || height > 1 << 14) {
+    return Status::Corruption("implausible frame dimensions");
+  }
+
+  VideoClip clip;
+  clip.metadata().fps = fps;
+  const size_t pixels =
+      static_cast<size_t>(width) * static_cast<size_t>(height);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t marker;
+    std::string encoded;
+    MIVID_RETURN_IF_ERROR(dec.GetByte(&marker));
+    MIVID_RETURN_IF_ERROR(dec.GetLengthPrefixed(&encoded));
+    std::vector<uint8_t> raw;
+    if (marker == 1) {
+      MIVID_ASSIGN_OR_RETURN(raw, RleDecode(encoded, pixels));
+    } else if (marker == 0) {
+      if (encoded.size() != pixels) {
+        return Status::Corruption("raw frame payload size mismatch");
+      }
+      raw.assign(encoded.begin(), encoded.end());
+    } else {
+      return Status::Corruption("unknown frame encoding marker");
+    }
+    Frame frame(static_cast<int>(width), static_cast<int>(height));
+    frame.pixels() = std::move(raw);
+    clip.Append(std::move(frame));
+  }
+  return clip;
+}
+
+}  // namespace mivid

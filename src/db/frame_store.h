@@ -1,0 +1,37 @@
+// FrameStore: persistence of the raw video itself.
+//
+// The database keeps the clip's frames so an operator can play back the
+// retrieved Video Sequences (the paper's UI, Fig. 7). Frames are stored as
+// a checksummed blob with per-frame byte-level run-length encoding —
+// synthetic surveillance frames (large uniform regions) compress well, and
+// decoding is exact.
+
+#ifndef MIVID_DB_FRAME_STORE_H_
+#define MIVID_DB_FRAME_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "video/clip.h"
+#include "video/frame.h"
+
+namespace mivid {
+
+/// Run-length encodes raw bytes: pairs of (count, value), count 1..255.
+std::string RleEncode(const std::vector<uint8_t>& bytes);
+
+/// Decodes RleEncode output; fails on truncated input or size mismatch.
+Result<std::vector<uint8_t>> RleDecode(std::string_view encoded,
+                                       size_t expected_size);
+
+/// Serializes a clip's frames (all must share one resolution).
+std::string SerializeFrames(const VideoClip& clip);
+
+/// Parses a blob written by SerializeFrames; metadata fields that live in
+/// the catalog (camera, time) are not stored here and stay default.
+Result<VideoClip> DeserializeFrames(const std::string& bytes);
+
+}  // namespace mivid
+
+#endif  // MIVID_DB_FRAME_STORE_H_

@@ -1,0 +1,68 @@
+// QueryEngine: ties the database to the retrieval stack.
+//
+// Retrieval runs per camera (paper Sec. 6.2: clips from different cameras
+// are not normalized against each other). The engine loads every clip of
+// one camera, extracts features/windows per clip, merges them into one
+// corpus with globally unique bag ids, and opens a RetrievalSession.
+
+#ifndef MIVID_DB_QUERY_ENGINE_H_
+#define MIVID_DB_QUERY_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/video_db.h"
+#include "eval/oracle.h"
+#include "event/event_model.h"
+#include "event/sliding_window.h"
+#include "retrieval/session.h"
+
+namespace mivid {
+
+/// Query configuration.
+struct QueryOptions {
+  FeatureOptions features;
+  WindowOptions windows;
+  SessionOptions session;
+  std::vector<IncidentType> relevant_types;  ///< empty = accident query
+};
+
+/// Identifies a bag within the merged multi-clip corpus.
+struct CorpusBagRef {
+  int clip_id = -1;
+  int local_vs_id = -1;  ///< vs id within its clip
+  int begin_frame = 0;
+  int end_frame = 0;
+};
+
+/// A ready-to-run retrieval corpus for one camera.
+struct CameraCorpus {
+  std::string camera_id;
+  MilDataset dataset;                    ///< global bag ids
+  std::map<int, CorpusBagRef> bag_refs;  ///< global bag id -> provenance
+  std::map<int, BagLabel> truth;         ///< oracle labels (from stored
+                                         ///< incident annotations)
+};
+
+/// Database-backed query front end.
+class QueryEngine {
+ public:
+  /// `db` must outlive the engine.
+  explicit QueryEngine(const VideoDb* db) : db_(db) {}
+
+  /// Builds the merged corpus for `camera_id`.
+  Result<CameraCorpus> BuildCorpus(const std::string& camera_id,
+                                   const QueryOptions& options) const;
+
+  /// Opens an interactive session over the camera's corpus.
+  Result<RetrievalSession> StartSession(const std::string& camera_id,
+                                        const QueryOptions& options) const;
+
+ private:
+  const VideoDb* db_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_DB_QUERY_ENGINE_H_

@@ -1,0 +1,64 @@
+#include "db/session_store.h"
+
+#include "db/codec.h"
+
+namespace mivid {
+
+namespace {
+constexpr uint32_t kSessionMagic = 0x53534553u;  // "SESS"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+std::string SerializeSessionState(const SessionState& state) {
+  std::string body;
+  PutFixed32(&body, kVersion);
+  PutLengthPrefixed(&body, state.camera_id);
+  PutFixed32(&body, static_cast<uint32_t>(state.round));
+  PutFixed32(&body, static_cast<uint32_t>(state.labels.size()));
+  for (const auto& [bag_id, label] : state.labels) {
+    PutFixed32(&body, static_cast<uint32_t>(bag_id));
+    body.push_back(static_cast<char>(label));
+  }
+  std::string out;
+  PutFixed32(&out, kSessionMagic);
+  PutFixed32(&out, Crc32c(body));
+  out += body;
+  return out;
+}
+
+Result<SessionState> DeserializeSessionState(const std::string& bytes) {
+  Decoder header(bytes);
+  uint32_t magic, crc;
+  MIVID_RETURN_IF_ERROR(header.GetFixed32(&magic));
+  if (magic != kSessionMagic) return Status::Corruption("bad session magic");
+  MIVID_RETURN_IF_ERROR(header.GetFixed32(&crc));
+  const std::string_view body(bytes.data() + 8, bytes.size() - 8);
+  if (Crc32c(body) != crc) {
+    return Status::Corruption("session checksum mismatch");
+  }
+
+  Decoder dec(body);
+  uint32_t version, round, count;
+  SessionState state;
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&version));
+  if (version != kVersion) return Status::NotSupported("unknown version");
+  MIVID_RETURN_IF_ERROR(dec.GetLengthPrefixed(&state.camera_id));
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&round));
+  state.round = static_cast<int>(round);
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&count));
+  state.labels.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t bag_id;
+    uint8_t label;
+    MIVID_RETURN_IF_ERROR(dec.GetFixed32(&bag_id));
+    MIVID_RETURN_IF_ERROR(dec.GetByte(&label));
+    if (label > static_cast<uint8_t>(BagLabel::kIrrelevant)) {
+      return Status::Corruption("invalid bag label");
+    }
+    state.labels.emplace_back(static_cast<int>(bag_id),
+                              static_cast<BagLabel>(label));
+  }
+  return state;
+}
+
+}  // namespace mivid

@@ -1,0 +1,36 @@
+// SessionStore: persistence of relevance-feedback sessions.
+//
+// The paper's framework "progressively gathers training samples and
+// customizes the retrieval process" per user; persisting the session's
+// accumulated bag labels lets a user stop and later resume exactly where
+// they left off (complementing the persisted SVM model, which only
+// captures the last trained state).
+
+#ifndef MIVID_DB_SESSION_STORE_H_
+#define MIVID_DB_SESSION_STORE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "mil/bag.h"
+
+namespace mivid {
+
+/// A resumable snapshot of one retrieval session.
+struct SessionState {
+  std::string camera_id;
+  int round = 0;
+  std::vector<std::pair<int, BagLabel>> labels;  ///< bag id -> feedback
+};
+
+/// Serializes a session snapshot (checksummed envelope).
+std::string SerializeSessionState(const SessionState& state);
+
+/// Parses a snapshot written by SerializeSessionState.
+Result<SessionState> DeserializeSessionState(const std::string& bytes);
+
+}  // namespace mivid
+
+#endif  // MIVID_DB_SESSION_STORE_H_

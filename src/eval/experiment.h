@@ -1,0 +1,95 @@
+// Experiment harness: runs the paper's relevance-feedback protocol on a
+// simulated clip and records accuracy-per-round curves for the proposed
+// MIL framework and the weighted-RF baseline (Figs. 8 and 9).
+
+#ifndef MIVID_EVAL_EXPERIMENT_H_
+#define MIVID_EVAL_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/weighted_rf.h"
+#include "common/status.h"
+#include "eval/oracle.h"
+#include "event/sliding_window.h"
+#include "mil/dataset.h"
+#include "retrieval/session.h"
+#include "trafficsim/scenarios.h"
+
+namespace mivid {
+
+/// How trajectories are obtained from the scenario.
+enum class PipelineMode : uint8_t {
+  /// Use simulator ground-truth tracks directly (a perfect tracker).
+  kGroundTruthTracks = 0,
+  /// Render frames, then segment (background + SPCPE) and track them —
+  /// the full vision path, with its natural noise and failures.
+  kVisionTracks = 1,
+};
+
+/// Experiment configuration.
+struct ExperimentOptions {
+  int feedback_rounds = 4;  ///< rounds after the initial query (paper: 4)
+  size_t top_n = 20;
+  PipelineMode pipeline = PipelineMode::kVisionTracks;
+  bool smooth_tracks = false;  ///< apply Sec. 3.2 polynomial smoothing to
+                               ///< tracks before feature extraction
+  FeatureOptions features;
+  WindowOptions windows;
+  MilRfOptions mil;
+  WeightedRfOptions weighted;
+  std::vector<IncidentType> relevant_types;  ///< empty = accidents
+};
+
+/// Everything derived from one scenario run, reusable across methods.
+struct ClipAnalysis {
+  GroundTruth ground_truth;
+  std::vector<Track> tracks;              ///< per the pipeline mode
+  std::vector<TrackFeatures> features;
+  FeatureScaler scaler;
+  std::vector<VideoSequence> windows;
+  MilDataset dataset;                     ///< unlabeled corpus
+  std::map<int, BagLabel> truth;          ///< oracle label per vs_id
+  size_t num_relevant = 0;
+};
+
+/// Simulates the scenario and builds the full analysis pipeline output.
+Result<ClipAnalysis> AnalyzeScenario(const ScenarioSpec& scenario,
+                                     const ExperimentOptions& options);
+
+/// Accuracy per round for one retrieval method.
+struct MethodCurve {
+  std::string method;
+  std::vector<double> accuracy;  ///< [initial, round1, ..., roundR]
+};
+
+/// Full experiment output.
+struct ExperimentResult {
+  std::string scenario;
+  int total_frames = 0;
+  size_t num_windows = 0;
+  size_t num_ts = 0;
+  size_t num_relevant_vs = 0;
+  std::vector<MethodCurve> curves;
+};
+
+/// Runs the paper's protocol on `analysis`: the MIL session and the
+/// weighted-RF baseline each get `feedback_rounds` rounds of oracle
+/// feedback on their top-n results.
+Result<ExperimentResult> RunRfExperiment(const ScenarioSpec& scenario,
+                                         const ExperimentOptions& options);
+
+/// Same, but reuses an existing analysis (for parameter sweeps that hold
+/// the corpus fixed).
+Result<ExperimentResult> RunRfExperimentOnAnalysis(
+    const ClipAnalysis& analysis, const std::string& scenario_name,
+    int total_frames, const ExperimentOptions& options);
+
+/// Renders an ExperimentResult as the text table + ASCII curve the bench
+/// binaries print.
+std::string FormatExperimentResult(const ExperimentResult& result);
+
+}  // namespace mivid
+
+#endif  // MIVID_EVAL_EXPERIMENT_H_

@@ -1,0 +1,68 @@
+#include "eval/metrics.h"
+
+namespace mivid {
+
+namespace {
+
+bool IsRelevant(const std::map<int, BagLabel>& truth, int id) {
+  auto it = truth.find(id);
+  return it != truth.end() && it->second == BagLabel::kRelevant;
+}
+
+size_t TotalRelevant(const std::map<int, BagLabel>& truth) {
+  size_t n = 0;
+  for (const auto& [id, label] : truth) {
+    (void)id;
+    n += label == BagLabel::kRelevant ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace
+
+double AccuracyAtN(const std::vector<int>& ranked_ids,
+                   const std::map<int, BagLabel>& truth, size_t n) {
+  if (n == 0) return 0.0;
+  const size_t limit = std::min(n, ranked_ids.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    hits += IsRelevant(truth, ranked_ids[i]) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double RecallAtN(const std::vector<int>& ranked_ids,
+                 const std::map<int, BagLabel>& truth, size_t n) {
+  const size_t total = TotalRelevant(truth);
+  if (total == 0) return 0.0;
+  const size_t limit = std::min(n, ranked_ids.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    hits += IsRelevant(truth, ranked_ids[i]) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double AveragePrecision(const std::vector<int>& ranked_ids,
+                        const std::map<int, BagLabel>& truth) {
+  const size_t total = TotalRelevant(truth);
+  if (total == 0) return 0.0;
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ranked_ids.size(); ++i) {
+    if (IsRelevant(truth, ranked_ids[i])) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(total);
+}
+
+std::vector<int> RankingIds(const std::vector<ScoredBag>& ranking) {
+  std::vector<int> ids;
+  ids.reserve(ranking.size());
+  for (const auto& sb : ranking) ids.push_back(sb.bag_id);
+  return ids;
+}
+
+}  // namespace mivid

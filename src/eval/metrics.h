@@ -1,0 +1,36 @@
+// Retrieval metrics.
+//
+// The paper's measure is "accuracy": the fraction of relevant VSs within
+// the top-n returned (n = 20). Precision@k / recall / average precision
+// are provided for extended analysis.
+
+#ifndef MIVID_EVAL_METRICS_H_
+#define MIVID_EVAL_METRICS_H_
+
+#include <map>
+#include <vector>
+
+#include "mil/bag.h"
+#include "retrieval/heuristic.h"
+
+namespace mivid {
+
+/// Fraction of the first n ids whose truth label is kRelevant.
+/// Ids missing from `truth` count as irrelevant. Returns 0 for n == 0.
+double AccuracyAtN(const std::vector<int>& ranked_ids,
+                   const std::map<int, BagLabel>& truth, size_t n);
+
+/// Recall@n: retrieved relevant within top n over total relevant.
+double RecallAtN(const std::vector<int>& ranked_ids,
+                 const std::map<int, BagLabel>& truth, size_t n);
+
+/// Average precision over the full ranking.
+double AveragePrecision(const std::vector<int>& ranked_ids,
+                        const std::map<int, BagLabel>& truth);
+
+/// Convenience: strips scores from a ranking.
+std::vector<int> RankingIds(const std::vector<ScoredBag>& ranking);
+
+}  // namespace mivid
+
+#endif  // MIVID_EVAL_METRICS_H_

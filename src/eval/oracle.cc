@@ -1,0 +1,62 @@
+#include "eval/oracle.h"
+
+#include <algorithm>
+
+namespace mivid {
+
+std::vector<IncidentType> AccidentTypes() {
+  return {IncidentType::kWallCrash, IncidentType::kSuddenStop,
+          IncidentType::kRearEnd, IncidentType::kCrossCollision};
+}
+
+FeedbackOracle::FeedbackOracle(const GroundTruth* ground_truth,
+                               std::vector<IncidentType> relevant_types)
+    : ground_truth_(ground_truth),
+      relevant_types_(std::move(relevant_types)) {
+  if (relevant_types_.empty()) relevant_types_ = AccidentTypes();
+}
+
+void FeedbackOracle::SetLabelNoise(double error_rate, uint64_t seed) {
+  error_rate_ = error_rate;
+  noise_seed_ = seed;
+}
+
+BagLabel FeedbackOracle::LabelFor(const VideoSequence& vs) const {
+  BagLabel label = BagLabel::kIrrelevant;
+  for (const auto& rec : ground_truth_->incidents) {
+    if (!rec.Overlaps(vs.begin_frame, vs.end_frame)) continue;
+    if (std::find(relevant_types_.begin(), relevant_types_.end(), rec.type) !=
+        relevant_types_.end()) {
+      label = BagLabel::kRelevant;
+      break;
+    }
+  }
+  if (error_rate_ > 0.0) {
+    // Deterministic per window: the user's (mis)judgment of a clip does
+    // not change when asked twice.
+    Rng rng(noise_seed_ ^ (static_cast<uint64_t>(vs.vs_id) * 0x9e3779b9ULL));
+    if (rng.Bernoulli(error_rate_)) {
+      label = label == BagLabel::kRelevant ? BagLabel::kIrrelevant
+                                           : BagLabel::kRelevant;
+    }
+  }
+  return label;
+}
+
+std::map<int, BagLabel> FeedbackOracle::LabelAll(
+    const std::vector<VideoSequence>& windows) const {
+  std::map<int, BagLabel> labels;
+  for (const auto& vs : windows) labels[vs.vs_id] = LabelFor(vs);
+  return labels;
+}
+
+size_t FeedbackOracle::CountRelevant(
+    const std::vector<VideoSequence>& windows) const {
+  size_t n = 0;
+  for (const auto& vs : windows) {
+    n += LabelFor(vs) == BagLabel::kRelevant ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace mivid

@@ -1,0 +1,61 @@
+// FeedbackOracle: the simulated user.
+//
+// In the paper a human watches each returned VS and marks it relevant if
+// it shows an incident of the queried kind. The oracle reproduces that
+// judgment from simulator ground truth: a VS is relevant iff an incident
+// of one of the queried types overlaps the VS's frame span.
+
+#ifndef MIVID_EVAL_ORACLE_H_
+#define MIVID_EVAL_ORACLE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/sliding_window.h"
+#include "mil/bag.h"
+#include "trafficsim/world.h"
+
+namespace mivid {
+
+/// Ground-truth-driven bag labeler.
+class FeedbackOracle {
+ public:
+  /// `ground_truth` must outlive the oracle. `relevant_types` defaults to
+  /// the accident types (wall crash, sudden stop, rear end, cross
+  /// collision) — the paper's query.
+  explicit FeedbackOracle(const GroundTruth* ground_truth,
+                          std::vector<IncidentType> relevant_types = {});
+
+  /// Simulates human error: each label is flipped with probability
+  /// `error_rate` (deterministic per vs_id given `seed`). Default: a
+  /// perfect user.
+  void SetLabelNoise(double error_rate, uint64_t seed = 99);
+
+  /// The label a user would give this VS.
+  BagLabel LabelFor(const VideoSequence& vs) const;
+
+  /// Labels every window; key = vs_id.
+  std::map<int, BagLabel> LabelAll(
+      const std::vector<VideoSequence>& windows) const;
+
+  /// Count of windows the oracle deems relevant.
+  size_t CountRelevant(const std::vector<VideoSequence>& windows) const;
+
+  const std::vector<IncidentType>& relevant_types() const {
+    return relevant_types_;
+  }
+
+ private:
+  const GroundTruth* ground_truth_;
+  std::vector<IncidentType> relevant_types_;
+  double error_rate_ = 0.0;
+  uint64_t noise_seed_ = 99;
+};
+
+/// The default "accident" query types.
+std::vector<IncidentType> AccidentTypes();
+
+}  // namespace mivid
+
+#endif  // MIVID_EVAL_ORACLE_H_

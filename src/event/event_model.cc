@@ -1,0 +1,62 @@
+#include "event/event_model.h"
+
+#include <algorithm>
+
+namespace mivid {
+
+double EventModel::ScorePoint(const Vec& normalized_alpha) const {
+  double score = 0.0;
+  const size_t n = std::min(weights.size(), normalized_alpha.size());
+  for (size_t f = 0; f < n; ++f) {
+    score += weights[f] * normalized_alpha[f] * normalized_alpha[f];
+  }
+  return score;
+}
+
+double EventModel::ScoreTs(const TrajectorySequence& ts,
+                           const FeatureScaler& scaler,
+                           bool include_velocity) const {
+  double best = 0.0;
+  for (const auto& p : ts.points) {
+    best = std::max(best,
+                    ScorePoint(scaler.Apply(p.ToVector(include_velocity))));
+  }
+  return best;
+}
+
+double EventModel::ScoreVs(const VideoSequence& vs, const FeatureScaler& scaler,
+                           bool include_velocity) const {
+  double best = 0.0;
+  for (const auto& ts : vs.ts) {
+    best = std::max(best, ScoreTs(ts, scaler, include_velocity));
+  }
+  return best;
+}
+
+EventModel EventModel::Accident(size_t dimension) {
+  EventModel m;
+  m.name = "accident";
+  m.weights.assign(dimension, 0.0);
+  for (size_t f = 0; f < 3 && f < dimension; ++f) m.weights[f] = 1.0;
+  return m;
+}
+
+EventModel EventModel::UTurn(size_t dimension) {
+  EventModel m;
+  m.name = "u_turn";
+  m.weights.assign(dimension, 0.0);
+  if (dimension >= 3) {
+    m.weights[1] = 0.2;  // some speed change while turning
+    m.weights[2] = 1.0;  // direction change dominates
+  }
+  return m;
+}
+
+EventModel EventModel::Speeding() {
+  EventModel m;
+  m.name = "speeding";
+  m.weights = {0.0, 0.2, 0.0, 1.0};  // velocity-driven
+  return m;
+}
+
+}  // namespace mivid

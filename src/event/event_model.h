@@ -1,0 +1,52 @@
+// Event models: the per-event-type heuristics used for the initial query
+// (paper Sec. 4 and 5.3).
+//
+// For accidents the paper scores a sampling point by the square sum of the
+// property vector [1/mdist, vdiff, theta]: a short distance to another
+// vehicle, a large speed change and a sudden direction change all indicate
+// a possible accident. The same mechanism "may also be adjusted to detect
+// U-turns, speeding and any other event" — expressed here as per-feature
+// weights.
+
+#ifndef MIVID_EVENT_EVENT_MODEL_H_
+#define MIVID_EVENT_EVENT_MODEL_H_
+
+#include <string>
+
+#include "event/features.h"
+#include "event/sliding_window.h"
+
+namespace mivid {
+
+/// A weighted square-sum scoring model over normalized checkpoint features.
+struct EventModel {
+  std::string name;
+  Vec weights;  ///< per-feature weights over the (normalized) alpha vector
+
+  /// Score of one normalized checkpoint vector: sum_f w_f * x_f^2.
+  double ScorePoint(const Vec& normalized_alpha) const;
+
+  /// Score of a TS: the maximum checkpoint score (paper Sec. 5.3,
+  /// S_Ti = max(S_a1, ..., S_an)).
+  double ScoreTs(const TrajectorySequence& ts, const FeatureScaler& scaler,
+                 bool include_velocity) const;
+
+  /// Score of a VS: the maximum contained TS score
+  /// (S_v = max(S_T1, ..., S_Tn)).
+  double ScoreVs(const VideoSequence& vs, const FeatureScaler& scaler,
+                 bool include_velocity) const;
+
+  /// The paper's accident model: unit weights over [1/mdist, vdiff, theta].
+  /// `dimension` is 3, or 4 when velocity is included (weight 0 for it).
+  static EventModel Accident(size_t dimension = 3);
+
+  /// U-turn model: direction change dominates; proximity is irrelevant.
+  static EventModel UTurn(size_t dimension = 3);
+
+  /// Speeding model: requires the 4-feature vector (velocity weighted).
+  static EventModel Speeding();
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_EVENT_EVENT_MODEL_H_

@@ -1,0 +1,84 @@
+#include "event/sliding_window.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mivid {
+
+Vec TrajectorySequence::Flatten(const FeatureScaler& scaler,
+                                bool include_velocity) const {
+  Vec out;
+  out.reserve(points.size() * scaler.dimension());
+  for (const auto& p : points) {
+    const Vec n = scaler.Apply(p.ToVector(include_velocity));
+    out.insert(out.end(), n.begin(), n.end());
+  }
+  return out;
+}
+
+Vec TrajectorySequence::FlattenRaw(bool include_velocity) const {
+  Vec out;
+  for (const auto& p : points) {
+    const Vec v = p.ToVector(include_velocity);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::vector<VideoSequence> ExtractWindows(
+    const std::vector<TrackFeatures>& tracks, int total_frames,
+    const FeatureOptions& feature_options, const WindowOptions& options) {
+  std::vector<VideoSequence> windows;
+  const int rate = std::max(1, feature_options.sampling_rate);
+  const int wsize = std::max(1, options.window_size);
+  const int stride = std::max(1, options.stride);
+
+  // Per-track lookup: checkpoint frame -> index into points.
+  std::vector<std::map<int, size_t>> lookup(tracks.size());
+  for (size_t t = 0; t < tracks.size(); ++t) {
+    for (size_t i = 0; i < tracks[t].points.size(); ++i) {
+      lookup[t][tracks[t].points[i].frame] = i;
+    }
+  }
+
+  const int last_grid = (total_frames - 1) / rate * rate;
+  int vs_id = 0;
+  for (int start = 0; start + (wsize - 1) * rate <= last_grid;
+       start += stride * rate) {
+    VideoSequence vs;
+    vs.vs_id = vs_id;
+    vs.begin_frame = start;
+    vs.end_frame = start + (wsize - 1) * rate;
+
+    for (size_t t = 0; t < tracks.size(); ++t) {
+      // The track must cover every checkpoint of the window.
+      TrajectorySequence ts;
+      ts.track_id = tracks[t].track_id;
+      ts.vs_id = vs.vs_id;
+      bool complete = true;
+      for (int k = 0; k < wsize; ++k) {
+        auto it = lookup[t].find(start + k * rate);
+        if (it == lookup[t].end()) {
+          complete = false;
+          break;
+        }
+        ts.points.push_back(tracks[t].points[it->second]);
+      }
+      if (complete) vs.ts.push_back(std::move(ts));
+    }
+
+    if (!vs.ts.empty() || options.keep_empty) {
+      windows.push_back(std::move(vs));
+    }
+    ++vs_id;
+  }
+  return windows;
+}
+
+size_t CountTrajectorySequences(const std::vector<VideoSequence>& windows) {
+  size_t n = 0;
+  for (const auto& vs : windows) n += vs.ts.size();
+  return n;
+}
+
+}  // namespace mivid

@@ -1,0 +1,178 @@
+#include "geometry/homography.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/solve.h"
+
+namespace mivid {
+
+namespace {
+
+/// Hartley normalization: translate centroid to origin, scale mean
+/// distance to sqrt(2). Returns the 3x3 normalizing transform.
+Matrix NormalizingTransform(const std::vector<Point2>& points) {
+  double cx = 0, cy = 0;
+  for (const auto& p : points) {
+    cx += p.x;
+    cy += p.y;
+  }
+  cx /= static_cast<double>(points.size());
+  cy /= static_cast<double>(points.size());
+  double mean_dist = 0;
+  for (const auto& p : points) {
+    mean_dist += std::hypot(p.x - cx, p.y - cy);
+  }
+  mean_dist /= static_cast<double>(points.size());
+  const double s = mean_dist > 1e-12 ? std::sqrt(2.0) / mean_dist : 1.0;
+
+  Matrix t = Matrix::Identity(3);
+  t.At(0, 0) = s;
+  t.At(1, 1) = s;
+  t.At(0, 2) = -s * cx;
+  t.At(1, 2) = -s * cy;
+  return t;
+}
+
+Point2 ApplyMatrix(const Matrix& h, const Point2& p) {
+  const double x = h.At(0, 0) * p.x + h.At(0, 1) * p.y + h.At(0, 2);
+  const double y = h.At(1, 0) * p.x + h.At(1, 1) * p.y + h.At(1, 2);
+  const double w = h.At(2, 0) * p.x + h.At(2, 1) * p.y + h.At(2, 2);
+  if (std::fabs(w) < 1e-12) return {1e12, 1e12};
+  return {x / w, y / w};
+}
+
+/// 3x3 inverse via adjugate.
+Result<Matrix> Invert3x3(const Matrix& m) {
+  const double a = m.At(0, 0), b = m.At(0, 1), c = m.At(0, 2);
+  const double d = m.At(1, 0), e = m.At(1, 1), f = m.At(1, 2);
+  const double g = m.At(2, 0), h = m.At(2, 1), i = m.At(2, 2);
+  const double det =
+      a * (e * i - f * h) - b * (d * i - f * g) + c * (d * h - e * g);
+  if (std::fabs(det) < 1e-15) {
+    return Status::InvalidArgument("singular 3x3 matrix");
+  }
+  Matrix inv(3, 3);
+  inv.At(0, 0) = (e * i - f * h) / det;
+  inv.At(0, 1) = (c * h - b * i) / det;
+  inv.At(0, 2) = (b * f - c * e) / det;
+  inv.At(1, 0) = (f * g - d * i) / det;
+  inv.At(1, 1) = (a * i - c * g) / det;
+  inv.At(1, 2) = (c * d - a * f) / det;
+  inv.At(2, 0) = (d * h - e * g) / det;
+  inv.At(2, 1) = (b * g - a * h) / det;
+  inv.At(2, 2) = (a * e - b * d) / det;
+  return inv;
+}
+
+}  // namespace
+
+Homography::Homography() : h_(Matrix::Identity(3)) {}
+
+Result<Homography> Homography::Estimate(const std::vector<Point2>& src,
+                                        const std::vector<Point2>& dst) {
+  const size_t n = src.size();
+  if (n < 4 || dst.size() != n) {
+    return Status::InvalidArgument(
+        "homography needs >= 4 correspondences of equal count");
+  }
+
+  const Matrix t_src = NormalizingTransform(src);
+  const Matrix t_dst = NormalizingTransform(dst);
+
+  // Build the 2n x 9 DLT system over normalized points.
+  Matrix a(2 * n, 9);
+  for (size_t k = 0; k < n; ++k) {
+    const Point2 s = ApplyMatrix(t_src, src[k]);
+    const Point2 d = ApplyMatrix(t_dst, dst[k]);
+    const size_t r = 2 * k;
+    // Row for x': [-x -y -1  0  0  0  x'x x'y x']
+    a.At(r, 0) = -s.x;
+    a.At(r, 1) = -s.y;
+    a.At(r, 2) = -1;
+    a.At(r, 6) = d.x * s.x;
+    a.At(r, 7) = d.x * s.y;
+    a.At(r, 8) = d.x;
+    // Row for y': [ 0  0  0 -x -y -1  y'x y'y y']
+    a.At(r + 1, 3) = -s.x;
+    a.At(r + 1, 4) = -s.y;
+    a.At(r + 1, 5) = -1;
+    a.At(r + 1, 6) = d.y * s.x;
+    a.At(r + 1, 7) = d.y * s.y;
+    a.At(r + 1, 8) = d.y;
+  }
+
+  // h = eigenvector of A^T A with the smallest eigenvalue.
+  const Matrix ata = a.Transpose().Multiply(a);
+  MIVID_ASSIGN_OR_RETURN(EigenDecomposition eig, JacobiEigen(ata));
+  const Vec h_vec = eig.vectors.Col(8);  // eigenvalues sorted descending
+
+  Matrix h_norm(3, 3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t col = 0; col < 3; ++col) {
+      h_norm.At(r, col) = h_vec[r * 3 + col];
+    }
+  }
+  // Uniqueness check: a degenerate configuration (e.g. collinear points)
+  // leaves a nullspace of dimension >= 2, i.e. the second-smallest
+  // eigenvalue is also ~zero.
+  if (std::fabs(eig.values[7]) < 1e-9 * std::max(std::fabs(eig.values[0]),
+                                                 1e-30)) {
+    return Status::InvalidArgument(
+        "degenerate correspondence configuration for homography");
+  }
+
+  // Denormalize: H = T_dst^-1 H_norm T_src.
+  MIVID_ASSIGN_OR_RETURN(Matrix t_dst_inv, Invert3x3(t_dst));
+  Matrix h = t_dst_inv.Multiply(h_norm).Multiply(t_src);
+  // Scale so h22 ~ 1 when possible (cosmetic but stabilizes comparisons).
+  if (std::fabs(h.At(2, 2)) > 1e-12) {
+    h.Scale(1.0 / h.At(2, 2));
+  }
+  return Homography(std::move(h));
+}
+
+Point2 Homography::Apply(const Point2& p) const { return ApplyMatrix(h_, p); }
+
+Result<Homography> Homography::Inverse() const {
+  MIVID_ASSIGN_OR_RETURN(Matrix inv, Invert3x3(h_));
+  return Homography(std::move(inv));
+}
+
+double Homography::MaxTransferError(const std::vector<Point2>& src,
+                                    const std::vector<Point2>& dst) const {
+  double worst = 0;
+  for (size_t i = 0; i < src.size() && i < dst.size(); ++i) {
+    worst = std::max(worst, Distance(Apply(src[i]), dst[i]));
+  }
+  return worst;
+}
+
+Track TransformTrack(const Track& track, const Homography& h) {
+  Track out;
+  out.id = track.id;
+  out.points.reserve(track.points.size());
+  for (const auto& p : track.points) {
+    TrackPoint q;
+    q.frame = p.frame;
+    q.centroid = h.Apply(p.centroid);
+    const Point2 corners[4] = {
+        h.Apply({p.bbox.min_x, p.bbox.min_y}),
+        h.Apply({p.bbox.max_x, p.bbox.min_y}),
+        h.Apply({p.bbox.min_x, p.bbox.max_y}),
+        h.Apply({p.bbox.max_x, p.bbox.max_y}),
+    };
+    BBox box(corners[0].x, corners[0].y, corners[0].x, corners[0].y);
+    for (const auto& c : corners) {
+      box.min_x = std::min(box.min_x, c.x);
+      box.min_y = std::min(box.min_y, c.y);
+      box.max_x = std::max(box.max_x, c.x);
+      box.max_y = std::max(box.max_y, c.y);
+    }
+    q.bbox = box;
+    out.points.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace mivid

@@ -1,0 +1,61 @@
+// Planar homography estimation and application.
+//
+// The paper (Sec. 6.2) notes that mining across cameras requires
+// normalizing clips "taken at different locations with different camera
+// parameters" and defers it to future work because their metadata was
+// missing. This module provides that normalization: a 3x3 projective
+// mapping from image coordinates to a common road plane, estimated from
+// >= 4 point correspondences by the normalized Direct Linear Transform.
+
+#ifndef MIVID_GEOMETRY_HOMOGRAPHY_H_
+#define MIVID_GEOMETRY_HOMOGRAPHY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/geometry.h"
+#include "linalg/matrix.h"
+#include "trajectory/trajectory.h"
+
+namespace mivid {
+
+/// A 3x3 projective transform of the plane.
+class Homography {
+ public:
+  /// Identity transform.
+  Homography();
+
+  /// From a 3x3 matrix (not required to be normalized).
+  explicit Homography(Matrix h) : h_(std::move(h)) {}
+
+  /// Estimates H with dst_i ~ H src_i from >= 4 correspondences via the
+  /// normalized DLT (Hartley normalization, smallest eigenvector of
+  /// A^T A). Fails on degenerate configurations (e.g. 3+ collinear
+  /// points dominating the system).
+  static Result<Homography> Estimate(const std::vector<Point2>& src,
+                                     const std::vector<Point2>& dst);
+
+  /// Applies the transform; returns (0,0) far away if the point maps to
+  /// the line at infinity (w ~ 0).
+  Point2 Apply(const Point2& p) const;
+
+  /// The inverse transform; fails if H is singular.
+  Result<Homography> Inverse() const;
+
+  const Matrix& matrix() const { return h_; }
+
+  /// Max |dst_i - Apply(src_i)| over the correspondences.
+  double MaxTransferError(const std::vector<Point2>& src,
+                          const std::vector<Point2>& dst) const;
+
+ private:
+  Matrix h_;  // 3x3
+};
+
+/// Maps every centroid and MBR corner of `track` through `h` (the MBR is
+/// re-fit as the axis-aligned box of the transformed corners).
+Track TransformTrack(const Track& track, const Homography& h);
+
+}  // namespace mivid
+
+#endif  // MIVID_GEOMETRY_HOMOGRAPHY_H_

@@ -1,0 +1,81 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mivid {
+
+Result<EigenDecomposition> JacobiEigen(const Matrix& input, int max_sweeps,
+                                       double tol) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("JacobiEigen requires a square matrix");
+  }
+  const size_t n = input.rows();
+  // Symmetrize defensively.
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a.At(i, j) = 0.5 * (input.At(i, j) + input.At(j, i));
+    }
+  }
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass.
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += a.At(i, j) * a.At(i, j);
+    }
+    if (std::sqrt(2.0 * off) < tol) break;
+
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a.At(p, p), aqq = a.At(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Rotate rows/columns p and q of A.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a.At(k, p), akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a.At(p, k), aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into V.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p), vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+    return a.At(i, i) > a.At(j, j);
+  });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    out.values[c] = a.At(order[c], order[c]);
+    for (size_t r = 0; r < n; ++r) out.vectors.At(r, c) = v.At(r, order[c]);
+  }
+  return out;
+}
+
+}  // namespace mivid

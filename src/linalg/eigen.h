@@ -1,0 +1,28 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Used by the PCA vehicle-shape classifier (paper Sec. 3.1 cites a PCA-based
+// vehicle classification framework [13]). Matrices are small (feature
+// dimension), so Jacobi's robustness beats asymptotic speed.
+
+#ifndef MIVID_LINALG_EIGEN_H_
+#define MIVID_LINALG_EIGEN_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace mivid {
+
+/// Eigen decomposition of a symmetric matrix: A = V diag(values) V^T.
+struct EigenDecomposition {
+  Vec values;      ///< eigenvalues, descending
+  Matrix vectors;  ///< column i is the eigenvector for values[i]
+};
+
+/// Computes all eigenpairs of symmetric `a`. Fails on non-square input;
+/// asymmetric input is symmetrized as (A + A^T)/2.
+Result<EigenDecomposition> JacobiEigen(const Matrix& a, int max_sweeps = 64,
+                                       double tol = 1e-12);
+
+}  // namespace mivid
+
+#endif  // MIVID_LINALG_EIGEN_H_

@@ -1,0 +1,80 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace mivid {
+
+Result<PcaModel> PcaModel::Fit(const std::vector<Vec>& rows,
+                               size_t num_components) {
+  if (rows.size() < 2) {
+    return Status::InvalidArgument("PCA requires at least 2 observations");
+  }
+  const size_t dim = rows[0].size();
+  if (num_components < 1 || num_components > dim) {
+    return Status::InvalidArgument("invalid number of PCA components");
+  }
+  for (const auto& r : rows) {
+    if (r.size() != dim) {
+      return Status::InvalidArgument("inconsistent observation dimensions");
+    }
+  }
+
+  PcaModel model;
+  model.mean_ = ColumnMeans(rows);
+
+  // Covariance matrix (population normalization).
+  Matrix cov(dim, dim);
+  for (const auto& r : rows) {
+    const Vec d = Sub(r, model.mean_);
+    for (size_t i = 0; i < dim; ++i) {
+      for (size_t j = i; j < dim; ++j) cov.At(i, j) += d[i] * d[j];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(rows.size());
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = i; j < dim; ++j) {
+      cov.At(i, j) *= inv_n;
+      cov.At(j, i) = cov.At(i, j);
+    }
+  }
+
+  MIVID_ASSIGN_OR_RETURN(EigenDecomposition eig, JacobiEigen(cov));
+
+  double total_var = 0.0;
+  for (double v : eig.values) total_var += std::max(v, 0.0);
+
+  model.components_ = Matrix(num_components, dim);
+  model.explained_variance_ratio_.resize(num_components);
+  for (size_t c = 0; c < num_components; ++c) {
+    for (size_t r = 0; r < dim; ++r) {
+      model.components_.At(c, r) = eig.vectors.At(r, c);
+    }
+    model.explained_variance_ratio_[c] =
+        total_var > 0 ? std::max(eig.values[c], 0.0) / total_var : 0.0;
+  }
+  return model;
+}
+
+Vec PcaModel::Project(const Vec& x) const {
+  const Vec d = Sub(x, mean_);
+  return components_.Multiply(d);
+}
+
+Vec PcaModel::Reconstruct(const Vec& scores) const {
+  Vec out = mean_;
+  for (size_t c = 0; c < components_.rows(); ++c) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] += scores[c] * components_.At(c, i);
+    }
+  }
+  return out;
+}
+
+double PcaModel::ReconstructionError(const Vec& x) const {
+  return SquaredDistance(x, Reconstruct(Project(x)));
+}
+
+}  // namespace mivid

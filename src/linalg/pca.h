@@ -1,0 +1,56 @@
+// Principal Component Analysis.
+//
+// Backs the PCA-based vehicle classifier referenced in Sec. 3.1 of the paper
+// (vehicle segments classified into SUVs, pick-ups, cars by their shape
+// masks). Also usable for general feature-space dimensionality reduction.
+
+#ifndef MIVID_LINALG_PCA_H_
+#define MIVID_LINALG_PCA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace mivid {
+
+/// Fitted PCA basis: mean vector plus principal directions.
+class PcaModel {
+ public:
+  /// Fits a PCA basis with `num_components` directions from `rows`
+  /// (each row one observation). Requires >= 2 rows and
+  /// 1 <= num_components <= dimension.
+  static Result<PcaModel> Fit(const std::vector<Vec>& rows,
+                              size_t num_components);
+
+  /// Projects `x` onto the principal subspace (returns component scores).
+  Vec Project(const Vec& x) const;
+
+  /// Reconstructs an input from component scores.
+  Vec Reconstruct(const Vec& scores) const;
+
+  /// Squared reconstruction error of `x`; small when x lies near the
+  /// training distribution's principal subspace.
+  double ReconstructionError(const Vec& x) const;
+
+  /// Fraction of total variance captured by each retained component.
+  const Vec& explained_variance_ratio() const {
+    return explained_variance_ratio_;
+  }
+
+  const Vec& mean() const { return mean_; }
+  size_t num_components() const { return components_.rows(); }
+  size_t dimension() const { return mean_.size(); }
+
+  /// Component i as a unit vector (row i of the basis).
+  Vec Component(size_t i) const { return components_.Row(i); }
+
+ private:
+  Vec mean_;
+  Matrix components_;  // num_components x dim, rows orthonormal
+  Vec explained_variance_ratio_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_LINALG_PCA_H_

@@ -1,0 +1,103 @@
+#include "linalg/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mivid {
+
+double Mean(const Vec& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const Vec& v) {
+  if (v.empty()) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double SampleStdDev(const Vec& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double StdDev(const Vec& v) { return std::sqrt(Variance(v)); }
+
+double Min(const Vec& v) {
+  return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+double Max(const Vec& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+double Percentile(Vec v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+Vec ColumnMeans(const std::vector<Vec>& rows) {
+  if (rows.empty()) return {};
+  Vec m(rows[0].size(), 0.0);
+  for (const auto& r : rows) {
+    for (size_t c = 0; c < m.size(); ++c) m[c] += r[c];
+  }
+  for (double& x : m) x /= static_cast<double>(rows.size());
+  return m;
+}
+
+Vec ColumnStdDevs(const std::vector<Vec>& rows) {
+  if (rows.empty()) return {};
+  const Vec m = ColumnMeans(rows);
+  Vec s(m.size(), 0.0);
+  for (const auto& r : rows) {
+    for (size_t c = 0; c < m.size(); ++c) {
+      s[c] += (r[c] - m[c]) * (r[c] - m[c]);
+    }
+  }
+  for (double& x : s) x = std::sqrt(x / static_cast<double>(rows.size()));
+  return s;
+}
+
+double PearsonCorrelation(const Vec& a, const Vec& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const double ma = Mean(a), mb = Mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace mivid

@@ -1,0 +1,12 @@
+#include "mil/bag.h"
+
+namespace mivid {
+
+BagLabel BagLabelFromInstances(const std::vector<bool>& instance_relevant) {
+  for (bool r : instance_relevant) {
+    if (r) return BagLabel::kRelevant;
+  }
+  return BagLabel::kIrrelevant;
+}
+
+}  // namespace mivid

@@ -1,0 +1,55 @@
+// Multiple Instance Learning primitives (paper Sec. 1 and 5.1).
+//
+// A bag (Video Sequence) is labeled relevant iff at least one of its
+// instances (Trajectory Sequences) is relevant (Eq. 3); it is irrelevant
+// iff all instances are irrelevant (Eq. 4). Relevance feedback supplies
+// bag labels; instance labels stay latent.
+
+#ifndef MIVID_MIL_BAG_H_
+#define MIVID_MIL_BAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mivid {
+
+/// Feedback state of a bag.
+enum class BagLabel : uint8_t {
+  kUnlabeled = 0,
+  kRelevant = 1,
+  kIrrelevant = 2,
+};
+
+/// One instance: a feature vector plus its identity within the corpus.
+///
+/// Two feature views coexist (paper Sec. 5.3 vs 6.2): `features` is the
+/// [0,1]-normalized flattened TS vector the One-class SVM learns from;
+/// `raw_features` keeps the unnormalized values used by the paper's
+/// square-sum heuristic and by the weighted-RF baseline, whose
+/// inverse-std-dev weights are defined over raw feature scales.
+struct MilInstance {
+  int bag_id = -1;
+  int instance_id = -1;  ///< unique within the bag (here: track id)
+  Vec features;          ///< normalized (SVM space)
+  Vec raw_features;      ///< unnormalized (heuristic/baseline space)
+};
+
+/// One bag of instances.
+struct MilBag {
+  int id = -1;
+  BagLabel label = BagLabel::kUnlabeled;
+  std::vector<MilInstance> instances;
+
+  bool empty() const { return instances.empty(); }
+};
+
+/// Eq. 3/4: derives the bag label implied by known instance labels
+/// (true = relevant). Returns kRelevant when any instance is relevant,
+/// kIrrelevant when all are irrelevant, for empty input kIrrelevant.
+BagLabel BagLabelFromInstances(const std::vector<bool>& instance_relevant);
+
+}  // namespace mivid
+
+#endif  // MIVID_MIL_BAG_H_

@@ -1,0 +1,126 @@
+#include "mil/citation_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mivid {
+
+double BagToBagDistance(const MilBag& a, const MilBag& b,
+                        BagDistance distance) {
+  if (a.instances.empty() || b.instances.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  auto directed_min = [](const MilBag& from, const MilBag& to,
+                         bool take_max) {
+    double result = take_max ? 0.0 : 1e300;
+    for (const auto& x : from.instances) {
+      double nearest = 1e300;
+      for (const auto& y : to.instances) {
+        if (x.features.size() != y.features.size()) continue;
+        nearest = std::min(nearest, SquaredDistance(x.features, y.features));
+      }
+      result = take_max ? std::max(result, nearest)
+                        : std::min(result, nearest);
+    }
+    return result;
+  };
+  if (distance == BagDistance::kMinimalHausdorff) {
+    return std::sqrt(directed_min(a, b, /*take_max=*/false));
+  }
+  return std::sqrt(std::max(directed_min(a, b, /*take_max=*/true),
+                            directed_min(b, a, /*take_max=*/true)));
+}
+
+CitationKnnEngine::CitationKnnEngine(const MilDataset* dataset,
+                                     CitationKnnOptions options)
+    : dataset_(dataset), options_(options) {}
+
+Status CitationKnnEngine::Learn() {
+  labeled_.clear();
+  for (const auto& bag : dataset_->bags()) {
+    if (bag.label != BagLabel::kUnlabeled && !bag.empty()) {
+      labeled_.push_back(&bag);
+    }
+  }
+  size_t relevant = 0;
+  for (const MilBag* bag : labeled_) {
+    relevant += bag->label == BagLabel::kRelevant ? 1 : 0;
+  }
+  if (relevant == 0) {
+    labeled_.clear();
+    return Status::FailedPrecondition(
+        "citation-kNN needs at least one relevant labeled bag");
+  }
+  return Status::OK();
+}
+
+std::vector<ScoredBag> CitationKnnEngine::Rank() const {
+  std::vector<ScoredBag> ranking;
+  if (labeled_.empty()) return ranking;
+
+  // Pairwise distances query-bag -> labeled bag.
+  const size_t n = dataset_->size();
+  const size_t m = labeled_.size();
+  std::vector<std::vector<double>> dist(n, std::vector<double>(m));
+  for (size_t q = 0; q < n; ++q) {
+    for (size_t l = 0; l < m; ++l) {
+      dist[q][l] = BagToBagDistance(dataset_->bag(q), *labeled_[l],
+                                    options_.distance);
+    }
+  }
+
+  // Citers: labeled bag l cites query q when q is among l's C nearest
+  // query bags (rank computed over all bags).
+  const size_t c = static_cast<size_t>(std::max(1, options_.citers));
+  std::vector<std::vector<size_t>> citers_of(n);
+  for (size_t l = 0; l < m; ++l) {
+    std::vector<size_t> order(n);
+    for (size_t q = 0; q < n; ++q) order[q] = q;
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+      return dist[x][l] < dist[y][l];
+    });
+    for (size_t rank = 0; rank < c && rank < n; ++rank) {
+      citers_of[order[rank]].push_back(l);
+    }
+  }
+
+  const size_t r = static_cast<size_t>(std::max(1, options_.references));
+  ranking.reserve(n);
+  for (size_t q = 0; q < n; ++q) {
+    // References: the R nearest labeled bags.
+    std::vector<size_t> order(m);
+    for (size_t l = 0; l < m; ++l) order[l] = l;
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+      return dist[q][x] < dist[q][y];
+    });
+    double pos = 0, total = 0;
+    for (size_t rank = 0; rank < r && rank < m; ++rank) {
+      pos += labeled_[order[rank]]->label == BagLabel::kRelevant ? 1 : 0;
+      ++total;
+    }
+    for (size_t l : citers_of[q]) {
+      pos += labeled_[l]->label == BagLabel::kRelevant ? 1 : 0;
+      ++total;
+    }
+    // Tie-break equal vote fractions by proximity to the nearest relevant
+    // reference (smooth, keeps the ranking informative).
+    double nearest_rel = 1e300;
+    for (size_t l = 0; l < m; ++l) {
+      if (labeled_[l]->label == BagLabel::kRelevant) {
+        nearest_rel = std::min(nearest_rel, dist[q][l]);
+      }
+    }
+    const double vote = total > 0 ? pos / total : 0.0;
+    ranking.push_back(
+        {dataset_->bag(q).id, vote - 1e-3 * std::tanh(nearest_rel)});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const ScoredBag& a, const ScoredBag& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.bag_id < b.bag_id;
+                   });
+  return ranking;
+}
+
+}  // namespace mivid

@@ -1,0 +1,56 @@
+// MilDataset: the corpus of bags a retrieval session works over.
+
+#ifndef MIVID_MIL_DATASET_H_
+#define MIVID_MIL_DATASET_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "event/sliding_window.h"
+#include "mil/bag.h"
+
+namespace mivid {
+
+/// Owns the bags of one corpus (one clip, or one camera's clips) and
+/// tracks their feedback labels across relevance-feedback rounds.
+class MilDataset {
+ public:
+  MilDataset() = default;
+
+  /// Builds bags from extracted windows: one bag per VS, one instance per
+  /// TS with the flattened normalized feature vector.
+  static MilDataset FromVideoSequences(
+      const std::vector<VideoSequence>& windows, const FeatureScaler& scaler,
+      bool include_velocity);
+
+  void AddBag(MilBag bag) { bags_.push_back(std::move(bag)); }
+
+  size_t size() const { return bags_.size(); }
+  const MilBag& bag(size_t i) const { return bags_[i]; }
+  const std::vector<MilBag>& bags() const { return bags_; }
+
+  /// Finds a bag by id; nullptr when absent.
+  const MilBag* FindBag(int bag_id) const;
+
+  /// Sets the feedback label for bag `bag_id`.
+  Status SetLabel(int bag_id, BagLabel label);
+
+  /// Bags currently carrying `label`.
+  std::vector<const MilBag*> BagsWithLabel(BagLabel label) const;
+
+  /// Count of bags carrying `label`.
+  size_t CountLabel(BagLabel label) const;
+
+  /// Total instance count across all bags.
+  size_t TotalInstances() const;
+
+  /// Clears all feedback labels (start a fresh session on the corpus).
+  void ResetLabels();
+
+ private:
+  std::vector<MilBag> bags_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_MIL_DATASET_H_

@@ -1,0 +1,68 @@
+// Diverse Density (Maron & Lozano-Perez, NIPS 1998) and EM-DD (Zhang &
+// Goldman, NIPS 2002) — the classic MIL formulations the paper surveys in
+// Sec. 2.1, implemented as additional baseline rankers.
+//
+// Diverse Density seeks the concept point t maximizing
+//   DD(t) = prod_{pos bags} (1 - prod_i (1 - P(t|x_i)))
+//           * prod_{neg bags} prod_i (1 - P(t|x_i))
+// with the Gaussian instance likelihood P(t|x) = exp(-|x - t|^2 / s^2).
+// Optimized by gradient ascent from multiple starts (the instances of
+// positive bags), as in the original two-step scheme. EM-DD replaces the
+// noisy-or over positive bags with the single best ("responsible")
+// instance per bag, alternating selection (E) and optimization (M).
+
+#ifndef MIVID_MIL_DIVERSE_DENSITY_H_
+#define MIVID_MIL_DIVERSE_DENSITY_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "mil/dataset.h"
+#include "retrieval/heuristic.h"
+
+namespace mivid {
+
+/// Optimizer configuration.
+struct DiverseDensityOptions {
+  double scale = 0.35;          ///< Gaussian width s over normalized dims
+  double learning_rate = 0.05;  ///< gradient ascent step
+  int max_gradient_steps = 200;
+  int max_em_iterations = 12;   ///< EM-DD outer loop
+  size_t max_starts = 24;       ///< gradient restarts (positive instances)
+  bool use_em = true;           ///< EM-DD (paper: more robust) vs plain DD
+};
+
+/// Diverse-Density MIL ranker over a labeled MilDataset.
+class DiverseDensityEngine {
+ public:
+  /// `dataset` must outlive the engine.
+  DiverseDensityEngine(const MilDataset* dataset,
+                       DiverseDensityOptions options);
+
+  /// Finds the maximum-DD concept from the current labels. Needs >= 1
+  /// relevant bag (negatives are optional but sharpen the optimum).
+  Status Learn();
+
+  bool trained() const { return concept_.has_value(); }
+
+  /// Ranks bags by the best instance likelihood under the concept.
+  std::vector<ScoredBag> Rank() const;
+
+  /// The learned concept point (valid when trained()).
+  const Vec& concept_point() const { return *concept_; }
+  double best_log_dd() const { return best_log_dd_; }
+
+ private:
+  double LogDd(const Vec& t,
+               const std::vector<const MilBag*>& positive,
+               const std::vector<const MilBag*>& negative) const;
+
+  const MilDataset* dataset_;
+  DiverseDensityOptions options_;
+  std::optional<Vec> concept_;
+  double best_log_dd_ = -1e300;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_MIL_DIVERSE_DENSITY_H_

@@ -1,0 +1,58 @@
+#include "retrieval/active_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mivid {
+
+std::vector<int> SelectForFeedback(const std::vector<ScoredBag>& ranking,
+                                   const MilDataset& dataset, size_t n,
+                                   double boundary,
+                                   const ActiveSelectionOptions& options) {
+  auto labeled = [&](int bag_id) {
+    if (!options.skip_labeled) return false;
+    const MilBag* bag = dataset.FindBag(bag_id);
+    return bag != nullptr && bag->label != BagLabel::kUnlabeled;
+  };
+
+  const size_t explore_slots = static_cast<size_t>(
+      std::lround(options.explore_fraction * static_cast<double>(n)));
+  const size_t exploit_slots = n - explore_slots;
+
+  std::vector<int> selected;
+  std::set<int> used;
+
+  // Exploit: best-ranked unlabeled bags.
+  for (const auto& sb : ranking) {
+    if (selected.size() >= exploit_slots) break;
+    if (labeled(sb.bag_id)) continue;
+    selected.push_back(sb.bag_id);
+    used.insert(sb.bag_id);
+  }
+
+  // Explore: unlabeled bags closest to the boundary.
+  std::vector<ScoredBag> by_uncertainty(ranking);
+  std::stable_sort(by_uncertainty.begin(), by_uncertainty.end(),
+                   [&](const ScoredBag& a, const ScoredBag& b) {
+                     return std::fabs(a.score - boundary) <
+                            std::fabs(b.score - boundary);
+                   });
+  for (const auto& sb : by_uncertainty) {
+    if (selected.size() >= n) break;
+    if (used.count(sb.bag_id) || labeled(sb.bag_id)) continue;
+    selected.push_back(sb.bag_id);
+    used.insert(sb.bag_id);
+  }
+
+  // Backfill with ranked bags (labeled ones last resort) if short.
+  for (const auto& sb : ranking) {
+    if (selected.size() >= n) break;
+    if (used.count(sb.bag_id)) continue;
+    selected.push_back(sb.bag_id);
+    used.insert(sb.bag_id);
+  }
+  return selected;
+}
+
+}  // namespace mivid

@@ -1,0 +1,38 @@
+// Active selection of the windows shown for feedback.
+//
+// The paper always displays the top-n ranked VSs. Labeling only
+// already-confident results wastes part of the user's effort: windows
+// near the decision boundary carry more information. This extension mixes
+// the display set: an exploit share of top-ranked bags plus an explore
+// share of the most uncertain ones (smallest |decision value|), ignoring
+// bags the user already labeled. `bench/ext_active_feedback` measures the
+// effect on convergence.
+
+#ifndef MIVID_RETRIEVAL_ACTIVE_SELECTION_H_
+#define MIVID_RETRIEVAL_ACTIVE_SELECTION_H_
+
+#include <vector>
+
+#include "mil/dataset.h"
+#include "retrieval/heuristic.h"
+
+namespace mivid {
+
+/// Display-set strategy.
+struct ActiveSelectionOptions {
+  double explore_fraction = 0.3;  ///< share of slots given to uncertain bags
+  bool skip_labeled = true;       ///< don't re-show labeled bags
+};
+
+/// Builds the n-bag display set from a ranking: the top (1-e)*n ranked
+/// bags, then the e*n bags with scores closest to `boundary` (e.g. 0 for
+/// an SVM decision value). Falls back to pure ranking when not enough
+/// unlabeled bags exist.
+std::vector<int> SelectForFeedback(const std::vector<ScoredBag>& ranking,
+                                   const MilDataset& dataset, size_t n,
+                                   double boundary,
+                                   const ActiveSelectionOptions& options);
+
+}  // namespace mivid
+
+#endif  // MIVID_RETRIEVAL_ACTIVE_SELECTION_H_

@@ -1,0 +1,58 @@
+#include "retrieval/heuristic.h"
+
+#include <algorithm>
+
+namespace mivid {
+
+double HeuristicInstanceScore(const Vec& flattened, const EventModel& model,
+                              size_t base_dim) {
+  if (base_dim == 0) return 0.0;
+  double best = 0.0;
+  for (size_t offset = 0; offset + base_dim <= flattened.size();
+       offset += base_dim) {
+    double s = 0.0;
+    for (size_t f = 0; f < base_dim && f < model.weights.size(); ++f) {
+      const double x = flattened[offset + f];
+      s += model.weights[f] * x * x;
+    }
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double HeuristicBagScore(const MilBag& bag, const EventModel& model,
+                         size_t base_dim) {
+  double best = 0.0;
+  for (const auto& inst : bag.instances) {
+    best = std::max(
+        best, HeuristicInstanceScore(inst.raw_features, model, base_dim));
+  }
+  return best;
+}
+
+std::vector<ScoredBag> HeuristicRanking(const MilDataset& dataset,
+                                        const EventModel& model,
+                                        size_t base_dim) {
+  std::vector<ScoredBag> ranking;
+  ranking.reserve(dataset.size());
+  for (const auto& bag : dataset.bags()) {
+    ranking.push_back({bag.id, HeuristicBagScore(bag, model, base_dim)});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const ScoredBag& a, const ScoredBag& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.bag_id < b.bag_id;
+                   });
+  return ranking;
+}
+
+std::vector<int> TopIds(const std::vector<ScoredBag>& ranking, size_t n) {
+  std::vector<int> ids;
+  ids.reserve(std::min(n, ranking.size()));
+  for (size_t i = 0; i < ranking.size() && i < n; ++i) {
+    ids.push_back(ranking[i].bag_id);
+  }
+  return ids;
+}
+
+}  // namespace mivid

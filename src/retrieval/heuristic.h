@@ -1,0 +1,47 @@
+// Initial-query heuristic ranking (paper Sec. 5.3).
+//
+// Before any feedback exists, every VS is scored against the queried event
+// model: a sampling point scores the (weighted) square sum of its
+// normalized features, a TS scores its best point, and a VS scores its
+// best TS. Results are returned in descending score order.
+//
+// Instance features here are the flattened per-window vectors stored in a
+// MilDataset: `base_dim` consecutive values per checkpoint.
+
+#ifndef MIVID_RETRIEVAL_HEURISTIC_H_
+#define MIVID_RETRIEVAL_HEURISTIC_H_
+
+#include <vector>
+
+#include "event/event_model.h"
+#include "mil/dataset.h"
+
+namespace mivid {
+
+/// A bag id with its relevance score.
+struct ScoredBag {
+  int bag_id = -1;
+  double score = 0.0;
+};
+
+/// Per-checkpoint square-sum score maximized over the checkpoints of a
+/// flattened instance vector. The paper computes this over the raw
+/// (unnormalized) property vectors; pass MilInstance::raw_features.
+double HeuristicInstanceScore(const Vec& flattened, const EventModel& model,
+                              size_t base_dim);
+
+/// S_v = max over instances of the instance score (raw feature space).
+double HeuristicBagScore(const MilBag& bag, const EventModel& model,
+                         size_t base_dim);
+
+/// Ranks every bag in the dataset, descending score (ties by bag id).
+std::vector<ScoredBag> HeuristicRanking(const MilDataset& dataset,
+                                        const EventModel& model,
+                                        size_t base_dim);
+
+/// First `n` bag ids of a ranking.
+std::vector<int> TopIds(const std::vector<ScoredBag>& ranking, size_t n);
+
+}  // namespace mivid
+
+#endif  // MIVID_RETRIEVAL_HEURISTIC_H_

@@ -1,0 +1,142 @@
+#include "retrieval/mil_rf_engine.h"
+
+#include <algorithm>
+
+namespace mivid {
+
+MilRfEngine::MilRfEngine(const MilDataset* dataset, MilRfOptions options)
+    : dataset_(dataset), options_(options) {
+  if (options_.tie_break_model.weights.empty()) {
+    options_.tie_break_model = EventModel::Accident(options_.base_dim);
+  }
+}
+
+Status MilRfEngine::Learn() {
+  const std::vector<const MilBag*> relevant =
+      dataset_->BagsWithLabel(BagLabel::kRelevant);
+  if (relevant.empty()) {
+    return Status::FailedPrecondition(
+        "no relevant feedback yet; use the initial heuristic ranking");
+  }
+
+  // Assemble the training set (each candidate with its heuristic score so
+  // the global floor below can be applied).
+  std::vector<std::pair<Vec, double>> candidates;
+  for (const MilBag* bag : relevant) {
+    if (bag->empty()) continue;
+    std::vector<double> scores;
+    scores.reserve(bag->instances.size());
+    double best_score = -1.0;
+    for (const auto& inst : bag->instances) {
+      scores.push_back(HeuristicInstanceScore(
+          inst.raw_features, options_.tie_break_model, options_.base_dim));
+      best_score = std::max(best_score, scores.back());
+    }
+    if (options_.policy == TrainingSetPolicy::kAllInstances) {
+      for (size_t i = 0; i < scores.size(); ++i) {
+        candidates.emplace_back(bag->instances[i].features, scores[i]);
+      }
+    } else if (options_.policy == TrainingSetPolicy::kTopInstancePerBag) {
+      for (size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] == best_score) {
+          candidates.emplace_back(bag->instances[i].features, scores[i]);
+          break;
+        }
+      }
+    } else {  // kTopScoredInstances
+      const double cutoff = best_score * options_.top_score_fraction;
+      for (size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] >= cutoff) {
+          candidates.emplace_back(bag->instances[i].features, scores[i]);
+        }
+      }
+    }
+  }
+  // Global floor: a relevant bag whose best TS still looks like normal
+  // driving (a crashed car parked against the wall) would anchor the
+  // support region at the feature origin; drop such anchors.
+  if (options_.min_training_score > 0.0) {
+    double global_best = 0.0;
+    for (const auto& [v, s] : candidates) {
+      (void)v;
+      global_best = std::max(global_best, s);
+    }
+    const double floor = options_.min_training_score * global_best;
+    std::vector<std::pair<Vec, double>> kept;
+    for (auto& c : candidates) {
+      if (c.second >= floor) kept.push_back(std::move(c));
+    }
+    if (!kept.empty()) candidates.swap(kept);
+  }
+  std::vector<Vec> training;
+  training.reserve(candidates.size());
+  for (auto& [v, s] : candidates) {
+    (void)s;
+    training.push_back(std::move(v));
+  }
+  if (training.empty()) {
+    return Status::FailedPrecondition("relevant bags contain no instances");
+  }
+
+  // Eq. 9: delta = 1 - (h/H + z).
+  const double h = static_cast<double>(relevant.size());
+  const double big_h = static_cast<double>(training.size());
+  const double nu =
+      std::clamp(1.0 - (h / big_h + options_.z), options_.min_nu,
+                 options_.max_nu);
+
+  OneClassSvmOptions svm_options;
+  svm_options.kernel = options_.kernel;
+  if (options_.auto_sigma && svm_options.kernel.type == KernelType::kRbf &&
+      training.size() >= 2) {
+    // Median-distance bandwidth heuristic: wide enough to generalize
+    // across the relevant cluster, narrow enough to exclude the rest.
+    std::vector<double> dists;
+    dists.reserve(training.size() * (training.size() - 1) / 2);
+    for (size_t i = 0; i < training.size(); ++i) {
+      for (size_t j = i + 1; j < training.size(); ++j) {
+        dists.push_back(
+            std::sqrt(SquaredDistance(training[i], training[j])));
+      }
+    }
+    std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                     dists.end());
+    const double median = dists[dists.size() / 2];
+    if (median > 1e-9) {
+      svm_options.kernel.sigma = options_.sigma_scale * median;
+    }
+  }
+  svm_options.nu = nu;
+  OneClassSvmTrainer trainer(svm_options);
+  MIVID_ASSIGN_OR_RETURN(OneClassSvmModel model, trainer.Train(training));
+
+  model_ = std::move(model);
+  last_nu_ = nu;
+  last_training_size_ = training.size();
+  return Status::OK();
+}
+
+double MilRfEngine::BagScore(const MilBag& bag) const {
+  double best = -1e18;
+  for (const auto& inst : bag.instances) {
+    best = std::max(best, model_->DecisionValue(inst.features));
+  }
+  return bag.empty() ? -1e18 : best;
+}
+
+std::vector<ScoredBag> MilRfEngine::Rank() const {
+  std::vector<ScoredBag> ranking;
+  if (!model_) return ranking;
+  ranking.reserve(dataset_->size());
+  for (const auto& bag : dataset_->bags()) {
+    ranking.push_back({bag.id, BagScore(bag)});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const ScoredBag& a, const ScoredBag& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.bag_id < b.bag_id;
+                   });
+  return ranking;
+}
+
+}  // namespace mivid

@@ -1,0 +1,191 @@
+#include "retrieval/query_by_example.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mivid {
+
+namespace {
+
+/// Mean of all instance feature vectors in the corpus (empty if none).
+Vec CorpusInstanceMean(const MilDataset& dataset) {
+  Vec mean;
+  size_t count = 0;
+  for (const auto& bag : dataset.bags()) {
+    for (const auto& inst : bag.instances) {
+      if (mean.empty()) mean.assign(inst.features.size(), 0.0);
+      if (inst.features.size() != mean.size()) continue;
+      for (size_t d = 0; d < mean.size(); ++d) mean[d] += inst.features[d];
+      ++count;
+    }
+  }
+  if (count > 0) {
+    for (double& v : mean) v /= static_cast<double>(count);
+  }
+  return mean;
+}
+
+/// The vector in `candidates` farthest from `reference` (the most
+/// distinctive one); nullptr for an empty set.
+const Vec* MostDistinctive(const std::vector<const Vec*>& candidates,
+                           const Vec& reference) {
+  const Vec* best = nullptr;
+  double best_dist = -1.0;
+  for (const Vec* v : candidates) {
+    if (v->size() != reference.size()) continue;
+    const double d = SquaredDistance(*v, reference);
+    if (d > best_dist) {
+      best_dist = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::vector<ScoredBag> RankBySimilarityTo(const MilDataset& dataset,
+                                          const Vec& target,
+                                          const KernelParams& kernel,
+                                          int pinned_bag_id) {
+  std::vector<ScoredBag> ranking;
+  ranking.reserve(dataset.size());
+  for (const auto& bag : dataset.bags()) {
+    double best = 0.0;
+    if (bag.id == pinned_bag_id) {
+      // The example itself always ranks first (even under unbounded
+      // kernels like linear/polynomial).
+      best = std::numeric_limits<double>::infinity();
+    } else {
+      for (const auto& inst : bag.instances) {
+        if (inst.features.size() != target.size()) continue;
+        best = std::max(best, KernelEval(kernel, inst.features, target));
+      }
+    }
+    ranking.push_back({bag.id, best});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const ScoredBag& a, const ScoredBag& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.bag_id < b.bag_id;
+                   });
+  return ranking;
+}
+
+}  // namespace
+
+std::vector<ScoredBag> QueryByExample(const MilDataset& dataset,
+                                      const MilBag& example,
+                                      const KernelParams& kernel) {
+  const Vec mean = CorpusInstanceMean(dataset);
+  std::vector<const Vec*> candidates;
+  for (const auto& inst : example.instances) {
+    candidates.push_back(&inst.features);
+  }
+  const Vec* target =
+      mean.empty() ? nullptr : MostDistinctive(candidates, mean);
+  if (target == nullptr) {
+    // Degenerate corpus or incompatible example: everything scores 0.
+    std::vector<ScoredBag> ranking;
+    for (const auto& bag : dataset.bags()) ranking.push_back({bag.id, 0.0});
+    return ranking;
+  }
+  return RankBySimilarityTo(dataset, *target, kernel, example.id);
+}
+
+Result<std::vector<ScoredBag>> QueryBySketch(
+    const MilDataset& dataset, const TrajectorySketch& sketch,
+    const FeatureScaler& scaler, const FeatureOptions& feature_options,
+    const WindowOptions& window_options, const KernelParams& kernel) {
+  if (sketch.points.size() < 2) {
+    return Status::InvalidArgument("sketch needs at least two points");
+  }
+  // Interpret the sketch as a synthetic track on the checkpoint grid.
+  Track track;
+  track.id = 0;
+  const int step = std::max(1, sketch.frames_per_point);
+  for (size_t i = 0; i < sketch.points.size(); ++i) {
+    track.points.push_back({static_cast<int>(i) * step, sketch.points[i], {}});
+  }
+  const std::vector<TrackFeatures> features =
+      ComputeTrackFeatures({track}, feature_options);
+  if (features.empty()) {
+    return Status::InvalidArgument("sketch too short to featurize");
+  }
+  const int span = track.points.back().frame + 1;
+  WindowOptions sliding = window_options;
+  sliding.stride = 1;  // every alignment of the window over the sketch
+  const std::vector<VideoSequence> windows =
+      ExtractWindows(features, span, feature_options, sliding);
+  if (windows.empty() || windows[0].ts.empty()) {
+    return Status::InvalidArgument(
+        "sketch spans fewer checkpoints than the window size");
+  }
+
+  // Collect the sketch's flattened window vectors and pick the most
+  // distinctive one relative to the corpus (the stretch of the sketch the
+  // user actually drew the query for — a turn, a stop, ...). A hand-drawn
+  // sketch carries trajectory *shape* only, so the inter-vehicle distance
+  // dimension (feature 0 of each checkpoint) is masked out of both sides
+  // of the similarity.
+  const size_t base_dim = scaler.dimension();
+  auto mask_mdist = [base_dim](Vec v) {
+    for (size_t offset = 0; offset + base_dim <= v.size();
+         offset += base_dim) {
+      v[offset] = 0.0;
+    }
+    return v;
+  };
+  std::vector<Vec> sketch_vectors;
+  for (const auto& vs : windows) {
+    for (const auto& ts : vs.ts) {
+      sketch_vectors.push_back(mask_mdist(
+          ts.Flatten(scaler, feature_options.include_velocity)));
+    }
+  }
+  // Keep every sketch window nearly as distinctive as the best one: the
+  // salient stretch (a turn, a stop) appears at several alignments within
+  // the sliding window, and the corpus TS may match any of them.
+  const Vec mean = CorpusInstanceMean(dataset);
+  if (mean.empty()) {
+    return Status::InvalidArgument(
+        "sketch features are incompatible with the corpus");
+  }
+  const Vec masked_mean = mask_mdist(mean);
+  double best_dist = 0.0;
+  for (const auto& v : sketch_vectors) {
+    if (v.size() != masked_mean.size()) continue;
+    best_dist = std::max(best_dist, SquaredDistance(v, masked_mean));
+  }
+  if (best_dist <= 0.0) {
+    return Status::InvalidArgument(
+        "sketch features are incompatible with the corpus");
+  }
+  std::vector<const Vec*> targets;
+  for (const auto& v : sketch_vectors) {
+    if (v.size() == masked_mean.size() &&
+        SquaredDistance(v, masked_mean) >= 0.5 * best_dist) {
+      targets.push_back(&v);
+    }
+  }
+
+  std::vector<ScoredBag> ranking;
+  ranking.reserve(dataset.size());
+  for (const auto& bag : dataset.bags()) {
+    double best = 0.0;
+    for (const auto& inst : bag.instances) {
+      const Vec masked = mask_mdist(inst.features);
+      for (const Vec* target : targets) {
+        if (masked.size() != target->size()) continue;
+        best = std::max(best, KernelEval(kernel, masked, *target));
+      }
+    }
+    ranking.push_back({bag.id, best});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const ScoredBag& a, const ScoredBag& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.bag_id < b.bag_id;
+                   });
+  return ranking;
+}
+
+}  // namespace mivid

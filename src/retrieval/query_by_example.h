@@ -1,0 +1,54 @@
+// Query by example and query by sketch (paper Sec. 7, future work:
+// "We will extend this to include query by example, query by sketches").
+//
+// Query by example: the user picks a VS (e.g. one known accident window);
+// every bag is ranked by the best instance-to-instance kernel similarity
+// against the example's instances. Query by sketch: the user supplies a
+// hand-drawn trajectory; it is featurized through the standard checkpoint
+// pipeline and matched against every TS.
+
+#ifndef MIVID_RETRIEVAL_QUERY_BY_EXAMPLE_H_
+#define MIVID_RETRIEVAL_QUERY_BY_EXAMPLE_H_
+
+#include "common/status.h"
+#include "event/features.h"
+#include "event/sliding_window.h"
+#include "mil/dataset.h"
+#include "retrieval/heuristic.h"
+#include "svm/kernel.h"
+
+namespace mivid {
+
+/// Ranks every bag in `dataset` by its similarity to `example`.
+///
+/// Matching every pair of instances lets the example's *ordinary* TSs
+/// (normal traffic present in any window) dominate, so the query first
+/// selects the example's most distinctive instance — the one farthest from
+/// the corpus instance centroid, i.e. the TS that makes this window worth
+/// querying for — and ranks bags by their best match against it:
+/// sim(B, E) = max_{b in B} K(b, e*). The example may be a bag of the
+/// dataset or an external one with compatible feature dimensions.
+std::vector<ScoredBag> QueryByExample(const MilDataset& dataset,
+                                      const MilBag& example,
+                                      const KernelParams& kernel);
+
+/// A free-hand sketch: a polyline the user draws over the scene, plus the
+/// pace (frames between successive sketch points) it implies.
+struct TrajectorySketch {
+  std::vector<Point2> points;
+  int frames_per_point = 5;
+};
+
+/// Featurizes the sketch through the standard checkpoint pipeline (as a
+/// single synthetic track), flattens it with the corpus scaler, and ranks
+/// every bag by the best TS-to-sketch kernel similarity. The sketch must
+/// span at least `window_size` checkpoints; windows are slid over the
+/// sketch and the best window represents it.
+Result<std::vector<ScoredBag>> QueryBySketch(
+    const MilDataset& dataset, const TrajectorySketch& sketch,
+    const FeatureScaler& scaler, const FeatureOptions& feature_options,
+    const WindowOptions& window_options, const KernelParams& kernel);
+
+}  // namespace mivid
+
+#endif  // MIVID_RETRIEVAL_QUERY_BY_EXAMPLE_H_

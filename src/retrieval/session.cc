@@ -1,0 +1,57 @@
+#include "retrieval/session.h"
+
+namespace mivid {
+
+RetrievalSession::RetrievalSession(MilDataset dataset, SessionOptions options)
+    : dataset_(std::make_unique<MilDataset>(std::move(dataset))),
+      options_(std::move(options)),
+      engine_(std::make_unique<MilRfEngine>(dataset_.get(), options_.mil)) {
+  if (options_.query_model.weights.empty()) {
+    options_.query_model = EventModel::Accident(options_.mil.base_dim);
+  }
+}
+
+std::vector<ScoredBag> RetrievalSession::CurrentRanking() const {
+  if (engine_->trained()) return engine_->Rank();
+  return HeuristicRanking(*dataset_, options_.query_model,
+                          options_.mil.base_dim);
+}
+
+std::vector<int> RetrievalSession::TopBags() const {
+  return TopIds(CurrentRanking(), options_.top_n);
+}
+
+std::vector<std::pair<int, BagLabel>> RetrievalSession::LabeledBags() const {
+  std::vector<std::pair<int, BagLabel>> labels;
+  for (const auto& bag : dataset_->bags()) {
+    if (bag.label != BagLabel::kUnlabeled) {
+      labels.emplace_back(bag.id, bag.label);
+    }
+  }
+  return labels;
+}
+
+Status RetrievalSession::Restore(
+    const std::vector<std::pair<int, BagLabel>>& labels, int round) {
+  for (const auto& [bag_id, label] : labels) {
+    MIVID_RETURN_IF_ERROR(dataset_->SetLabel(bag_id, label));
+  }
+  round_ = round;
+  if (dataset_->CountLabel(BagLabel::kRelevant) == 0) return Status::OK();
+  return engine_->Learn();
+}
+
+Status RetrievalSession::SubmitFeedback(
+    const std::vector<std::pair<int, BagLabel>>& labels) {
+  for (const auto& [bag_id, label] : labels) {
+    MIVID_RETURN_IF_ERROR(dataset_->SetLabel(bag_id, label));
+  }
+  ++round_;
+  if (dataset_->CountLabel(BagLabel::kRelevant) == 0) {
+    // Nothing to learn from yet; remain on the heuristic ranking.
+    return Status::OK();
+  }
+  return engine_->Learn();
+}
+
+}  // namespace mivid

@@ -1,0 +1,68 @@
+// RetrievalSession: the interactive loop of Fig. 6/7.
+//
+// Round 0 ranks by the event-model heuristic. Each SubmitFeedback call
+// records bag labels (cumulative across rounds), retrains the MIL engine,
+// and advances to the next round, whose ranking comes from the One-class
+// SVM. This is the object a UI (or the evaluation oracle) drives.
+
+#ifndef MIVID_RETRIEVAL_SESSION_H_
+#define MIVID_RETRIEVAL_SESSION_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "retrieval/mil_rf_engine.h"
+
+namespace mivid {
+
+/// Session configuration.
+struct SessionOptions {
+  size_t top_n = 20;     ///< results shown per round (paper: 20)
+  MilRfOptions mil;
+  EventModel query_model;  ///< initial-query heuristic (default: accident)
+};
+
+/// One user's interactive retrieval session over a corpus.
+class RetrievalSession {
+ public:
+  /// The session owns a copy of the dataset (labels are per-session state).
+  RetrievalSession(MilDataset dataset, SessionOptions options);
+
+  /// Full ranking for the current round (heuristic at round 0, SVM after).
+  std::vector<ScoredBag> CurrentRanking() const;
+
+  /// The top-n bag ids presented to the user this round.
+  std::vector<int> TopBags() const;
+
+  /// Applies the user's labels for this round's results and retrains.
+  /// Labels accumulate; re-labeling a bag overwrites its previous label.
+  /// If no bag has ever been labeled relevant, the session stays on the
+  /// heuristic ranking (matching the paper's cold-start behavior).
+  Status SubmitFeedback(const std::vector<std::pair<int, BagLabel>>& labels);
+
+  /// Exports the session's accumulated feedback (for persistence).
+  std::vector<std::pair<int, BagLabel>> LabeledBags() const;
+
+  /// Re-applies a previously exported feedback set and retrains once;
+  /// `round` restores the round counter.
+  Status Restore(const std::vector<std::pair<int, BagLabel>>& labels,
+                 int round);
+
+  int round() const { return round_; }
+  const MilDataset& dataset() const { return *dataset_; }
+  const MilRfEngine& engine() const { return *engine_; }
+
+ private:
+  // Held behind stable pointers so the session stays movable: the engine
+  // references the dataset by address.
+  std::unique_ptr<MilDataset> dataset_;
+  SessionOptions options_;
+  std::unique_ptr<MilRfEngine> engine_;
+  int round_ = 0;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_RETRIEVAL_SESSION_H_

@@ -1,0 +1,120 @@
+#include "segment/background.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mivid {
+
+BackgroundModel::BackgroundModel(BackgroundOptions options)
+    : options_(options) {}
+
+void BackgroundModel::Update(const Frame& frame) {
+  if (frames_seen_ == 0) {
+    width_ = frame.width();
+    height_ = frame.height();
+    mean_.assign(frame.size(), 0.0);
+  }
+  MIVID_CHECK(frame.width() == width_ && frame.height() == height_)
+      << "frame size changed mid-stream";
+
+  switch (options_.method) {
+    case BackgroundMethod::kSelectiveMean:
+      UpdateSelectiveMean(frame);
+      break;
+    case BackgroundMethod::kTemporalMedian:
+      UpdateTemporalMedian(frame);
+      break;
+  }
+  ++frames_seen_;
+}
+
+void BackgroundModel::UpdateSelectiveMean(const Frame& frame) {
+  if (frames_seen_ < options_.warmup_frames) {
+    // Running mean during warmup.
+    const double n = static_cast<double>(frames_seen_);
+    for (size_t i = 0; i < mean_.size(); ++i) {
+      mean_[i] = (mean_[i] * n + frame.pixels()[i]) / (n + 1.0);
+    }
+  } else {
+    // Selective EMA: adapt only where the pixel still looks like
+    // background, so stationary vehicles are not absorbed quickly.
+    const double a = options_.learning_rate;
+    for (size_t i = 0; i < mean_.size(); ++i) {
+      const double diff = std::fabs(frame.pixels()[i] - mean_[i]);
+      if (diff < options_.diff_threshold) {
+        mean_[i] = (1.0 - a) * mean_[i] + a * frame.pixels()[i];
+      }
+    }
+  }
+}
+
+void BackgroundModel::UpdateTemporalMedian(const Frame& frame) {
+  // Buffer spaced samples; the background is the per-pixel median. Early
+  // on (before the buffer spreads out) every frame is admitted so the
+  // model is usable right after warmup.
+  const bool due = frames_seen_ < options_.warmup_frames ||
+                   frames_seen_ % std::max(1, options_.median_sample_stride) == 0;
+  if (due) {
+    median_buffer_.push_back(frame.pixels());
+    if (static_cast<int>(median_buffer_.size()) >
+        std::max(3, options_.median_samples)) {
+      median_buffer_.erase(median_buffer_.begin());
+    }
+    // Recompute the per-pixel median estimate.
+    std::vector<uint8_t> column(median_buffer_.size());
+    for (size_t i = 0; i < mean_.size(); ++i) {
+      for (size_t s = 0; s < median_buffer_.size(); ++s) {
+        column[s] = median_buffer_[s][i];
+      }
+      std::nth_element(column.begin(), column.begin() + column.size() / 2,
+                       column.end());
+      mean_[i] = column[column.size() / 2];
+    }
+  }
+}
+
+Mask BackgroundModel::Subtract(const Frame& frame) const {
+  Mask mask(frame.size(), 0);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    const double diff = std::fabs(frame.pixels()[i] - mean_[i]);
+    mask[i] = diff >= options_.diff_threshold ? 1 : 0;
+  }
+  return mask;
+}
+
+Frame BackgroundModel::BackgroundFrame() const {
+  Frame f(width_, height_);
+  for (size_t i = 0; i < mean_.size(); ++i) {
+    f.pixels()[i] = static_cast<uint8_t>(std::clamp(mean_[i], 0.0, 255.0));
+  }
+  return f;
+}
+
+Mask CleanMask(const Mask& mask, int width, int height, int iterations) {
+  Mask cur = mask;
+  for (int it = 0; it < iterations; ++it) {
+    Mask next(cur.size(), 0);
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        int count = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int nx = x + dx, ny = y + dy;
+            if (nx < 0 || nx >= width || ny < 0 || ny >= height) continue;
+            count += cur[static_cast<size_t>(ny) * static_cast<size_t>(width) +
+                         static_cast<size_t>(nx)];
+          }
+        }
+        // Majority of the 3x3 neighborhood (center included).
+        next[static_cast<size_t>(y) * static_cast<size_t>(width) +
+             static_cast<size_t>(x)] = count >= 5 ? 1 : 0;
+      }
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+}  // namespace mivid

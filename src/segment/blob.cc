@@ -1,0 +1,69 @@
+#include "segment/blob.h"
+
+#include <deque>
+
+namespace mivid {
+
+std::vector<Blob> ExtractBlobs(const Mask& mask, const Frame& source,
+                               const BlobOptions& options) {
+  const int w = source.width(), h = source.height();
+  std::vector<Blob> blobs;
+  std::vector<uint8_t> visited(mask.size(), 0);
+
+  auto index = [w](int x, int y) {
+    return static_cast<size_t>(y) * static_cast<size_t>(w) +
+           static_cast<size_t>(x);
+  };
+
+  // 4- or 8-connected flood fill from every unvisited foreground pixel.
+  static const int dx8[] = {1, -1, 0, 0, 1, 1, -1, -1};
+  static const int dy8[] = {0, 0, 1, -1, 1, -1, 1, -1};
+  const int num_dirs = options.eight_connected ? 8 : 4;
+
+  std::deque<std::pair<int, int>> queue;
+  for (int sy = 0; sy < h; ++sy) {
+    for (int sx = 0; sx < w; ++sx) {
+      const size_t si = index(sx, sy);
+      if (mask[si] == 0 || visited[si]) continue;
+
+      // Grow one component.
+      queue.clear();
+      queue.emplace_back(sx, sy);
+      visited[si] = 1;
+      double sum_x = 0, sum_y = 0, sum_i = 0;
+      int area = 0;
+      int min_x = sx, max_x = sx, min_y = sy, max_y = sy;
+      while (!queue.empty()) {
+        const auto [x, y] = queue.front();
+        queue.pop_front();
+        ++area;
+        sum_x += x;
+        sum_y += y;
+        sum_i += source.At(x, y);
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+        for (int d = 0; d < num_dirs; ++d) {
+          const int nx = x + dx8[d], ny = y + dy8[d];
+          if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+          const size_t ni = index(nx, ny);
+          if (mask[ni] == 0 || visited[ni]) continue;
+          visited[ni] = 1;
+          queue.emplace_back(nx, ny);
+        }
+      }
+
+      if (area < options.min_area || area > options.max_area) continue;
+      Blob blob;
+      blob.area = area;
+      blob.centroid = {sum_x / area, sum_y / area};
+      blob.mbr = BBox(min_x, min_y, max_x, max_y);
+      blob.mean_intensity = sum_i / area;
+      blobs.push_back(blob);
+    }
+  }
+  return blobs;
+}
+
+}  // namespace mivid

@@ -1,0 +1,27 @@
+#include "segment/segmenter.h"
+
+namespace mivid {
+
+VehicleSegmenter::VehicleSegmenter(SegmenterOptions options)
+    : options_(options), background_(options.background) {}
+
+std::vector<Blob> VehicleSegmenter::Process(const Frame& frame) {
+  background_.Update(frame);
+  if (!background_.Ready()) return {};
+
+  Mask mask = background_.Subtract(frame);
+  if (options_.use_spcpe) {
+    // Refine the candidate foreground: SPCPE separates true vehicle pixels
+    // from background clutter that leaked through the threshold.
+    const double bg_mean = background_.BackgroundFrame().MeanIntensity();
+    SpcpeResult refined = RunSpcpe(frame, &mask, bg_mean, options_.spcpe);
+    mask = std::move(refined.partition);
+  }
+  if (options_.clean_iterations > 0) {
+    mask = CleanMask(mask, frame.width(), frame.height(),
+                     options_.clean_iterations);
+  }
+  return ExtractBlobs(mask, frame, options_.blob);
+}
+
+}  // namespace mivid

@@ -1,0 +1,49 @@
+// VehicleSegmenter: the complete per-frame vision front end.
+//
+// Pipeline per frame (paper Sec. 3.1): background learning/subtraction ->
+// SPCPE refinement of the foreground -> morphological cleanup -> connected
+// components -> vehicle blobs (MBR + centroid).
+
+#ifndef MIVID_SEGMENT_SEGMENTER_H_
+#define MIVID_SEGMENT_SEGMENTER_H_
+
+#include <vector>
+
+#include "segment/background.h"
+#include "segment/blob.h"
+#include "segment/spcpe.h"
+#include "video/frame.h"
+
+namespace mivid {
+
+/// Options for the full segmentation stack.
+struct SegmenterOptions {
+  BackgroundOptions background;
+  SpcpeOptions spcpe;
+  BlobOptions blob;
+  int clean_iterations = 1;
+  bool use_spcpe = true;  ///< disable to use the raw subtraction mask
+};
+
+/// Stateful frame-by-frame vehicle segmenter.
+class VehicleSegmenter {
+ public:
+  explicit VehicleSegmenter(SegmenterOptions options = {});
+
+  /// Processes the next frame; returns the detected vehicle blobs
+  /// (empty during background warmup).
+  std::vector<Blob> Process(const Frame& frame);
+
+  /// True once the background model has warmed up.
+  bool Ready() const { return background_.Ready(); }
+
+  const BackgroundModel& background_model() const { return background_; }
+
+ private:
+  SegmenterOptions options_;
+  BackgroundModel background_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_SEGMENT_SEGMENTER_H_

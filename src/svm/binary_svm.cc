@@ -1,0 +1,169 @@
+#include "svm/binary_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace mivid {
+
+double BinarySvmModel::DecisionValue(const Vec& x) const {
+  double acc = bias_;
+  for (size_t i = 0; i < support_vectors_.size(); ++i) {
+    acc += coefficients_[i] * KernelEval(kernel_, support_vectors_[i], x);
+  }
+  return acc;
+}
+
+Result<BinarySvmModel> BinarySvmTrainer::Train(
+    const std::vector<Vec>& points, const std::vector<int>& labels) const {
+  const size_t n = points.size();
+  if (n == 0 || labels.size() != n) {
+    return Status::InvalidArgument("points/labels size mismatch or empty");
+  }
+  bool has_pos = false, has_neg = false;
+  for (int y : labels) {
+    if (y == 1) {
+      has_pos = true;
+    } else if (y == -1) {
+      has_neg = true;
+    } else {
+      return Status::InvalidArgument("labels must be in {-1, +1}");
+    }
+  }
+  if (!has_pos || !has_neg) {
+    return Status::InvalidArgument("need at least one example of each class");
+  }
+  for (const auto& p : points) {
+    if (p.size() != points[0].size()) {
+      return Status::InvalidArgument("inconsistent feature dimensions");
+    }
+  }
+  const double c = options_.c;
+  if (c <= 0) return Status::InvalidArgument("C must be positive");
+
+  const GramMatrix gram(options_.kernel, points);
+  Vec alpha(n, 0.0);
+  // G_i = y_i * u_i - 1 with u_i = sum_j alpha_j y_j K_ij; starts at -1.
+  Vec grad(n, -1.0);
+
+  const double kTau = 1e-12;
+  auto upward = [&](size_t t) {
+    return (labels[t] == 1 && alpha[t] < c - kTau) ||
+           (labels[t] == -1 && alpha[t] > kTau);
+  };
+  auto downward = [&](size_t t) {
+    return (labels[t] == 1 && alpha[t] > kTau) ||
+           (labels[t] == -1 && alpha[t] < c - kTau);
+  };
+
+  double m_final = 0.0, big_m_final = 0.0;
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    // Working-set selection (maximal violating pair).
+    int i_sel = -1, j_sel = -1;
+    double m = -std::numeric_limits<double>::infinity();
+    double big_m = std::numeric_limits<double>::infinity();
+    for (size_t t = 0; t < n; ++t) {
+      const double v = -labels[t] * grad[t];
+      if (upward(t) && v > m) {
+        m = v;
+        i_sel = static_cast<int>(t);
+      }
+      if (downward(t) && v < big_m) {
+        big_m = v;
+        j_sel = static_cast<int>(t);
+      }
+    }
+    m_final = m;
+    big_m_final = big_m;
+    if (i_sel < 0 || j_sel < 0 || m - big_m < options_.tolerance) break;
+
+    const size_t i = static_cast<size_t>(i_sel);
+    const size_t j = static_cast<size_t>(j_sel);
+    const double quad =
+        std::max(gram.At(i, i) + gram.At(j, j) - 2.0 * gram.At(i, j), kTau);
+
+    const double yi = labels[i], yj = labels[j];
+    // Unconstrained step along the feasible direction, then box clipping.
+    const double old_ai = alpha[i], old_aj = alpha[j];
+    if (yi != yj) {
+      const double delta = (-grad[i] - grad[j]) / quad;
+      alpha[i] += delta;
+      alpha[j] += delta;
+      const double diff = old_ai - old_aj;
+      if (alpha[i] > c) {
+        alpha[i] = c;
+        alpha[j] = c - diff;
+      }
+      if (alpha[j] > c) {
+        alpha[j] = c;
+        alpha[i] = c + diff;
+      }
+      if (alpha[i] < 0) {
+        alpha[i] = 0;
+        alpha[j] = -diff;
+      }
+      if (alpha[j] < 0) {
+        alpha[j] = 0;
+        alpha[i] = diff;
+      }
+    } else {
+      const double delta = (grad[i] - grad[j]) / quad;
+      alpha[i] -= delta;
+      alpha[j] += delta;
+      const double sum = old_ai + old_aj;
+      if (alpha[i] > c) {
+        alpha[i] = c;
+        alpha[j] = sum - c;
+      }
+      if (alpha[j] > c) {
+        alpha[j] = c;
+        alpha[i] = sum - c;
+      }
+      if (alpha[i] < 0) {
+        alpha[i] = 0;
+        alpha[j] = sum;
+      }
+      if (alpha[j] < 0) {
+        alpha[j] = 0;
+        alpha[i] = sum;
+      }
+    }
+
+    const double dai = alpha[i] - old_ai, daj = alpha[j] - old_aj;
+    if (std::fabs(dai) < kTau && std::fabs(daj) < kTau) break;
+    for (size_t t = 0; t < n; ++t) {
+      grad[t] += labels[t] * (dai * yi * gram.At(i, t) +
+                              daj * yj * gram.At(j, t));
+    }
+  }
+
+  // Bias: average y_i - u_i over free support vectors; fall back to the
+  // violating-pair midpoint.
+  double free_sum = 0.0;
+  size_t free_count = 0;
+  for (size_t t = 0; t < n; ++t) {
+    if (alpha[t] > kTau && alpha[t] < c - kTau) {
+      free_sum += -labels[t] * grad[t];
+      ++free_count;
+    }
+  }
+  const double bias = free_count > 0
+                          ? free_sum / static_cast<double>(free_count)
+                          : (m_final + big_m_final) / 2.0;
+
+  BinarySvmModel model;
+  model.kernel_ = options_.kernel;
+  model.bias_ = std::isfinite(bias) ? bias : 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    if (alpha[t] > kTau) {
+      model.support_vectors_.push_back(points[t]);
+      model.coefficients_.push_back(alpha[t] * labels[t]);
+    }
+  }
+  return model;
+}
+
+}  // namespace mivid

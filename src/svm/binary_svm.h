@@ -1,0 +1,72 @@
+// Soft-margin binary Support Vector Machine (C-SVC) trained by SMO.
+//
+// Not used by the paper's primary method (which is one-class), but needed
+// by the MI-SVM baseline of Andrews et al. [16], which the paper cites as
+// the representative SVM approach to MIL. Dual:
+//   min 1/2 sum_ij a_i a_j y_i y_j K(x_i,x_j) - sum_i a_i
+//   s.t. 0 <= a_i <= C,  sum_i a_i y_i = 0
+// Decision: f(x) = sum_i a_i y_i K(x_i, x) + b.
+
+#ifndef MIVID_SVM_BINARY_SVM_H_
+#define MIVID_SVM_BINARY_SVM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "svm/kernel.h"
+
+namespace mivid {
+
+/// Training controls for C-SVC.
+struct BinarySvmOptions {
+  KernelParams kernel;
+  double c = 1.0;            ///< soft-margin penalty
+  double tolerance = 1e-3;   ///< KKT violation tolerance
+  int max_iterations = 100000;
+};
+
+/// A trained binary classifier.
+class BinarySvmModel {
+ public:
+  BinarySvmModel() = default;
+
+  /// Signed decision value f(x); positive predicts class +1.
+  double DecisionValue(const Vec& x) const;
+
+  /// Hard prediction in {-1, +1}.
+  int Predict(const Vec& x) const { return DecisionValue(x) >= 0 ? 1 : -1; }
+
+  size_t num_support_vectors() const { return support_vectors_.size(); }
+  const std::vector<Vec>& support_vectors() const { return support_vectors_; }
+  /// alpha_i * y_i per support vector.
+  const Vec& coefficients() const { return coefficients_; }
+  double bias() const { return bias_; }
+  const KernelParams& kernel() const { return kernel_; }
+
+ private:
+  friend class BinarySvmTrainer;
+
+  KernelParams kernel_;
+  std::vector<Vec> support_vectors_;
+  Vec coefficients_;
+  double bias_ = 0.0;
+};
+
+/// SMO trainer for C-SVC.
+class BinarySvmTrainer {
+ public:
+  explicit BinarySvmTrainer(BinarySvmOptions options) : options_(options) {}
+
+  /// Trains on `points` with labels in {-1, +1}. Requires at least one
+  /// example of each class.
+  Result<BinarySvmModel> Train(const std::vector<Vec>& points,
+                               const std::vector<int>& labels) const;
+
+ private:
+  BinarySvmOptions options_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_SVM_BINARY_SVM_H_

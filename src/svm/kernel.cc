@@ -1,0 +1,33 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+
+namespace mivid {
+
+double KernelEval(const KernelParams& params, const Vec& u, const Vec& v) {
+  switch (params.type) {
+    case KernelType::kRbf: {
+      const double gamma = 1.0 / (2.0 * params.sigma * params.sigma);
+      return std::exp(-gamma * SquaredDistance(u, v));
+    }
+    case KernelType::kLinear:
+      return Dot(u, v);
+    case KernelType::kPoly:
+      return std::pow(Dot(u, v) + params.poly_c, params.poly_degree);
+  }
+  return 0.0;
+}
+
+GramMatrix::GramMatrix(const KernelParams& params,
+                       const std::vector<Vec>& points)
+    : n_(points.size()), data_(points.size() * points.size()) {
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i; j < n_; ++j) {
+      const double k = KernelEval(params, points[i], points[j]);
+      data_[i * n_ + j] = k;
+      data_[j * n_ + i] = k;
+    }
+  }
+}
+
+}  // namespace mivid

@@ -1,0 +1,49 @@
+// Kernel functions for the One-class SVM (paper Eq. 5-6).
+
+#ifndef MIVID_SVM_KERNEL_H_
+#define MIVID_SVM_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mivid {
+
+/// Supported kernel families.
+enum class KernelType : uint8_t {
+  kRbf = 0,     ///< exp(-|u - v|^2 / (2 sigma^2)); the paper's choice
+  kLinear = 1,  ///< u . v
+  kPoly = 2,    ///< (u . v + c)^d
+};
+
+/// Kernel configuration.
+struct KernelParams {
+  KernelType type = KernelType::kRbf;
+  double sigma = 0.5;   ///< RBF bandwidth
+  double poly_c = 1.0;  ///< polynomial offset
+  int poly_degree = 3;
+};
+
+/// Evaluates K(u, v) under `params`.
+double KernelEval(const KernelParams& params, const Vec& u, const Vec& v);
+
+/// Precomputed symmetric kernel (Gram) matrix over a training set.
+///
+/// The one-class solver touches rows repeatedly; for the tiny training
+/// sets of an RF session a full dense Gram matrix is the fastest cache.
+class GramMatrix {
+ public:
+  GramMatrix(const KernelParams& params, const std::vector<Vec>& points);
+
+  size_t size() const { return n_; }
+  double At(size_t i, size_t j) const { return data_[i * n_ + j]; }
+
+ private:
+  size_t n_;
+  std::vector<double> data_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_SVM_KERNEL_H_

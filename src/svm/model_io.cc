@@ -1,0 +1,98 @@
+#include "svm/model_io.h"
+
+#include <cstdio>
+
+#include "db/codec.h"
+
+namespace mivid {
+
+namespace {
+constexpr uint32_t kModelMagic = 0x4d53564fu;  // "OVSM"
+constexpr uint32_t kModelVersion = 1;
+}  // namespace
+
+std::string SerializeOneClassSvm(const OneClassSvmModel& model) {
+  std::string body;
+  PutFixed32(&body, kModelVersion);
+  PutFixed32(&body, static_cast<uint32_t>(model.kernel().type));
+  PutDouble(&body, model.kernel().sigma);
+  PutDouble(&body, model.kernel().poly_c);
+  PutFixed32(&body, static_cast<uint32_t>(model.kernel().poly_degree));
+  PutDouble(&body, model.rho());
+  PutVec(&body, model.coefficients());
+  PutFixed32(&body, static_cast<uint32_t>(model.support_vectors().size()));
+  for (const auto& sv : model.support_vectors()) PutVec(&body, sv);
+
+  std::string out;
+  PutFixed32(&out, kModelMagic);
+  PutFixed32(&out, Crc32c(body));
+  out += body;
+  return out;
+}
+
+Result<OneClassSvmModel> DeserializeOneClassSvm(const std::string& bytes) {
+  Decoder header(bytes);
+  uint32_t magic, crc;
+  MIVID_RETURN_IF_ERROR(header.GetFixed32(&magic));
+  if (magic != kModelMagic) {
+    return Status::Corruption("not a one-class SVM model (bad magic)");
+  }
+  MIVID_RETURN_IF_ERROR(header.GetFixed32(&crc));
+  const std::string_view body(bytes.data() + 8, bytes.size() - 8);
+  if (Crc32c(body) != crc) {
+    return Status::Corruption("model checksum mismatch");
+  }
+
+  Decoder dec(body);
+  uint32_t version, kernel_type, poly_degree, num_sv;
+  OneClassSvmModel model;
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&version));
+  if (version != kModelVersion) {
+    return Status::NotSupported("unknown model version");
+  }
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&kernel_type));
+  if (kernel_type > static_cast<uint32_t>(KernelType::kPoly)) {
+    return Status::Corruption("invalid kernel type");
+  }
+  model.kernel_.type = static_cast<KernelType>(kernel_type);
+  MIVID_RETURN_IF_ERROR(dec.GetDouble(&model.kernel_.sigma));
+  MIVID_RETURN_IF_ERROR(dec.GetDouble(&model.kernel_.poly_c));
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&poly_degree));
+  model.kernel_.poly_degree = static_cast<int>(poly_degree);
+  MIVID_RETURN_IF_ERROR(dec.GetDouble(&model.rho_));
+  MIVID_RETURN_IF_ERROR(dec.GetVec(&model.coefficients_));
+  MIVID_RETURN_IF_ERROR(dec.GetFixed32(&num_sv));
+  if (num_sv != model.coefficients_.size()) {
+    return Status::Corruption("coefficient / support-vector count mismatch");
+  }
+  model.support_vectors_.resize(num_sv);
+  for (uint32_t i = 0; i < num_sv; ++i) {
+    MIVID_RETURN_IF_ERROR(dec.GetVec(&model.support_vectors_[i]));
+  }
+  return model;
+}
+
+Status SaveOneClassSvm(const OneClassSvmModel& model, const std::string& path) {
+  const std::string bytes = SerializeOneClassSvm(model);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<OneClassSvmModel> LoadOneClassSvm(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+  std::string bytes;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, got);
+  }
+  std::fclose(f);
+  return DeserializeOneClassSvm(bytes);
+}
+
+}  // namespace mivid

@@ -1,0 +1,31 @@
+// (De)serialization of trained one-class SVM models.
+//
+// Models learned in a relevance-feedback session can be persisted with the
+// video database so a user's customized query resumes across sessions.
+// Format: a small versioned binary layout (little-endian, fixed headers).
+
+#ifndef MIVID_SVM_MODEL_IO_H_
+#define MIVID_SVM_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "svm/one_class_svm.h"
+
+namespace mivid {
+
+/// Serializes `model` into a binary string.
+std::string SerializeOneClassSvm(const OneClassSvmModel& model);
+
+/// Parses a model serialized by SerializeOneClassSvm.
+Result<OneClassSvmModel> DeserializeOneClassSvm(const std::string& bytes);
+
+/// Writes the serialized model to `path`.
+Status SaveOneClassSvm(const OneClassSvmModel& model, const std::string& path);
+
+/// Reads a model from `path`.
+Result<OneClassSvmModel> LoadOneClassSvm(const std::string& path);
+
+}  // namespace mivid
+
+#endif  // MIVID_SVM_MODEL_IO_H_

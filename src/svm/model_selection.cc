@@ -1,0 +1,89 @@
+#include "svm/model_selection.h"
+
+#include <algorithm>
+
+namespace mivid {
+
+Result<std::vector<OneClassCandidate>> GridSearchOneClass(
+    const std::vector<std::vector<Vec>>& positive_groups,
+    const std::vector<Vec>& background, const OneClassGridOptions& options) {
+  if (positive_groups.size() < 2) {
+    return Status::InvalidArgument(
+        "grid search needs at least two positive bags to hold out");
+  }
+  for (const auto& group : positive_groups) {
+    if (group.empty()) {
+      return Status::InvalidArgument("empty positive group");
+    }
+  }
+  const int folds =
+      std::min<int>(options.folds, static_cast<int>(positive_groups.size()));
+
+  std::vector<OneClassCandidate> candidates;
+  for (double sigma : options.sigmas) {
+    for (double nu : options.nus) {
+      OneClassCandidate candidate;
+      candidate.sigma = sigma;
+      candidate.nu = nu;
+
+      double holdout_total = 0, holdout_accepted = 0;
+      double bg_total = 0, bg_accepted = 0;
+      bool failed = false;
+      for (int fold = 0; fold < folds; ++fold) {
+        // Round-robin bag split.
+        std::vector<Vec> train;
+        std::vector<const std::vector<Vec>*> held;
+        for (size_t g = 0; g < positive_groups.size(); ++g) {
+          if (static_cast<int>(g % static_cast<size_t>(folds)) == fold) {
+            held.push_back(&positive_groups[g]);
+          } else {
+            train.insert(train.end(), positive_groups[g].begin(),
+                         positive_groups[g].end());
+          }
+        }
+        if (train.empty() || held.empty()) continue;
+
+        OneClassSvmOptions svm_options;
+        svm_options.kernel.sigma = sigma;
+        svm_options.nu = nu;
+        Result<OneClassSvmModel> model =
+            OneClassSvmTrainer(svm_options).Train(train);
+        if (!model.ok()) {
+          failed = true;
+          break;
+        }
+        // A held-out bag counts as accepted when its best instance is
+        // inside the support region (the max-instance ranking criterion).
+        for (const std::vector<Vec>* group : held) {
+          double best = -1e300;
+          for (const Vec& v : *group) {
+            best = std::max(best, model->DecisionValue(v));
+          }
+          holdout_accepted += best >= 0 ? 1 : 0;
+          holdout_total += 1;
+        }
+        for (const Vec& v : background) {
+          bg_accepted += model->DecisionValue(v) >= 0 ? 1 : 0;
+          bg_total += 1;
+        }
+      }
+      if (failed || holdout_total == 0) continue;
+      candidate.holdout_acceptance = holdout_accepted / holdout_total;
+      candidate.background_acceptance =
+          bg_total > 0 ? bg_accepted / bg_total : 0.0;
+      candidate.score =
+          candidate.holdout_acceptance - candidate.background_acceptance;
+      candidates.push_back(candidate);
+    }
+  }
+  if (candidates.empty()) {
+    return Status::Internal("no grid candidate could be evaluated");
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const OneClassCandidate& a, const OneClassCandidate& b) {
+                     return a.score > b.score;
+                   });
+  return candidates;
+}
+
+}  // namespace mivid

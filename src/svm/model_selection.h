@@ -1,0 +1,47 @@
+// Model selection for the one-class SVM under MIL supervision.
+//
+// With only bag-level positive labels there is no classical validation
+// loss, so candidates (sigma, nu) are scored by bag-holdout acceptance:
+// leave out a fraction of the relevant bags, train on the rest, and prefer
+// models that accept the held-out relevant bags' best instances while
+// accepting little of a background sample. The criterion mirrors how the
+// retrieval engine is used (max-instance ranking).
+
+#ifndef MIVID_SVM_MODEL_SELECTION_H_
+#define MIVID_SVM_MODEL_SELECTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "svm/one_class_svm.h"
+
+namespace mivid {
+
+/// One candidate configuration and its validation score.
+struct OneClassCandidate {
+  double sigma = 0.5;
+  double nu = 0.2;
+  double holdout_acceptance = 0.0;    ///< held-out positives accepted
+  double background_acceptance = 0.0; ///< background sample accepted
+  double score = 0.0;                 ///< holdout - background
+};
+
+/// Grid-search controls.
+struct OneClassGridOptions {
+  std::vector<double> sigmas{0.1, 0.2, 0.4, 0.8, 1.6};
+  std::vector<double> nus{0.05, 0.1, 0.2, 0.4};
+  int folds = 3;  ///< bag-holdout folds (round-robin split)
+};
+
+/// Evaluates the grid. `positive_groups` holds the training vectors
+/// grouped by source bag (held out per group, never per vector);
+/// `background` is a sample of corpus vectors for the false-acceptance
+/// term. Returns all candidates, best first. Requires >= 2 groups.
+Result<std::vector<OneClassCandidate>> GridSearchOneClass(
+    const std::vector<std::vector<Vec>>& positive_groups,
+    const std::vector<Vec>& background,
+    const OneClassGridOptions& options = {});
+
+}  // namespace mivid
+
+#endif  // MIVID_SVM_MODEL_SELECTION_H_

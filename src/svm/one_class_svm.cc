@@ -1,0 +1,141 @@
+#include "svm/one_class_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace mivid {
+
+double OneClassSvmModel::DecisionValue(const Vec& x) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < support_vectors_.size(); ++i) {
+    acc += coefficients_[i] * KernelEval(kernel_, support_vectors_[i], x);
+  }
+  return acc - rho_;
+}
+
+Result<OneClassSvmModel> OneClassSvmTrainer::Train(
+    const std::vector<Vec>& points) const {
+  const size_t n = points.size();
+  if (n == 0) {
+    return Status::InvalidArgument("one-class SVM needs at least one point");
+  }
+  const double nu = options_.nu;
+  if (!(nu > 0.0 && nu <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("nu must be in (0, 1], got %g", nu));
+  }
+  for (const auto& p : points) {
+    if (p.size() != points[0].size()) {
+      return Status::InvalidArgument("inconsistent feature dimensions");
+    }
+  }
+
+  const GramMatrix gram(options_.kernel, points);
+  const double c = 1.0 / (nu * static_cast<double>(n));
+
+  // Feasible start: sum(alpha) = 1, 0 <= alpha <= c.
+  Vec alpha(n, 0.0);
+  {
+    const size_t k = static_cast<size_t>(std::floor(nu * static_cast<double>(n)));
+    double remaining = 1.0;
+    for (size_t i = 0; i < k && i < n; ++i) {
+      alpha[i] = c;
+      remaining -= c;
+    }
+    if (k < n && remaining > 1e-15) alpha[k] = remaining;
+  }
+
+  // Gradient of 1/2 a^T Q a is Q a.
+  Vec grad(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (alpha[i] == 0.0) continue;
+    for (size_t j = 0; j < n; ++j) grad[j] += alpha[i] * gram.At(i, j);
+  }
+
+  const double kTau = 1e-12;
+  int iterations = 0;
+  for (; iterations < options_.max_iterations; ++iterations) {
+    // Working-set selection: i maximizes -G over the upward-movable set,
+    // j minimizes -G over the downward-movable set.
+    int i_up = -1, j_low = -1;
+    double best_up = -std::numeric_limits<double>::infinity();
+    double worst_low = std::numeric_limits<double>::infinity();
+    for (size_t t = 0; t < n; ++t) {
+      if (alpha[t] < c - kTau && -grad[t] > best_up) {
+        best_up = -grad[t];
+        i_up = static_cast<int>(t);
+      }
+      if (alpha[t] > kTau && -grad[t] < worst_low) {
+        worst_low = -grad[t];
+        j_low = static_cast<int>(t);
+      }
+    }
+    if (i_up < 0 || j_low < 0 || best_up - worst_low < options_.tolerance) {
+      break;  // KKT conditions satisfied
+    }
+
+    const size_t i = static_cast<size_t>(i_up);
+    const size_t j = static_cast<size_t>(j_low);
+    const double quad =
+        std::max(gram.At(i, i) + gram.At(j, j) - 2.0 * gram.At(i, j), kTau);
+    double delta = (grad[j] - grad[i]) / quad;
+    // Box clipping: alpha_i += delta, alpha_j -= delta.
+    delta = std::min(delta, c - alpha[i]);
+    delta = std::min(delta, alpha[j]);
+    if (delta <= 0.0) break;  // numerically stuck at a vertex
+
+    alpha[i] += delta;
+    alpha[j] -= delta;
+    for (size_t t = 0; t < n; ++t) {
+      grad[t] += delta * (gram.At(i, t) - gram.At(j, t));
+    }
+  }
+
+  // rho: decision threshold. For free support vectors the KKT conditions
+  // give G_i = rho; average them. Fall back to the bound midpoint.
+  double rho;
+  {
+    double free_sum = 0.0;
+    size_t free_count = 0;
+    double upper = std::numeric_limits<double>::infinity();   // min G, alpha=0
+    double lower = -std::numeric_limits<double>::infinity();  // max G, alpha=c
+    for (size_t t = 0; t < n; ++t) {
+      if (alpha[t] > kTau && alpha[t] < c - kTau) {
+        free_sum += grad[t];
+        ++free_count;
+      } else if (alpha[t] <= kTau) {
+        upper = std::min(upper, grad[t]);
+      } else {
+        lower = std::max(lower, grad[t]);
+      }
+    }
+    if (free_count > 0) {
+      rho = free_sum / static_cast<double>(free_count);
+    } else {
+      if (!std::isfinite(upper)) upper = lower;
+      if (!std::isfinite(lower)) lower = upper;
+      rho = (upper + lower) / 2.0;
+    }
+  }
+
+  OneClassSvmModel model;
+  model.kernel_ = options_.kernel;
+  model.rho_ = rho;
+  model.iterations_used_ = iterations;
+  size_t rejected = 0;
+  for (size_t t = 0; t < n; ++t) {
+    if (alpha[t] > kTau) {
+      model.support_vectors_.push_back(points[t]);
+      model.coefficients_.push_back(alpha[t]);
+    }
+    if (grad[t] - rho < 0.0) ++rejected;
+  }
+  model.training_outlier_fraction_ =
+      static_cast<double>(rejected) / static_cast<double>(n);
+  return model;
+}
+
+}  // namespace mivid

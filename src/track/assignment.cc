@@ -1,0 +1,101 @@
+#include "track/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+namespace mivid {
+
+Assignment GreedyAssign(const Matrix& cost, double max_cost) {
+  const size_t rows = cost.rows(), cols = cost.cols();
+  Assignment assignment(rows, -1);
+
+  std::vector<std::tuple<double, size_t, size_t>> pairs;
+  pairs.reserve(rows * cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (cost.At(r, c) <= max_cost) pairs.emplace_back(cost.At(r, c), r, c);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  std::vector<uint8_t> row_used(rows, 0), col_used(cols, 0);
+  for (const auto& [c, r, col] : pairs) {
+    (void)c;
+    if (row_used[r] || col_used[col]) continue;
+    row_used[r] = 1;
+    col_used[col] = 1;
+    assignment[r] = static_cast<int>(col);
+  }
+  return assignment;
+}
+
+Assignment HungarianAssign(const Matrix& cost, double max_cost) {
+  const size_t rows = cost.rows(), cols = cost.cols();
+  if (rows == 0 || cols == 0) return Assignment(rows, -1);
+
+  // Pad to square with the sentinel so the classic algorithm applies.
+  const size_t n = std::max(rows, cols);
+  const double kBig = 1e12;
+  // a[i][j], 1-indexed internally (standard O(n^3) potentials formulation).
+  std::vector<std::vector<double>> a(n + 1, std::vector<double>(n + 1, kBig));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      a[r + 1][c + 1] = cost.At(r, c) <= max_cost ? cost.At(r, c) : kBig;
+    }
+  }
+
+  std::vector<double> u(n + 1, 0), v(n + 1, 0);
+  std::vector<size_t> p(n + 1, 0), way(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, std::numeric_limits<double>::infinity());
+    std::vector<uint8_t> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const size_t i0 = p[j0];
+      double delta = std::numeric_limits<double>::infinity();
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = a[i0][j] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Assignment assignment(rows, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    const size_t i = p[j];
+    if (i >= 1 && i <= rows && j <= cols &&
+        cost.At(i - 1, j - 1) <= max_cost) {
+      assignment[i - 1] = static_cast<int>(j - 1);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace mivid

@@ -1,0 +1,30 @@
+// Data-association solvers for frame-to-frame blob matching.
+//
+// Given a cost matrix (tracks x detections), produce a one-to-one
+// assignment. Two solvers: a fast greedy matcher and the optimal Hungarian
+// algorithm; the tracker uses Hungarian by default (counts are tiny).
+
+#ifndef MIVID_TRACK_ASSIGNMENT_H_
+#define MIVID_TRACK_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mivid {
+
+/// assignment[r] = column matched to row r, or -1 if unmatched.
+using Assignment = std::vector<int>;
+
+/// Greedy matching: repeatedly takes the globally cheapest remaining pair
+/// with cost <= max_cost.
+Assignment GreedyAssign(const Matrix& cost, double max_cost);
+
+/// Optimal rectangular assignment (Hungarian / Kuhn-Munkres, O(n^3)).
+/// Pairs with cost > max_cost are left unmatched even if selected by the
+/// optimum (they are masked to a large sentinel before solving).
+Assignment HungarianAssign(const Matrix& cost, double max_cost);
+
+}  // namespace mivid
+
+#endif  // MIVID_TRACK_ASSIGNMENT_H_

@@ -1,0 +1,102 @@
+#include "track/tracker.h"
+
+#include <algorithm>
+
+#include "linalg/matrix.h"
+#include "track/assignment.h"
+
+namespace mivid {
+
+Tracker::Tracker(TrackerOptions options) : options_(options) {}
+
+Point2 Tracker::Predict(const LiveTrack& t, int frame) const {
+  const TrackPoint& last = t.track.points.back();
+  const double dt = frame - last.frame;
+  return last.centroid + t.velocity * dt;
+}
+
+void Tracker::Observe(int frame, const std::vector<Blob>& blobs) {
+  // Build the gating cost matrix: predicted-position distance.
+  const size_t nt = live_.size(), nd = blobs.size();
+  Assignment assignment(nt, -1);
+  if (nt > 0 && nd > 0) {
+    Matrix cost(nt, nd);
+    for (size_t r = 0; r < nt; ++r) {
+      const Point2 predicted = Predict(live_[r], frame);
+      for (size_t c = 0; c < nd; ++c) {
+        cost.At(r, c) = Distance(predicted, blobs[c].centroid);
+      }
+    }
+    assignment = options_.use_hungarian
+                     ? HungarianAssign(cost, options_.max_match_distance)
+                     : GreedyAssign(cost, options_.max_match_distance);
+  }
+
+  std::vector<uint8_t> detection_used(nd, 0);
+  for (size_t r = 0; r < nt; ++r) {
+    LiveTrack& t = live_[r];
+    const int c = assignment[r];
+    if (c >= 0) {
+      detection_used[static_cast<size_t>(c)] = 1;
+      const Blob& blob = blobs[static_cast<size_t>(c)];
+      const TrackPoint& prev = t.track.points.back();
+      const double dt = std::max(1, frame - prev.frame);
+      const Point2 step = (blob.centroid - prev.centroid) * (1.0 / dt);
+      // EMA velocity smooths segmentation jitter.
+      t.velocity = t.velocity * 0.5 + step * 0.5;
+      t.track.points.push_back(TrackPoint{frame, blob.centroid, blob.mbr});
+      t.last_frame = frame;
+      t.misses = 0;
+    } else {
+      ++t.misses;
+    }
+  }
+
+  // Retire stale tracks.
+  for (size_t r = live_.size(); r-- > 0;) {
+    if (live_[r].misses > options_.max_misses) {
+      finished_.push_back(std::move(live_[r].track));
+      live_.erase(live_.begin() + static_cast<long>(r));
+    }
+  }
+
+  // Spawn tracks for unmatched detections, unless the detection sits on
+  // top of an existing track (a split blob of an already-tracked vehicle).
+  for (size_t c = 0; c < nd; ++c) {
+    if (detection_used[c]) continue;
+    bool duplicate = false;
+    for (const auto& t : live_) {
+      if (Distance(t.track.points.back().centroid, blobs[c].centroid) <
+          options_.duplicate_radius) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    LiveTrack t;
+    t.track.id = next_id_++;
+    t.track.points.push_back(TrackPoint{frame, blobs[c].centroid,
+                                        blobs[c].mbr});
+    t.velocity = {0, 0};
+    t.last_frame = frame;
+    live_.push_back(std::move(t));
+  }
+}
+
+std::vector<Track> Tracker::Finish() {
+  for (auto& t : live_) finished_.push_back(std::move(t.track));
+  live_.clear();
+
+  std::vector<Track> out;
+  for (auto& t : finished_) {
+    if (static_cast<int>(t.points.size()) >= options_.min_track_length) {
+      out.push_back(std::move(t));
+    }
+  }
+  finished_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const Track& a, const Track& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace mivid

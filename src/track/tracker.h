@@ -1,0 +1,62 @@
+// Multi-object tracker: associates per-frame blobs into vehicle tracks.
+//
+// Implements the tracking phase of the paper's substrate [20]: vehicle
+// segments are linked across successive frames by centroid proximity (with
+// a constant-velocity prediction), yielding per-vehicle trajectories.
+
+#ifndef MIVID_TRACK_TRACKER_H_
+#define MIVID_TRACK_TRACKER_H_
+
+#include <vector>
+
+#include "segment/blob.h"
+#include "trajectory/trajectory.h"
+
+namespace mivid {
+
+/// Tracker configuration.
+struct TrackerOptions {
+  double max_match_distance = 25.0;  ///< gating radius for association, px
+  double duplicate_radius = 12.0;  ///< unmatched detections this close to a
+                                   ///< live track are split-blob artifacts;
+                                   ///< suppressed instead of spawning tracks
+  int max_misses = 4;     ///< drop a track after this many missed frames
+  int min_track_length = 3;  ///< discard shorter tracks on Finish()
+  bool use_hungarian = true; ///< optimal assignment (vs. greedy)
+};
+
+/// Online tracker; feed blobs frame by frame, then Finish().
+class Tracker {
+ public:
+  explicit Tracker(TrackerOptions options = {});
+
+  /// Associates `blobs` (detected at `frame`) with live tracks; spawns new
+  /// tracks for unmatched detections and retires stale tracks.
+  void Observe(int frame, const std::vector<Blob>& blobs);
+
+  /// Number of currently live (non-retired) tracks.
+  size_t live_count() const { return live_.size(); }
+
+  /// Retires all live tracks and returns every track (length-filtered),
+  /// ordered by track id. The tracker can be reused afterwards.
+  std::vector<Track> Finish();
+
+ private:
+  struct LiveTrack {
+    Track track;
+    Point2 velocity;   // EMA of centroid displacement per frame
+    int last_frame = -1;
+    int misses = 0;
+  };
+
+  Point2 Predict(const LiveTrack& t, int frame) const;
+
+  TrackerOptions options_;
+  int next_id_ = 0;
+  std::vector<LiveTrack> live_;
+  std::vector<Track> finished_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_TRACK_TRACKER_H_

@@ -1,0 +1,70 @@
+#include "track/vehicle_classifier.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace mivid {
+
+Vec BlobShapeDescriptor(const Blob& blob) {
+  const double w = std::max(1.0, blob.mbr.Width());
+  const double h = std::max(1.0, blob.mbr.Height());
+  const double mbr_area = w * h;
+  return {w, h, static_cast<double>(blob.area), w / h,
+          static_cast<double>(blob.area) / mbr_area};
+}
+
+Result<VehicleClassifier> VehicleClassifier::Train(
+    const std::vector<LabeledBlob>& examples, size_t num_components) {
+  if (examples.size() < 2) {
+    return Status::InvalidArgument(
+        "need at least 2 labeled blobs to train the classifier");
+  }
+  std::vector<Vec> rows;
+  rows.reserve(examples.size());
+  for (const auto& ex : examples) rows.push_back(BlobShapeDescriptor(ex.blob));
+
+  VehicleClassifier classifier;
+  MIVID_ASSIGN_OR_RETURN(classifier.pca_,
+                         PcaModel::Fit(rows, num_components));
+
+  // Per-class centroid in PCA space.
+  std::map<VehicleType, std::pair<Vec, size_t>> acc;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    const Vec p = classifier.pca_.Project(rows[i]);
+    auto& [sum, n] = acc[examples[i].type];
+    if (sum.empty()) sum.assign(p.size(), 0.0);
+    for (size_t d = 0; d < p.size(); ++d) sum[d] += p[d];
+    ++n;
+  }
+  for (auto& [type, entry] : acc) {
+    auto& [sum, n] = entry;
+    for (double& v : sum) v /= static_cast<double>(n);
+    classifier.centroids_.emplace_back(type, sum);
+  }
+  return classifier;
+}
+
+double VehicleClassifier::ClassifyWithDistance(const Blob& blob,
+                                               VehicleType* type) const {
+  const Vec p = pca_.Project(BlobShapeDescriptor(blob));
+  double best = std::numeric_limits<double>::infinity();
+  VehicleType best_type = VehicleType::kCar;
+  for (const auto& [t, centroid] : centroids_) {
+    const double d = SquaredDistance(p, centroid);
+    if (d < best) {
+      best = d;
+      best_type = t;
+    }
+  }
+  if (type != nullptr) *type = best_type;
+  return std::sqrt(best);
+}
+
+VehicleType VehicleClassifier::Classify(const Blob& blob) const {
+  VehicleType type;
+  ClassifyWithDistance(blob, &type);
+  return type;
+}
+
+}  // namespace mivid

@@ -1,0 +1,54 @@
+// PCA-based vehicle classification (paper Sec. 3.1, ref [13]).
+//
+// The last phase of the tracking substrate classifies vehicle segments
+// into body classes (cars, SUVs, pick-up trucks, ...). Shape descriptors
+// of the segmented blob are projected onto a PCA basis fitted on labeled
+// examples and classified by the nearest class centroid in PCA space.
+
+#ifndef MIVID_TRACK_VEHICLE_CLASSIFIER_H_
+#define MIVID_TRACK_VEHICLE_CLASSIFIER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/pca.h"
+#include "segment/blob.h"
+#include "trafficsim/vehicle.h"
+
+namespace mivid {
+
+/// Shape descriptor of a vehicle blob: [width, height, area, aspect,
+/// fill-ratio (area / MBR area)].
+Vec BlobShapeDescriptor(const Blob& blob);
+
+/// A labeled training example.
+struct LabeledBlob {
+  Blob blob;
+  VehicleType type;
+};
+
+/// Nearest-centroid classifier in PCA shape space.
+class VehicleClassifier {
+ public:
+  /// Fits the PCA basis and per-class centroids. Requires >= 2 examples
+  /// overall and >= 1 example per class that should be recognizable.
+  static Result<VehicleClassifier> Train(
+      const std::vector<LabeledBlob>& examples, size_t num_components = 3);
+
+  /// Predicts the body class of a blob.
+  VehicleType Classify(const Blob& blob) const;
+
+  /// Distance to the predicted class centroid (confidence proxy; smaller
+  /// is more confident).
+  double ClassifyWithDistance(const Blob& blob, VehicleType* type) const;
+
+  const PcaModel& pca() const { return pca_; }
+
+ private:
+  PcaModel pca_;
+  std::vector<std::pair<VehicleType, Vec>> centroids_;  // in PCA space
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_TRACK_VEHICLE_CLASSIFIER_H_

@@ -1,0 +1,72 @@
+#include "trafficsim/driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mivid {
+
+namespace {
+
+/// IDM braking interaction term against an obstacle `gap` ahead moving at
+/// `obstacle_speed`.
+double IdmInteraction(const VehicleState& v, const DriverParams& p, double gap,
+                      double obstacle_speed) {
+  const double dv = v.speed - obstacle_speed;
+  const double s_star =
+      p.min_gap + std::max(0.0, v.speed * p.headway +
+                                    v.speed * dv /
+                                        (2.0 * std::sqrt(p.max_accel *
+                                                         p.comfort_decel)));
+  const double ratio = s_star / std::max(gap, 0.5);
+  return -p.max_accel * ratio * ratio;
+}
+
+}  // namespace
+
+double ComputeAcceleration(const VehicleState& vehicle,
+                           const DriverParams& params,
+                           const DriverView& view) {
+  const double v_ratio = vehicle.speed / std::max(params.desired_speed, 1e-6);
+  double accel = params.max_accel * (1.0 - std::pow(v_ratio, 4.0));
+
+  if (view.has_leader) {
+    accel += IdmInteraction(vehicle, params, view.leader_gap,
+                            view.leader_speed);
+  }
+  if (view.has_red_stop_line) {
+    // Treat the stop line as a stationary obstacle.
+    accel = std::min(accel, params.max_accel +
+                                IdmInteraction(vehicle, params,
+                                               view.stop_line_gap, 0.0));
+  }
+  return std::clamp(accel, -params.hard_decel, params.max_accel);
+}
+
+void AdvanceLaneFollow(VehicleState* vehicle, const Lane& lane,
+                       const DriverParams& params, const DriverView& view,
+                       Rng* rng) {
+  const double accel = ComputeAcceleration(*vehicle, params, view);
+  double speed = vehicle->speed + accel;
+  if (rng != nullptr && params.speed_jitter > 0) {
+    speed += rng->Gaussian(0.0, params.speed_jitter);
+  }
+  vehicle->speed = std::clamp(speed, 0.0, params.desired_speed * 1.6);
+  vehicle->s += vehicle->speed;
+  vehicle->heading = lane.HeadingAt(vehicle->s);
+
+  // In-lane wander: a damped random walk of the lateral offset, active
+  // only while moving (a parked car does not drift).
+  if (rng != nullptr && params.wander_accel > 0 && vehicle->speed > 0.3) {
+    vehicle->lateral_v = 0.9 * vehicle->lateral_v +
+                         rng->Gaussian(0.0, params.wander_accel) -
+                         0.02 * vehicle->lateral;  // spring back to center
+    vehicle->lateral =
+        std::clamp(vehicle->lateral + vehicle->lateral_v, -params.max_wander,
+                   params.max_wander);
+  }
+  const Point2 on_path = lane.PointAt(vehicle->s);
+  const Vec2 normal{-std::sin(vehicle->heading), std::cos(vehicle->heading)};
+  vehicle->position = on_path + normal * vehicle->lateral;
+}
+
+}  // namespace mivid

@@ -1,0 +1,51 @@
+// Normal (non-incident) driving behavior: car following and signal
+// compliance. A simplified Intelligent-Driver-Model longitudinal law.
+
+#ifndef MIVID_TRAFFICSIM_DRIVER_H_
+#define MIVID_TRAFFICSIM_DRIVER_H_
+
+#include "common/rng.h"
+#include "trafficsim/road.h"
+#include "trafficsim/vehicle.h"
+
+namespace mivid {
+
+/// Longitudinal driving parameters (pixels and frames as units).
+struct DriverParams {
+  double desired_speed = 3.0;    ///< free-flow target, px/frame
+  double max_accel = 0.12;       ///< px/frame^2
+  double comfort_decel = 0.25;   ///< px/frame^2
+  double hard_decel = 0.8;       ///< emergency braking bound
+  double min_gap = 6.0;          ///< standstill bumper gap, px
+  double headway = 6.0;          ///< desired time headway, frames
+  double speed_jitter = 0.06;    ///< per-frame random speed perturbation
+  double wander_accel = 0.02;    ///< random lateral drift acceleration
+  double max_wander = 3.0;       ///< lateral drift bound, px
+};
+
+/// What the driver can see ahead this frame.
+struct DriverView {
+  bool has_leader = false;
+  double leader_gap = 1e9;    ///< bumper-to-bumper gap along the lane, px
+  double leader_speed = 0.0;  ///< px/frame
+
+  bool has_red_stop_line = false;
+  double stop_line_gap = 1e9;  ///< distance to the stop line, px
+};
+
+/// Computes the longitudinal acceleration for a lane-following vehicle.
+///
+/// Combines an IDM-style car-following term with a virtual stationary
+/// obstacle at a red stop line; returns the most restrictive deceleration.
+double ComputeAcceleration(const VehicleState& vehicle,
+                           const DriverParams& params, const DriverView& view);
+
+/// Applies one integration step of lane-following motion.
+/// Updates speed (with jitter), arclength, position and heading.
+void AdvanceLaneFollow(VehicleState* vehicle, const Lane& lane,
+                       const DriverParams& params, const DriverView& view,
+                       Rng* rng);
+
+}  // namespace mivid
+
+#endif  // MIVID_TRAFFICSIM_DRIVER_H_

@@ -1,0 +1,625 @@
+#include "trafficsim/incident.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mivid {
+
+const char* IncidentTypeName(IncidentType type) {
+  switch (type) {
+    case IncidentType::kWallCrash:
+      return "wall_crash";
+    case IncidentType::kSuddenStop:
+      return "sudden_stop";
+    case IncidentType::kRearEnd:
+      return "rear_end";
+    case IncidentType::kCrossCollision:
+      return "cross_collision";
+    case IncidentType::kUTurn:
+      return "u_turn";
+    case IncidentType::kSpeeding:
+      return "speeding";
+  }
+  return "?";
+}
+
+bool IsAccidentType(IncidentType type) {
+  switch (type) {
+    case IncidentType::kWallCrash:
+    case IncidentType::kSuddenStop:
+    case IncidentType::kRearEnd:
+    case IncidentType::kCrossCollision:
+      return true;
+    case IncidentType::kUTurn:
+    case IncidentType::kSpeeding:
+      return false;
+  }
+  return false;
+}
+
+VehicleState* IncidentExecutor::Find(std::vector<VehicleState>* vehicles,
+                                     int id) const {
+  for (auto& v : *vehicles) {
+    if (v.id == id) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// True when the vehicle is a sane pick: active, lane-following, not
+/// already owned by another executor, visible with margin, and moving.
+bool Pickable(const VehicleState& v, const RoadLayout& layout, double margin) {
+  return v.active() && v.mode == MotionMode::kLaneFollow &&
+         !v.incident_controlled && v.position.x > margin &&
+         v.position.x < layout.width - margin && v.position.y > margin &&
+         v.position.y < layout.height - margin && v.speed > 0.5;
+}
+
+// ---------------------------------------------------------------------------
+// Wall crash (tunnel): speed up, veer into the wall, hard stop, sit, despawn.
+// ---------------------------------------------------------------------------
+class WallCrashExecutor : public IncidentExecutor {
+ public:
+  WallCrashExecutor(const IncidentSpec& spec, Rng* rng)
+      : spec_(spec), rng_(rng) {
+    record_.type = IncidentType::kWallCrash;
+  }
+
+  bool TryStart(int frame, std::vector<VehicleState>* vehicles,
+                const RoadLayout& layout) override {
+    if (layout.walls.empty()) return false;
+    // Prefer a vehicle with room ahead to build speed before the veer.
+    for (auto& v : *vehicles) {
+      if (Pickable(v, layout, 40.0) && v.position.x < layout.width * 0.55) {
+        controlled_ = {v.id};
+        record_.begin_frame = frame;
+        record_.vehicle_ids = {v.id};
+        veer_up_ = v.lane_id == 0;  // lane 0 hugs the upper wall
+        v.mode = MotionMode::kFree;
+        phase_ = Phase::kSpeedUp;
+        phase_frames_ = 0;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Step(int frame, std::vector<VehicleState>* vehicles,
+            const RoadLayout& layout) override {
+    VehicleState* v = Find(vehicles, controlled_[0]);
+    if (v == nullptr || !v->active()) {
+      record_.end_frame = frame;
+      return false;
+    }
+    ++phase_frames_;
+    switch (phase_) {
+      case Phase::kSpeedUp:
+        v->speed = std::min(v->speed + 0.35, 6.5);
+        Integrate(v);
+        if (phase_frames_ >= 10) {
+          phase_ = Phase::kVeer;
+          phase_frames_ = 0;
+        }
+        break;
+      case Phase::kVeer: {
+        v->heading += (veer_up_ ? -1.0 : 1.0) * 0.05;
+        Integrate(v);
+        bool hit = false;
+        for (const auto& wall : layout.walls) {
+          if (v->Mbr().Intersects(wall)) hit = true;
+        }
+        if (hit || phase_frames_ > 40) {
+          phase_ = Phase::kStopped;
+          phase_frames_ = 0;
+          v->speed = 0.0;
+          v->heading += rng_->Uniform(-0.3, 0.3);  // impact deflection
+        }
+        break;
+      }
+      case Phase::kStopped:
+        v->speed = 0.0;
+        if (phase_frames_ >= spec_.hold_frames) {
+          v->mode = MotionMode::kInactive;  // scene cleared
+          record_.end_frame = frame;
+          return false;
+        }
+        break;
+    }
+    return true;
+  }
+
+ private:
+  enum class Phase { kSpeedUp, kVeer, kStopped };
+
+  static void Integrate(VehicleState* v) {
+    v->position.x += v->speed * std::cos(v->heading);
+    v->position.y += v->speed * std::sin(v->heading);
+  }
+
+  IncidentSpec spec_;
+  Rng* rng_;
+  Phase phase_ = Phase::kSpeedUp;
+  int phase_frames_ = 0;
+  bool veer_up_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Sudden stop: hard braking to standstill, brief hold, resume driving.
+// ---------------------------------------------------------------------------
+class SuddenStopExecutor : public IncidentExecutor {
+ public:
+  explicit SuddenStopExecutor(const IncidentSpec& spec) : spec_(spec) {
+    record_.type = IncidentType::kSuddenStop;
+  }
+
+  bool TryStart(int frame, std::vector<VehicleState>* vehicles,
+                const RoadLayout& layout) override {
+    for (auto& v : *vehicles) {
+      if (Pickable(v, layout, 30.0)) {
+        controlled_ = {v.id};
+        record_.begin_frame = frame;
+        record_.vehicle_ids = {v.id};
+        phase_ = Phase::kBrake;
+        phase_frames_ = 0;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Step(int frame, std::vector<VehicleState>* vehicles,
+            const RoadLayout& layout) override {
+    VehicleState* v = Find(vehicles, controlled_[0]);
+    if (v == nullptr || !v->active()) {
+      record_.end_frame = frame;
+      return false;
+    }
+    const Lane& lane = layout.lane(v->lane_id);
+    ++phase_frames_;
+    switch (phase_) {
+      case Phase::kBrake:
+        v->speed = std::max(0.0, v->speed - 0.7);
+        AdvanceAlongLane(v, lane);
+        if (v->speed <= 0.0) {
+          phase_ = Phase::kHold;
+          phase_frames_ = 0;
+        }
+        break;
+      case Phase::kHold:
+        if (phase_frames_ >= spec_.hold_frames) {
+          phase_ = Phase::kResume;
+          phase_frames_ = 0;
+        }
+        break;
+      case Phase::kResume:
+        v->speed = std::min(lane.speed_limit(), v->speed + 0.15);
+        AdvanceAlongLane(v, lane);
+        if (v->speed >= lane.speed_limit() - 0.05) {
+          v->mode = MotionMode::kLaneFollow;  // hand back to normal driving
+          record_.end_frame = frame;
+          return false;
+        }
+        break;
+    }
+    return true;
+  }
+
+ private:
+  enum class Phase { kBrake, kHold, kResume };
+
+  static void AdvanceAlongLane(VehicleState* v, const Lane& lane) {
+    v->s += v->speed;
+    v->position = lane.PointAt(v->s);
+    v->heading = lane.HeadingAt(v->s);
+  }
+
+  IncidentSpec spec_;
+  Phase phase_ = Phase::kBrake;
+  int phase_frames_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Rear end: leader brakes hard; follower is distracted and bumps it.
+// ---------------------------------------------------------------------------
+class RearEndExecutor : public IncidentExecutor {
+ public:
+  RearEndExecutor(const IncidentSpec& spec, Rng* rng)
+      : spec_(spec), rng_(rng) {
+    record_.type = IncidentType::kRearEnd;
+  }
+
+  bool TryStart(int frame, std::vector<VehicleState>* vehicles,
+                const RoadLayout& layout) override {
+    // Find a (leader, follower) pair in the same lane with a closable gap.
+    for (auto& lead : *vehicles) {
+      if (!Pickable(lead, layout, 30.0)) continue;
+      for (auto& fol : *vehicles) {
+        if (fol.id == lead.id || fol.lane_id != lead.lane_id) continue;
+        if (!fol.active() || fol.mode != MotionMode::kLaneFollow ||
+            fol.incident_controlled) {
+          continue;
+        }
+        const double gap = lead.s - fol.s;
+        if (gap > 15.0 && gap < 90.0) {
+          controlled_ = {lead.id, fol.id};
+          record_.begin_frame = frame;
+          record_.vehicle_ids = {lead.id, fol.id};
+          phase_ = Phase::kClosing;
+          phase_frames_ = 0;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool Step(int frame, std::vector<VehicleState>* vehicles,
+            const RoadLayout& layout) override {
+    VehicleState* lead = Find(vehicles, controlled_[0]);
+    VehicleState* fol = Find(vehicles, controlled_[1]);
+    if (lead == nullptr || fol == nullptr || !lead->active() ||
+        !fol->active()) {
+      record_.end_frame = frame;
+      return false;
+    }
+    const Lane& lane = layout.lane(lead->lane_id);
+    ++phase_frames_;
+    switch (phase_) {
+      case Phase::kClosing: {
+        // Leader brakes hard; follower keeps rolling (distracted).
+        lead->speed = std::max(0.0, lead->speed - 0.6);
+        fol->speed = std::max(fol->speed, 2.2);
+        Advance(lead, lane);
+        Advance(fol, lane);
+        const double bumper_gap =
+            (lead->s - fol->s) -
+            (DimsFor(lead->type).length + DimsFor(fol->type).length) / 2.0;
+        if (bumper_gap <= 1.0) {
+          // Impact: both stop, follower's nose deflects.
+          lead->speed = 0.0;
+          fol->speed = 0.0;
+          fol->heading += rng_->Uniform(-0.25, 0.25);
+          lead->s += 2.0;  // shunted forward
+          lead->position = lane.PointAt(lead->s);
+          phase_ = Phase::kStopped;
+          phase_frames_ = 0;
+        } else if (phase_frames_ > 80) {
+          // Never closed (leader was too far ahead); abort gracefully.
+          lead->mode = MotionMode::kLaneFollow;
+          fol->mode = MotionMode::kLaneFollow;
+          record_.end_frame = frame;
+          return false;
+        }
+        break;
+      }
+      case Phase::kStopped:
+        if (phase_frames_ >= spec_.hold_frames) {
+          lead->mode = MotionMode::kInactive;
+          fol->mode = MotionMode::kInactive;
+          record_.end_frame = frame;
+          return false;
+        }
+        break;
+    }
+    return true;
+  }
+
+ private:
+  enum class Phase { kClosing, kStopped };
+
+  static void Advance(VehicleState* v, const Lane& lane) {
+    v->s += v->speed;
+    v->position = lane.PointAt(v->s);
+    v->heading = lane.HeadingAt(v->s);
+  }
+
+  IncidentSpec spec_;
+  Rng* rng_;
+  Phase phase_ = Phase::kClosing;
+  int phase_frames_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Cross collision (intersection): a red-light runner times its approach to
+// strike a crossing vehicle inside the conflict box.
+// ---------------------------------------------------------------------------
+class CrossCollisionExecutor : public IncidentExecutor {
+ public:
+  CrossCollisionExecutor(const IncidentSpec& spec, Rng* rng)
+      : spec_(spec), rng_(rng) {
+    record_.type = IncidentType::kCrossCollision;
+  }
+
+  bool TryStart(int frame, std::vector<VehicleState>* vehicles,
+                const RoadLayout& layout) override {
+    if (layout.lanes.size() < 4) return false;
+    const Point2 center(static_cast<double>(layout.width) / 2,
+                        static_cast<double>(layout.height) / 2);
+    // Runner: approaching on a horizontal lane; victim: on a vertical lane.
+    int runner = -1, victim = -1;
+    double runner_d = 0, victim_d = 0;
+    for (auto& v : *vehicles) {
+      if (!v.active() || v.mode != MotionMode::kLaneFollow ||
+          v.incident_controlled) {
+        continue;
+      }
+      const Lane& lane = layout.lane(v.lane_id);
+      const double d = DistanceToPointAlongLane(lane, v.s, center);
+      if (d < 25.0 || d > 110.0) continue;
+      // Runner comes from the straight horizontal lanes, victim from the
+      // straight vertical lanes (the ETA pacing assumes straight paths).
+      if (v.lane_id <= 1 && runner < 0) {
+        runner = v.id;
+        runner_d = d;
+      } else if ((v.lane_id == 2 || v.lane_id == 3) && victim < 0 &&
+                 v.speed > 0.8) {
+        victim = v.id;
+        victim_d = d;
+      }
+    }
+    if (runner < 0 || victim < 0) return false;
+    (void)runner_d;
+    (void)victim_d;
+    controlled_ = {runner, victim};
+    record_.begin_frame = frame;
+    record_.vehicle_ids = {runner, victim};
+    phase_ = Phase::kApproach;
+    phase_frames_ = 0;
+    return true;
+  }
+
+  bool Step(int frame, std::vector<VehicleState>* vehicles,
+            const RoadLayout& layout) override {
+    VehicleState* runner = Find(vehicles, controlled_[0]);
+    VehicleState* victim = Find(vehicles, controlled_[1]);
+    if (runner == nullptr || victim == nullptr || !runner->active() ||
+        !victim->active()) {
+      record_.end_frame = frame;
+      return false;
+    }
+    ++phase_frames_;
+    switch (phase_) {
+      case Phase::kApproach: {
+        const Point2 center(static_cast<double>(layout.width) / 2,
+                            static_cast<double>(layout.height) / 2);
+        const Lane& rl = layout.lane(runner->lane_id);
+        const Lane& vl = layout.lane(victim->lane_id);
+        // Victim proceeds at its own pace; runner paces itself to arrive at
+        // the conflict point simultaneously (and ignores the red light).
+        const double dv = DistanceToPointAlongLane(vl, victim->s, center);
+        const double dr = DistanceToPointAlongLane(rl, runner->s, center);
+        victim->speed = std::max(victim->speed, 1.6);
+        const double eta = dv / std::max(victim->speed, 0.5);
+        runner->speed = std::clamp(dr / std::max(eta, 1.0), 1.8, 6.0);
+        Advance(runner, rl);
+        Advance(victim, vl);
+        if (Distance(runner->position, victim->position) <
+            (DimsFor(runner->type).length + DimsFor(victim->type).length) /
+                2.0) {
+          // Impact: both deflect and halt within a couple of frames.
+          runner->mode = MotionMode::kFree;
+          victim->mode = MotionMode::kFree;
+          runner->heading += rng_->Uniform(0.5, 0.9);
+          victim->heading -= rng_->Uniform(0.5, 0.9);
+          runner->speed = 0.8;
+          victim->speed = 0.8;
+          phase_ = Phase::kImpact;
+          phase_frames_ = 0;
+        } else if (phase_frames_ > 120) {
+          record_.end_frame = frame;  // missed; give up
+          return false;
+        }
+        break;
+      }
+      case Phase::kImpact:
+        IntegrateFree(runner);
+        IntegrateFree(victim);
+        runner->speed = std::max(0.0, runner->speed - 0.4);
+        victim->speed = std::max(0.0, victim->speed - 0.4);
+        if (phase_frames_ >= 4) {
+          runner->speed = 0.0;
+          victim->speed = 0.0;
+          phase_ = Phase::kStopped;
+          phase_frames_ = 0;
+        }
+        break;
+      case Phase::kStopped:
+        if (phase_frames_ >= spec_.hold_frames) {
+          runner->mode = MotionMode::kInactive;
+          victim->mode = MotionMode::kInactive;
+          record_.end_frame = frame;
+          return false;
+        }
+        break;
+    }
+    return true;
+  }
+
+ private:
+  enum class Phase { kApproach, kImpact, kStopped };
+
+  /// Signed remaining distance along the lane to the closest approach of
+  /// `target`; large when already past it.
+  static double DistanceToPointAlongLane(const Lane& lane, double s,
+                                         const Point2& target) {
+    // Lanes here are straight; project the target onto the lane direction.
+    const Point2 here = lane.PointAt(s);
+    const double heading = lane.HeadingAt(s);
+    const Vec2 dir{std::cos(heading), std::sin(heading)};
+    const double along = (target - here).Dot(dir);
+    return along > 0 ? along : 1e9;
+  }
+
+  static void Advance(VehicleState* v, const Lane& lane) {
+    v->s += v->speed;
+    v->position = lane.PointAt(v->s);
+    v->heading = lane.HeadingAt(v->s);
+  }
+
+  static void IntegrateFree(VehicleState* v) {
+    v->position.x += v->speed * std::cos(v->heading);
+    v->position.y += v->speed * std::sin(v->heading);
+  }
+
+  IncidentSpec spec_;
+  Rng* rng_;
+  Phase phase_ = Phase::kApproach;
+  int phase_frames_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// U-turn: slow down, swing through 180 degrees, drive back out.
+// ---------------------------------------------------------------------------
+class UTurnExecutor : public IncidentExecutor {
+ public:
+  explicit UTurnExecutor(const IncidentSpec& spec) : spec_(spec) {
+    record_.type = IncidentType::kUTurn;
+  }
+
+  bool TryStart(int frame, std::vector<VehicleState>* vehicles,
+                const RoadLayout& layout) override {
+    for (auto& v : *vehicles) {
+      if (Pickable(v, layout, 45.0)) {
+        controlled_ = {v.id};
+        record_.begin_frame = frame;
+        record_.vehicle_ids = {v.id};
+        v.mode = MotionMode::kFree;
+        phase_ = Phase::kSlow;
+        phase_frames_ = 0;
+        turned_ = 0.0;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Step(int frame, std::vector<VehicleState>* vehicles,
+            const RoadLayout& layout) override {
+    (void)layout;
+    VehicleState* v = Find(vehicles, controlled_[0]);
+    if (v == nullptr || !v->active()) {
+      record_.end_frame = frame;
+      return false;
+    }
+    ++phase_frames_;
+    switch (phase_) {
+      case Phase::kSlow:
+        v->speed = std::max(1.2, v->speed - 0.3);
+        Integrate(v);
+        if (v->speed <= 1.25) {
+          phase_ = Phase::kTurn;
+          phase_frames_ = 0;
+        }
+        break;
+      case Phase::kTurn: {
+        const double step = M_PI / 12.0;  // tight half circle in 12 frames
+        v->heading += step;
+        turned_ += step;
+        Integrate(v);
+        if (turned_ >= M_PI) {
+          phase_ = Phase::kDepart;
+          phase_frames_ = 0;
+        }
+        break;
+      }
+      case Phase::kDepart:
+        v->speed = std::min(2.6, v->speed + 0.1);
+        Integrate(v);
+        if (phase_frames_ >= 10) {
+          // The abnormal maneuver is over; the vehicle free-runs out of
+          // frame and the world despawns it at the boundary.
+          record_.end_frame = frame;
+          return false;
+        }
+        break;
+    }
+    return true;
+  }
+
+ private:
+  enum class Phase { kSlow, kTurn, kDepart };
+
+  static void Integrate(VehicleState* v) {
+    v->position.x += v->speed * std::cos(v->heading);
+    v->position.y += v->speed * std::sin(v->heading);
+  }
+
+  IncidentSpec spec_;
+  Phase phase_ = Phase::kSlow;
+  int phase_frames_ = 0;
+  double turned_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Speeding: sustained driving at roughly double the limit until exit.
+// ---------------------------------------------------------------------------
+class SpeedingExecutor : public IncidentExecutor {
+ public:
+  explicit SpeedingExecutor(const IncidentSpec& spec) : spec_(spec) {
+    record_.type = IncidentType::kSpeeding;
+  }
+
+  bool TryStart(int frame, std::vector<VehicleState>* vehicles,
+                const RoadLayout& layout) override {
+    for (auto& v : *vehicles) {
+      if (Pickable(v, layout, 25.0)) {
+        controlled_ = {v.id};
+        record_.begin_frame = frame;
+        record_.vehicle_ids = {v.id};
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Step(int frame, std::vector<VehicleState>* vehicles,
+            const RoadLayout& layout) override {
+    VehicleState* v = Find(vehicles, controlled_[0]);
+    if (v == nullptr || !v->active()) {
+      record_.end_frame = frame;
+      return false;
+    }
+    const Lane& lane = layout.lane(v->lane_id);
+    // Aggressive launch: floors it to well over twice the limit.
+    const double target = lane.speed_limit() * 2.3;
+    v->speed = std::min(target, v->speed + 0.7);
+    v->s += v->speed;
+    v->position = lane.PointAt(v->s);
+    v->heading = lane.HeadingAt(v->s);
+    if (v->s >= lane.Length() - 1.0) {
+      v->mode = MotionMode::kInactive;
+      record_.end_frame = frame;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  IncidentSpec spec_;
+};
+
+}  // namespace
+
+std::unique_ptr<IncidentExecutor> MakeIncidentExecutor(const IncidentSpec& spec,
+                                                       Rng* rng) {
+  switch (spec.type) {
+    case IncidentType::kWallCrash:
+      return std::make_unique<WallCrashExecutor>(spec, rng);
+    case IncidentType::kSuddenStop:
+      return std::make_unique<SuddenStopExecutor>(spec);
+    case IncidentType::kRearEnd:
+      return std::make_unique<RearEndExecutor>(spec, rng);
+    case IncidentType::kCrossCollision:
+      return std::make_unique<CrossCollisionExecutor>(spec, rng);
+    case IncidentType::kUTurn:
+      return std::make_unique<UTurnExecutor>(spec);
+    case IncidentType::kSpeeding:
+      return std::make_unique<SpeedingExecutor>(spec);
+  }
+  return nullptr;
+}
+
+}  // namespace mivid

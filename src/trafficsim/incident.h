@@ -1,0 +1,94 @@
+// Incident injection for the traffic simulator.
+//
+// The paper's query targets are incidents "such as car crash, bumping,
+// U-turn and speeding" (Sec. 1). Each incident type is a small behavior
+// state machine that takes over one or two vehicles at a scheduled frame,
+// drives them through the abnormal maneuver, and logs a ground-truth record
+// (type, frame interval, involved vehicle ids) used by the feedback oracle.
+
+#ifndef MIVID_TRAFFICSIM_INCIDENT_H_
+#define MIVID_TRAFFICSIM_INCIDENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trafficsim/road.h"
+#include "trafficsim/vehicle.h"
+
+namespace mivid {
+
+/// The incident vocabulary from the paper's introduction.
+enum class IncidentType : uint8_t {
+  kWallCrash = 0,      ///< speeding vehicle loses control, hits tunnel wall
+  kSuddenStop = 1,     ///< hard braking to a standstill, then resume
+  kRearEnd = 2,        ///< follower fails to brake, bumps its leader
+  kCrossCollision = 3, ///< red-light runner strikes crossing traffic
+  kUTurn = 4,          ///< illegal U-turn
+  kSpeeding = 5,       ///< sustained driving far above the limit
+};
+
+const char* IncidentTypeName(IncidentType type);
+
+/// True for incident types that a user querying "accidents" would label
+/// relevant (crashes, bumps, sudden stops) as opposed to U-turns/speeding.
+bool IsAccidentType(IncidentType type);
+
+/// Scheduled incident in a scenario script.
+struct IncidentSpec {
+  IncidentType type = IncidentType::kSuddenStop;
+  int trigger_frame = 0;     ///< first frame the executor may start
+  int hold_frames = 30;      ///< post-impact standstill duration
+};
+
+/// Ground-truth record emitted once an incident has played out.
+struct IncidentRecord {
+  IncidentType type = IncidentType::kSuddenStop;
+  int begin_frame = -1;  ///< first frame of abnormal behavior
+  int end_frame = -1;    ///< last frame of abnormal behavior, inclusive
+  std::vector<int> vehicle_ids;
+
+  /// True when [begin_frame, end_frame] overlaps [lo, hi].
+  bool Overlaps(int lo, int hi) const {
+    return begin_frame >= 0 && begin_frame <= hi && end_frame >= lo;
+  }
+};
+
+/// Drives one scheduled incident. The world calls TryStart each frame from
+/// `trigger_frame` until the executor binds vehicles, then Step each frame
+/// until it reports completion. Controlled vehicles are skipped by the
+/// normal driving logic.
+class IncidentExecutor {
+ public:
+  virtual ~IncidentExecutor() = default;
+
+  /// Attempts to bind suitable vehicles at `frame`. Returns false to defer
+  /// (e.g. no vehicle currently in a usable position).
+  virtual bool TryStart(int frame, std::vector<VehicleState>* vehicles,
+                        const RoadLayout& layout) = 0;
+
+  /// Advances the maneuver one frame. Returns false when finished.
+  virtual bool Step(int frame, std::vector<VehicleState>* vehicles,
+                    const RoadLayout& layout) = 0;
+
+  /// Vehicle ids currently controlled by this executor.
+  const std::vector<int>& controlled_ids() const { return controlled_; }
+
+  /// The ground-truth record (valid once the maneuver has started).
+  const IncidentRecord& record() const { return record_; }
+
+ protected:
+  VehicleState* Find(std::vector<VehicleState>* vehicles, int id) const;
+
+  std::vector<int> controlled_;
+  IncidentRecord record_;
+};
+
+/// Factory for the executor matching `spec.type`.
+std::unique_ptr<IncidentExecutor> MakeIncidentExecutor(const IncidentSpec& spec,
+                                                       Rng* rng);
+
+}  // namespace mivid
+
+#endif  // MIVID_TRAFFICSIM_INCIDENT_H_

@@ -1,0 +1,127 @@
+#include "trafficsim/road.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mivid {
+
+Lane::Lane(int id, std::vector<Point2> waypoints, double speed_limit)
+    : id_(id), waypoints_(std::move(waypoints)), speed_limit_(speed_limit) {
+  assert(waypoints_.size() >= 2);
+  cumulative_.resize(waypoints_.size(), 0.0);
+  for (size_t i = 1; i < waypoints_.size(); ++i) {
+    cumulative_[i] =
+        cumulative_[i - 1] + Distance(waypoints_[i - 1], waypoints_[i]);
+  }
+  total_length_ = cumulative_.back();
+}
+
+Point2 Lane::PointAt(double s) const {
+  s = std::clamp(s, 0.0, total_length_);
+  // Find the segment containing s.
+  size_t hi = 1;
+  while (hi + 1 < cumulative_.size() && cumulative_[hi] < s) ++hi;
+  const double seg_len = cumulative_[hi] - cumulative_[hi - 1];
+  const double t = seg_len > 0 ? (s - cumulative_[hi - 1]) / seg_len : 0.0;
+  return waypoints_[hi - 1] + (waypoints_[hi] - waypoints_[hi - 1]) * t;
+}
+
+double Lane::HeadingAt(double s) const {
+  s = std::clamp(s, 0.0, total_length_);
+  size_t hi = 1;
+  while (hi + 1 < cumulative_.size() && cumulative_[hi] < s) ++hi;
+  const Point2 d = waypoints_[hi] - waypoints_[hi - 1];
+  return std::atan2(d.y, d.x);
+}
+
+bool RoadLayout::IsGreen(int group, int frame) const {
+  if (group < 0 || num_signal_groups <= 0 || signal_phase_frames <= 0) {
+    return true;
+  }
+  const int cycle = num_signal_groups * signal_phase_frames;
+  const int phase = (frame % cycle) / signal_phase_frames;
+  return phase == group;
+}
+
+RoadLayout MakeTunnelLayout() {
+  RoadLayout layout;
+  layout.name = "tunnel";
+  layout.width = 320;
+  layout.height = 240;
+  layout.background_shade = 40;  // dark tunnel interior
+  layout.road_shade = 70;
+
+  // Roadway band across the middle of the image. Vehicles enter from the
+  // left off-screen and exit right. Two eastbound lanes.
+  layout.road_surface.push_back(BBox(0, 96, 320, 152));
+  layout.lanes.push_back(
+      Lane(0, {{-40.0, 110.0}, {360.0, 110.0}}, /*speed_limit=*/3.0));
+  layout.lanes.push_back(
+      Lane(1, {{-40.0, 138.0}, {360.0, 138.0}}, /*speed_limit=*/3.2));
+
+  // Tunnel side walls directly above / below the roadway.
+  layout.walls.push_back(BBox(0, 84, 320, 95));
+  layout.walls.push_back(BBox(0, 153, 320, 164));
+  return layout;
+}
+
+RoadLayout MakeIntersectionLayout() {
+  RoadLayout layout;
+  layout.name = "intersection";
+  layout.width = 320;
+  layout.height = 240;
+  layout.background_shade = 110;  // daylight asphalt surroundings
+  layout.road_shade = 72;
+
+  // Horizontal road (eastbound + westbound) and vertical road
+  // (southbound + northbound) crossing at the image center.
+  layout.road_surface.push_back(BBox(0, 92, 320, 148));   // horizontal
+  layout.road_surface.push_back(BBox(132, 0, 188, 240));  // vertical
+
+  // Signal plan: group 0 = east-west green, group 1 = north-south green.
+  layout.num_signal_groups = 2;
+  layout.signal_phase_frames = 110;
+
+  // Stop lines sit ~14 px before the conflict box edges.
+  // Lane 0: eastbound, y = 106.
+  Lane east(0, {{-40.0, 106.0}, {360.0, 106.0}}, 2.6);
+  east.SetStopLine(0, /*s=*/40.0 + 118.0);  // x = 118 (box starts at 132)
+  // Lane 1: westbound, y = 134.
+  Lane west(1, {{360.0, 134.0}, {-40.0, 134.0}}, 2.6);
+  west.SetStopLine(0, /*s=*/360.0 - 202.0);  // x = 202 (box ends at 188)
+  // Lane 2: southbound, x = 146.
+  Lane south(2, {{146.0, -40.0}, {146.0, 280.0}}, 2.4);
+  south.SetStopLine(1, /*s=*/40.0 + 78.0);  // y = 78 (box starts at 92)
+  // Lane 3: northbound, x = 174.
+  Lane north(3, {{174.0, 280.0}, {174.0, -40.0}}, 2.4);
+  north.SetStopLine(1, /*s=*/280.0 - 162.0);  // y = 162 (box ends at 148)
+
+  // Turning movements: benign direction changes are a fixture of real
+  // intersections and an important distractor for direction-change
+  // features. Lane 4 turns right from eastbound to southbound; lane 5
+  // turns from westbound to northbound.
+  Lane east_to_south(4,
+                     {{-40.0, 106.0},
+                      {124.0, 106.0},
+                      {142.0, 111.0},
+                      {150.0, 122.0},
+                      {153.0, 138.0},
+                      {153.0, 280.0}},
+                     2.4);
+  east_to_south.SetStopLine(0, /*s=*/40.0 + 118.0);
+  Lane west_to_north(5,
+                     {{360.0, 134.0},
+                      {208.0, 134.0},
+                      {191.0, 128.0},
+                      {181.0, 116.0},
+                      {180.0, 102.0},
+                      {180.0, -40.0}},
+                     2.4);
+  west_to_north.SetStopLine(0, /*s=*/360.0 - 202.0);
+
+  layout.lanes = {east, west, south, north, east_to_south, west_to_north};
+  return layout;
+}
+
+}  // namespace mivid

@@ -1,0 +1,86 @@
+// Road geometry for the traffic scene simulator.
+//
+// A RoadLayout is a set of lanes (polyline paths with arclength
+// parameterization), optional walls (the tunnel scenario), and an optional
+// signal plan (the intersection scenario). The two built-in layouts mirror
+// the paper's two test clips: a tunnel and a road intersection.
+
+#ifndef MIVID_TRAFFICSIM_ROAD_H_
+#define MIVID_TRAFFICSIM_ROAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace mivid {
+
+/// One driving lane: a polyline path vehicles follow, parameterized by
+/// arclength s in [0, Length()].
+class Lane {
+ public:
+  Lane() = default;
+  Lane(int id, std::vector<Point2> waypoints, double speed_limit);
+
+  int id() const { return id_; }
+  double speed_limit() const { return speed_limit_; }
+  double Length() const { return total_length_; }
+
+  /// World position at arclength `s` (clamped to [0, Length()]).
+  Point2 PointAt(double s) const;
+
+  /// Path heading (radians) at arclength `s`.
+  double HeadingAt(double s) const;
+
+  /// Signal group controlling this lane's stop line, or -1 if uncontrolled.
+  int signal_group() const { return signal_group_; }
+  /// Arclength of the stop line; vehicles hold here on red.
+  double stop_line_s() const { return stop_line_s_; }
+
+  void SetStopLine(int group, double s) {
+    signal_group_ = group;
+    stop_line_s_ = s;
+  }
+
+ private:
+  int id_ = -1;
+  std::vector<Point2> waypoints_;
+  std::vector<double> cumulative_;  // arclength at each waypoint
+  double total_length_ = 0.0;
+  double speed_limit_ = 3.0;
+  int signal_group_ = -1;
+  double stop_line_s_ = -1.0;
+};
+
+/// A complete static scene: lanes, walls, signal plan, image size.
+struct RoadLayout {
+  std::string name;
+  int width = 320;   ///< rendered frame width in pixels
+  int height = 240;  ///< rendered frame height in pixels
+  std::vector<Lane> lanes;
+  std::vector<BBox> walls;  ///< solid obstacles (tunnel side walls)
+  uint8_t background_shade = 96;
+  uint8_t road_shade = 64;
+  std::vector<BBox> road_surface;  ///< drawn with road_shade
+
+  /// Fixed-time signal plan: group g is green during its phase window.
+  int num_signal_groups = 0;
+  int signal_phase_frames = 0;  ///< frames per green phase
+
+  /// True when signal `group` shows green at `frame`. Uncontrolled (-1)
+  /// is always green.
+  bool IsGreen(int group, int frame) const;
+
+  const Lane& lane(int id) const { return lanes[static_cast<size_t>(id)]; }
+};
+
+/// Straight two-lane tunnel, eastbound, with side walls (paper clip 1).
+RoadLayout MakeTunnelLayout();
+
+/// Four-approach intersection with a fixed two-phase signal (paper clip 2).
+RoadLayout MakeIntersectionLayout();
+
+}  // namespace mivid
+
+#endif  // MIVID_TRAFFICSIM_ROAD_H_

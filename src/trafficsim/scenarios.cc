@@ -1,0 +1,119 @@
+#include "trafficsim/scenarios.h"
+
+#include <algorithm>
+
+namespace mivid {
+
+namespace {
+
+VehicleType RandomType(Rng* rng) {
+  const double u = rng->Uniform();
+  if (u < 0.55) return VehicleType::kCar;
+  if (u < 0.75) return VehicleType::kSuv;
+  if (u < 0.92) return VehicleType::kPickup;
+  return VehicleType::kTruck;
+}
+
+uint8_t RandomShade(Rng* rng) {
+  return static_cast<uint8_t>(rng->UniformInt(170, 235));
+}
+
+/// Spreads `count` incident triggers of `type` across [lo, hi] with jitter.
+void ScheduleIncidents(std::vector<IncidentSpec>* out, IncidentType type,
+                       int count, int lo, int hi, int hold_frames, Rng* rng) {
+  if (count <= 0) return;
+  const double span = static_cast<double>(hi - lo) / count;
+  for (int i = 0; i < count; ++i) {
+    IncidentSpec spec;
+    spec.type = type;
+    spec.trigger_frame = lo + static_cast<int>(
+        span * i + rng->Uniform(0.15, 0.55) * span);
+    spec.hold_frames = hold_frames;
+    out->push_back(spec);
+  }
+}
+
+}  // namespace
+
+ScenarioSpec MakeTunnelScenario(const TunnelScenarioOptions& options) {
+  ScenarioSpec spec;
+  spec.name = "tunnel";
+  spec.layout = MakeTunnelLayout();
+  spec.total_frames = options.total_frames;
+  spec.seed = options.seed;
+  spec.driver.desired_speed = 3.0;
+
+  Rng rng(options.seed);
+  double t = rng.Uniform(5.0, 40.0);
+  int lane = 0;
+  while (t < options.total_frames - 60) {
+    SpawnSpec s;
+    s.frame = static_cast<int>(t);
+    s.lane_id = lane;
+    lane = 1 - lane;  // alternate lanes
+    s.type = RandomType(&rng);
+    s.shade = RandomShade(&rng);
+    s.speed = rng.Uniform(2.6, 3.2);
+    spec.spawns.push_back(s);
+    t += rng.Uniform(options.min_spawn_gap, options.max_spawn_gap);
+  }
+
+  // Scatter incidents across the clip, leaving the edges clear.
+  const int lo = 120, hi = options.total_frames - 200;
+  ScheduleIncidents(&spec.incidents, IncidentType::kWallCrash,
+                    options.num_wall_crashes, lo, hi, /*hold=*/15, &rng);
+  ScheduleIncidents(&spec.incidents, IncidentType::kSuddenStop,
+                    options.num_sudden_stops, lo, hi, /*hold=*/15, &rng);
+  ScheduleIncidents(&spec.incidents, IncidentType::kSpeeding,
+                    options.num_speeding, lo, hi, /*hold=*/0, &rng);
+  ScheduleIncidents(&spec.incidents, IncidentType::kUTurn, options.num_uturns,
+                    lo, hi, /*hold=*/0, &rng);
+  std::sort(spec.incidents.begin(), spec.incidents.end(),
+            [](const IncidentSpec& a, const IncidentSpec& b) {
+              return a.trigger_frame < b.trigger_frame;
+            });
+  return spec;
+}
+
+ScenarioSpec MakeIntersectionScenario(
+    const IntersectionScenarioOptions& options) {
+  ScenarioSpec spec;
+  spec.name = "intersection";
+  spec.layout = MakeIntersectionLayout();
+  spec.total_frames = options.total_frames;
+  spec.seed = options.seed;
+  spec.driver.desired_speed = 2.5;
+  spec.driver.headway = 7.0;
+
+  Rng rng(options.seed);
+  double t = rng.Uniform(0.0, 10.0);
+  while (t < options.total_frames - 40) {
+    SpawnSpec s;
+    s.frame = static_cast<int>(t);
+    // ~30% of traffic takes a turning movement (lanes 4-5).
+    s.lane_id = rng.Bernoulli(0.3) ? static_cast<int>(rng.UniformInt(4, 5))
+                                   : static_cast<int>(rng.UniformInt(0, 3));
+    s.type = RandomType(&rng);
+    s.shade = RandomShade(&rng);
+    s.speed = rng.Uniform(2.0, 2.6);
+    spec.spawns.push_back(s);
+    t += rng.Uniform(options.min_spawn_gap, options.max_spawn_gap);
+  }
+
+  const int lo = 60, hi = options.total_frames - 120;
+  ScheduleIncidents(&spec.incidents, IncidentType::kCrossCollision,
+                    options.num_cross_collisions, lo, hi, /*hold=*/12, &rng);
+  ScheduleIncidents(&spec.incidents, IncidentType::kRearEnd,
+                    options.num_rear_ends, lo, hi, /*hold=*/12, &rng);
+  ScheduleIncidents(&spec.incidents, IncidentType::kUTurn, options.num_uturns,
+                    lo, hi, /*hold=*/0, &rng);
+  ScheduleIncidents(&spec.incidents, IncidentType::kSpeeding,
+                    options.num_speeding, lo, hi, /*hold=*/0, &rng);
+  std::sort(spec.incidents.begin(), spec.incidents.end(),
+            [](const IncidentSpec& a, const IncidentSpec& b) {
+              return a.trigger_frame < b.trigger_frame;
+            });
+  return spec;
+}
+
+}  // namespace mivid

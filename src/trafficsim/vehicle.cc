@@ -1,0 +1,45 @@
+#include "trafficsim/vehicle.h"
+
+#include <cmath>
+
+namespace mivid {
+
+const char* VehicleTypeName(VehicleType type) {
+  switch (type) {
+    case VehicleType::kCar:
+      return "car";
+    case VehicleType::kSuv:
+      return "suv";
+    case VehicleType::kPickup:
+      return "pickup";
+    case VehicleType::kTruck:
+      return "truck";
+  }
+  return "?";
+}
+
+VehicleDims DimsFor(VehicleType type) {
+  switch (type) {
+    case VehicleType::kCar:
+      return {16.0, 8.0};
+    case VehicleType::kSuv:
+      return {18.0, 9.0};
+    case VehicleType::kPickup:
+      return {20.0, 9.0};
+    case VehicleType::kTruck:
+      return {28.0, 10.0};
+  }
+  return {16.0, 8.0};
+}
+
+BBox VehicleState::Mbr() const {
+  const VehicleDims dims = DimsFor(type);
+  const double hl = dims.length / 2, hw = dims.width / 2;
+  const double c = std::fabs(std::cos(heading)), s = std::fabs(std::sin(heading));
+  const double ex = hl * c + hw * s;
+  const double ey = hl * s + hw * c;
+  return BBox(position.x - ex, position.y - ey, position.x + ex,
+              position.y + ey);
+}
+
+}  // namespace mivid

@@ -1,0 +1,60 @@
+// Vehicle state and kinematics for the traffic simulator.
+
+#ifndef MIVID_TRAFFICSIM_VEHICLE_H_
+#define MIVID_TRAFFICSIM_VEHICLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/geometry.h"
+
+namespace mivid {
+
+/// Vehicle body classes (paper Sec. 3.1: SUVs, pick-up trucks, cars...).
+enum class VehicleType : uint8_t { kCar = 0, kSuv = 1, kPickup = 2, kTruck = 3 };
+
+const char* VehicleTypeName(VehicleType type);
+
+/// Body dimensions in pixels (length along heading, width across).
+struct VehicleDims {
+  double length;
+  double width;
+};
+
+VehicleDims DimsFor(VehicleType type);
+
+/// How the vehicle's motion is being driven this frame.
+enum class MotionMode : uint8_t {
+  kLaneFollow = 0,  ///< normal driving along its lane
+  kFree = 1,        ///< incident behavior integrates position directly
+  kInactive = 2,    ///< despawned (exited or removed after a crash)
+};
+
+/// Full dynamic state of one vehicle.
+struct VehicleState {
+  int id = -1;
+  VehicleType type = VehicleType::kCar;
+  uint8_t shade = 200;  ///< rendered body intensity
+
+  MotionMode mode = MotionMode::kLaneFollow;
+  int lane_id = -1;
+  double s = 0.0;       ///< arclength along lane (lane-follow mode)
+  double lateral = 0.0;   ///< in-lane lateral drift, px (driver wander)
+  double lateral_v = 0.0; ///< lateral drift velocity, px/frame
+  bool incident_controlled = false;  ///< maintained by the world each
+                                     ///< frame; an executor owns this
+                                     ///< vehicle and others must not bind it
+  Point2 position;      ///< body center, pixels
+  double heading = 0.0; ///< radians
+  double speed = 0.0;   ///< px/frame along heading
+
+  /// Oriented bounding box approximated by the axis-aligned MBR of the
+  /// rotated body (this is what the paper's tracker reports).
+  BBox Mbr() const;
+
+  bool active() const { return mode != MotionMode::kInactive; }
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_TRAFFICSIM_VEHICLE_H_

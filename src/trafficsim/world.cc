@@ -1,0 +1,233 @@
+#include "trafficsim/world.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace mivid {
+
+bool GroundTruth::VehicleInIncident(
+    int vehicle_id, int lo, int hi,
+    const std::vector<IncidentType>& types) const {
+  for (const auto& rec : incidents) {
+    if (!rec.Overlaps(lo, hi)) continue;
+    if (std::find(types.begin(), types.end(), rec.type) == types.end()) {
+      continue;
+    }
+    if (std::find(rec.vehicle_ids.begin(), rec.vehicle_ids.end(),
+                  vehicle_id) != rec.vehicle_ids.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TrafficWorld::TrafficWorld(ScenarioSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed) {
+  for (const auto& inc : spec_.incidents) {
+    PendingIncident p;
+    p.spec = inc;
+    pending_.push_back(std::move(p));
+  }
+}
+
+void TrafficWorld::SpawnDue() {
+  while (next_spawn_ < spec_.spawns.size() &&
+         spec_.spawns[next_spawn_].frame <= frame_) {
+    const SpawnSpec& s = spec_.spawns[next_spawn_];
+    VehicleState v;
+    v.id = static_cast<int>(next_spawn_);
+    v.type = s.type;
+    v.shade = s.shade;
+    v.mode = MotionMode::kLaneFollow;
+    v.lane_id = s.lane_id;
+    v.s = 0.0;
+    v.speed = s.speed;
+    const Lane& lane = spec_.layout.lane(s.lane_id);
+    v.position = lane.PointAt(0.0);
+    v.heading = lane.HeadingAt(0.0);
+    vehicles_.push_back(v);
+    ++next_spawn_;
+  }
+}
+
+void TrafficWorld::DriveNormal() {
+  // Collect incident-controlled ids so normal driving skips them.
+  std::vector<int> controlled;
+  for (const auto& p : pending_) {
+    if (p.started && !p.finished) {
+      const auto& ids = p.executor->controlled_ids();
+      controlled.insert(controlled.end(), ids.begin(), ids.end());
+    }
+  }
+
+  for (auto& v : vehicles_) {
+    if (!v.active()) continue;
+    if (std::find(controlled.begin(), controlled.end(), v.id) !=
+        controlled.end()) {
+      continue;
+    }
+    if (v.mode == MotionMode::kFree) {
+      // A vehicle released from incident control (e.g. after a U-turn)
+      // continues ballistically until it leaves the scene.
+      v.position.x += v.speed * std::cos(v.heading);
+      v.position.y += v.speed * std::sin(v.heading);
+      continue;
+    }
+    if (v.mode != MotionMode::kLaneFollow) continue;
+    const Lane& lane = spec_.layout.lane(v.lane_id);
+
+    DriverView view;
+    // Nearest same-lane vehicle ahead (by arclength). Free-mode vehicles
+    // have left their lane (crashes veer off, U-turns reverse), so only
+    // lane followers act as leaders.
+    for (const auto& other : vehicles_) {
+      if (other.id == v.id || !other.active()) continue;
+      if (other.mode == MotionMode::kLaneFollow &&
+          other.lane_id == v.lane_id && other.s > v.s) {
+        const double gap =
+            (other.s - v.s) -
+            (DimsFor(other.type).length + DimsFor(v.type).length) / 2.0;
+        if (!view.has_leader || gap < view.leader_gap) {
+          view.has_leader = true;
+          view.leader_gap = gap;
+          view.leader_speed = other.speed;
+        }
+      }
+    }
+    // Red stop line ahead?
+    if (lane.signal_group() >= 0 &&
+        !spec_.layout.IsGreen(lane.signal_group(), frame_)) {
+      const double gap = lane.stop_line_s() - v.s;
+      if (gap > 0) {
+        view.has_red_stop_line = true;
+        view.stop_line_gap = gap;
+      }
+    }
+
+    DriverParams params = spec_.driver;
+    params.desired_speed = lane.speed_limit();
+    AdvanceLaneFollow(&v, lane, params, view, &rng_);
+  }
+}
+
+void TrafficWorld::RunIncidents() {
+  // Refresh ownership flags so a new executor cannot bind a vehicle that
+  // another executor is still driving.
+  for (auto& v : vehicles_) v.incident_controlled = false;
+  for (const auto& p : pending_) {
+    if (!p.started || p.finished) continue;
+    for (int id : p.executor->controlled_ids()) {
+      for (auto& v : vehicles_) {
+        if (v.id == id) v.incident_controlled = true;
+      }
+    }
+  }
+
+  for (auto& p : pending_) {
+    if (p.finished) continue;
+    if (!p.started) {
+      if (frame_ < p.spec.trigger_frame) continue;
+      if (p.executor == nullptr) {
+        p.executor = MakeIncidentExecutor(p.spec, &rng_);
+      }
+      if (p.executor->TryStart(frame_, &vehicles_, spec_.layout)) {
+        p.started = true;
+        // Fall through: the executor also steps on its start frame so the
+        // vehicle is never left undriven.
+      } else {
+        continue;
+      }
+    }
+    if (!p.executor->Step(frame_, &vehicles_, spec_.layout)) {
+      p.finished = true;
+      completed_incidents_.push_back(p.executor->record());
+    }
+  }
+}
+
+void TrafficWorld::DespawnExited() {
+  const double margin = 30.0;
+  for (auto& v : vehicles_) {
+    if (!v.active()) continue;
+    if (v.mode == MotionMode::kLaneFollow) {
+      const Lane& lane = spec_.layout.lane(v.lane_id);
+      if (v.s >= lane.Length() - 1.0) v.mode = MotionMode::kInactive;
+    } else if (v.mode == MotionMode::kFree) {
+      // Free vehicles despawn when they leave the scene with margin,
+      // unless an incident still controls them.
+      bool controlled = false;
+      for (const auto& p : pending_) {
+        if (p.started && !p.finished) {
+          const auto& ids = p.executor->controlled_ids();
+          if (std::find(ids.begin(), ids.end(), v.id) != ids.end()) {
+            controlled = true;
+          }
+        }
+      }
+      if (!controlled &&
+          (v.position.x < -margin ||
+           v.position.x > spec_.layout.width + margin ||
+           v.position.y < -margin ||
+           v.position.y > spec_.layout.height + margin)) {
+        v.mode = MotionMode::kInactive;
+      }
+    }
+  }
+}
+
+void TrafficWorld::RecordFrame() {
+  for (const auto& v : vehicles_) {
+    if (!v.active()) continue;
+    // Only record while visible: the paper's tracker sees on-screen blobs.
+    const BBox mbr = v.Mbr();
+    if (mbr.max_x < 0 || mbr.min_x > spec_.layout.width || mbr.max_y < 0 ||
+        mbr.min_y > spec_.layout.height) {
+      continue;
+    }
+    Track& t = tracks_[v.id];
+    t.id = v.id;
+    t.points.push_back(TrackPoint{frame_, v.position, mbr});
+  }
+}
+
+void TrafficWorld::Step() {
+  SpawnDue();
+  RunIncidents();
+  DriveNormal();
+  DespawnExited();
+  RecordFrame();
+  ++frame_;
+}
+
+int TrafficWorld::ActiveVehicleCount() const {
+  int n = 0;
+  for (const auto& v : vehicles_) n += v.active() ? 1 : 0;
+  return n;
+}
+
+GroundTruth TrafficWorld::Run(
+    const std::function<void(const TrafficWorld&)>& on_frame) {
+  while (!Done()) {
+    Step();
+    if (on_frame) on_frame(*this);
+  }
+  GroundTruth gt;
+  gt.scenario_name = spec_.name;
+  gt.total_frames = spec_.total_frames;
+  for (auto& [id, track] : tracks_) gt.tracks.push_back(std::move(track));
+  gt.incidents = completed_incidents_;
+  // Incidents still running at the end of the clip count up to the last
+  // frame (the paper's clips end mid-scene too).
+  for (const auto& p : pending_) {
+    if (p.started && !p.finished) {
+      IncidentRecord rec = p.executor->record();
+      rec.end_frame = spec_.total_frames - 1;
+      gt.incidents.push_back(rec);
+    }
+  }
+  return gt;
+}
+
+}  // namespace mivid

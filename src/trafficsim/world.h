@@ -1,0 +1,112 @@
+// TrafficWorld: steps a scripted traffic scene frame by frame.
+//
+// The world spawns vehicles per a deterministic schedule, drives them with
+// the normal driver model, hands selected vehicles to incident executors at
+// their scheduled frames, and records ground truth: the full per-frame
+// trajectory of every vehicle plus the interval/participants of every
+// incident. This is the repo's stand-in for the paper's real surveillance
+// footage (see DESIGN.md, substitutions).
+
+#ifndef MIVID_TRAFFICSIM_WORLD_H_
+#define MIVID_TRAFFICSIM_WORLD_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trafficsim/driver.h"
+#include "trafficsim/incident.h"
+#include "trafficsim/road.h"
+#include "trafficsim/vehicle.h"
+#include "trajectory/trajectory.h"
+
+namespace mivid {
+
+/// One scheduled vehicle entry.
+struct SpawnSpec {
+  int frame = 0;        ///< frame at which the vehicle enters its lane
+  int lane_id = 0;
+  VehicleType type = VehicleType::kCar;
+  double speed = 2.5;   ///< entry speed, px/frame
+  uint8_t shade = 200;  ///< rendered body intensity
+};
+
+/// A complete scenario script: scene + spawn schedule + incident schedule.
+struct ScenarioSpec {
+  std::string name;
+  RoadLayout layout;
+  int total_frames = 1000;
+  std::vector<SpawnSpec> spawns;          ///< ascending by frame
+  std::vector<IncidentSpec> incidents;
+  DriverParams driver;
+  uint64_t seed = 42;
+};
+
+/// Ground truth emitted by a full simulation run.
+struct GroundTruth {
+  std::string scenario_name;
+  int total_frames = 0;
+  std::vector<Track> tracks;              ///< one per spawned vehicle
+  std::vector<IncidentRecord> incidents;  ///< completed incident records
+
+  /// True when vehicle `vehicle_id` takes part in an incident of one of
+  /// `types` overlapping frames [lo, hi].
+  bool VehicleInIncident(int vehicle_id, int lo, int hi,
+                         const std::vector<IncidentType>& types) const;
+};
+
+/// The simulation engine.
+class TrafficWorld {
+ public:
+  explicit TrafficWorld(ScenarioSpec spec);
+
+  /// Advances one frame: spawn, incident control, normal driving, despawn.
+  void Step();
+
+  int frame() const { return frame_; }
+  bool Done() const { return frame_ >= spec_.total_frames; }
+
+  /// All vehicles (including inactive ones; check active()).
+  const std::vector<VehicleState>& vehicles() const { return vehicles_; }
+
+  /// Active-vehicle count this frame.
+  int ActiveVehicleCount() const;
+
+  /// Runs the remaining frames, optionally invoking `on_frame` after each
+  /// step (for rendering), and returns the accumulated ground truth.
+  GroundTruth Run(
+      const std::function<void(const TrafficWorld&)>& on_frame = nullptr);
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  void SpawnDue();
+  void DriveNormal();
+  void RunIncidents();
+  void DespawnExited();
+  void RecordFrame();
+
+  ScenarioSpec spec_;
+  Rng rng_;
+  int frame_ = 0;
+  size_t next_spawn_ = 0;
+  std::vector<VehicleState> vehicles_;
+
+  struct PendingIncident {
+    IncidentSpec spec;
+    std::unique_ptr<IncidentExecutor> executor;
+    bool started = false;
+    bool finished = false;
+  };
+  std::vector<PendingIncident> pending_;
+
+  std::map<int, Track> tracks_;  // vehicle id -> trajectory so far
+  std::vector<IncidentRecord> completed_incidents_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_TRAFFICSIM_WORLD_H_

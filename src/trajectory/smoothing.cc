@@ -1,0 +1,77 @@
+#include "trajectory/smoothing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mivid {
+
+Result<Track> SmoothTrack(const Track& track,
+                          const SmoothingOptions& options) {
+  const int degree = std::max(1, options.degree);
+  const size_t min_points = static_cast<size_t>(degree) + 1;
+  if (track.points.size() < min_points) return track;
+
+  const size_t piece =
+      std::max<size_t>(options.piece_points, min_points);
+  const size_t overlap =
+      std::min<size_t>(options.piece_overlap, piece / 2);
+
+  Track smoothed = track;  // keeps frames and bboxes
+  // Fit overlapping pieces; each point takes its value from the piece
+  // whose interior it falls in (overlap regions use the later piece's
+  // leading half to avoid seams at piece boundaries).
+  size_t start = 0;
+  while (start < track.points.size()) {
+    const size_t end = std::min(track.points.size(), start + piece);
+    const size_t n = end - start;
+    if (n < min_points) {
+      // Tail too short for its own fit: refit the last full window.
+      if (start == 0) break;
+      start = track.points.size() >= piece ? track.points.size() - piece : 0;
+      continue;
+    }
+    Track segment;
+    segment.id = track.id;
+    segment.points.assign(track.points.begin() + static_cast<long>(start),
+                          track.points.begin() + static_cast<long>(end));
+    Result<FittedTrajectory> fit = FitTrack(segment, degree);
+    if (!fit.ok()) return fit.status();
+
+    // Write back: skip the first `overlap/2` points of non-initial pieces
+    // (they were already written by the previous piece's tail).
+    const size_t write_from =
+        start == 0 ? start : start + overlap / 2;
+    for (size_t i = write_from; i < end; ++i) {
+      smoothed.points[i].centroid =
+          fit->Eval(static_cast<double>(track.points[i].frame));
+    }
+    if (end == track.points.size()) break;
+    start = end - overlap;
+  }
+  return smoothed;
+}
+
+std::vector<Track> SmoothTracks(const std::vector<Track>& tracks,
+                                const SmoothingOptions& options) {
+  std::vector<Track> out;
+  out.reserve(tracks.size());
+  for (const auto& t : tracks) {
+    Result<Track> s = SmoothTrack(t, options);
+    out.push_back(s.ok() ? std::move(s).value() : t);
+  }
+  return out;
+}
+
+double SmoothingResidual(const Track& original, const Track& smoothed) {
+  const size_t n = std::min(original.points.size(), smoothed.points.size());
+  if (n == 0) return 0.0;
+  double sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point2 d =
+        original.points[i].centroid - smoothed.points[i].centroid;
+    sq += d.SquaredNorm();
+  }
+  return std::sqrt(sq / static_cast<double>(n));
+}
+
+}  // namespace mivid

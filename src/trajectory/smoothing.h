@@ -1,0 +1,44 @@
+// Trajectory smoothing: feature extraction from the fitted curve.
+//
+// Sec. 3.2 of the paper models each trajectory with a least-squares
+// polynomial whose derivative "represents the velocities of that vehicle
+// at different time". This module applies that model as a denoising step:
+// a track's centroids are replaced by the fitted curve evaluated at the
+// same frames (piecewise, so long tracks with maneuvers are not forced
+// through one global polynomial).
+
+#ifndef MIVID_TRAJECTORY_SMOOTHING_H_
+#define MIVID_TRAJECTORY_SMOOTHING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "trajectory/polyfit.h"
+#include "trajectory/trajectory.h"
+
+namespace mivid {
+
+/// Smoothing parameters.
+struct SmoothingOptions {
+  int degree = 4;          ///< polynomial degree per piece (paper: 4)
+  int piece_points = 16;   ///< centroids per fitted piece
+  int piece_overlap = 4;   ///< shared points between adjacent pieces
+};
+
+/// Replaces the track's centroids by piecewise polynomial fits.
+/// Tracks shorter than degree+1 points are returned unchanged. Bounding
+/// boxes are preserved; only centroids move.
+Result<Track> SmoothTrack(const Track& track,
+                          const SmoothingOptions& options = {});
+
+/// Smooths every track; tracks that fail to fit are passed through.
+std::vector<Track> SmoothTracks(const std::vector<Track>& tracks,
+                                const SmoothingOptions& options = {});
+
+/// RMS displacement between the original and smoothed centroids (a
+/// measure of how much noise the model removed).
+double SmoothingResidual(const Track& original, const Track& smoothed);
+
+}  // namespace mivid
+
+#endif  // MIVID_TRAJECTORY_SMOOTHING_H_

@@ -1,0 +1,53 @@
+#include "trajectory/trajectory.h"
+
+namespace mivid {
+
+bool Track::CentroidAt(int frame, Point2* out) const {
+  // Points are frame-sorted; binary search.
+  size_t lo = 0, hi = points.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (points[mid].frame < frame) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < points.size() && points[lo].frame == frame) {
+    *out = points[lo].centroid;
+    return true;
+  }
+  return false;
+}
+
+double Track::PathLength() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    total += Distance(points[i - 1].centroid, points[i].centroid);
+  }
+  return total;
+}
+
+std::vector<TrackPoint> SampleEvery(const Track& track, int stride) {
+  std::vector<TrackPoint> out;
+  if (track.empty() || stride <= 0) return out;
+  const int first = track.first_frame();
+  int next = ((first + stride - 1) / stride) * stride;
+  for (const auto& p : track.points) {
+    if (p.frame < next) continue;
+    if (p.frame == next) {
+      out.push_back(p);
+      next += stride;
+    } else {
+      // Observation gap: skip forward to the next grid frame at or past p.
+      while (next < p.frame) next += stride;
+      if (p.frame == next) {
+        out.push_back(p);
+        next += stride;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mivid

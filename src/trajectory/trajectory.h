@@ -1,0 +1,47 @@
+// Trajectory types and utilities.
+//
+// A Track is the per-vehicle sequence of observed centroids/MBRs across
+// frames — produced either by the vision tracker (segment/ + track/) or
+// directly by the simulator's ground-truth log. Everything downstream
+// (curve fitting, event features, MIL retrieval) consumes Tracks.
+
+#ifndef MIVID_TRAJECTORY_TRAJECTORY_H_
+#define MIVID_TRAJECTORY_TRAJECTORY_H_
+
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace mivid {
+
+/// One observation of a tracked object.
+struct TrackPoint {
+  int frame = 0;       ///< frame index within the clip
+  Point2 centroid;     ///< MBR centroid (the red dot in paper Fig. 1)
+  BBox bbox;           ///< minimal bounding rectangle
+};
+
+/// The full observed trajectory of one object.
+struct Track {
+  int id = -1;
+  std::vector<TrackPoint> points;  ///< ascending frame order
+
+  bool empty() const { return points.empty(); }
+  int first_frame() const { return points.empty() ? -1 : points.front().frame; }
+  int last_frame() const { return points.empty() ? -1 : points.back().frame; }
+
+  /// Centroid at `frame` if observed; returns false otherwise.
+  bool CentroidAt(int frame, Point2* out) const;
+
+  /// Total path length (sum of centroid displacements).
+  double PathLength() const;
+};
+
+/// Resamples a track's centroids every `stride` frames starting at the
+/// smallest multiple of `stride` >= first_frame(). Frames with no
+/// observation are skipped.
+std::vector<TrackPoint> SampleEvery(const Track& track, int stride);
+
+}  // namespace mivid
+
+#endif  // MIVID_TRAJECTORY_TRAJECTORY_H_

@@ -1,0 +1,13 @@
+#include "video/clip.h"
+
+namespace mivid {
+
+void VideoClip::Append(Frame frame) {
+  if (frames_.empty()) {
+    metadata_.width = frame.width();
+    metadata_.height = frame.height();
+  }
+  frames_.push_back(std::move(frame));
+}
+
+}  // namespace mivid

@@ -1,0 +1,57 @@
+// VideoClip: an in-memory sequence of frames plus capture metadata.
+
+#ifndef MIVID_VIDEO_CLIP_H_
+#define MIVID_VIDEO_CLIP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace mivid {
+
+/// Capture metadata stored alongside each clip in the video database
+/// (the paper: clips are "organized with the corresponding metadata such as
+/// the time and place a video is taken").
+struct ClipMetadata {
+  std::string camera_id;    ///< which surveillance camera captured the clip
+  std::string location;     ///< free-form place description
+  int64_t start_time_ms = 0;  ///< capture start, epoch milliseconds
+  double fps = 25.0;          ///< frames per second
+  int width = 0;
+  int height = 0;
+};
+
+/// A sequence of frames with metadata. Frames share one resolution.
+class VideoClip {
+ public:
+  VideoClip() = default;
+  explicit VideoClip(ClipMetadata metadata) : metadata_(std::move(metadata)) {}
+
+  const ClipMetadata& metadata() const { return metadata_; }
+  ClipMetadata& metadata() { return metadata_; }
+
+  size_t frame_count() const { return frames_.size(); }
+  const Frame& frame(size_t i) const { return frames_[i]; }
+  Frame& frame(size_t i) { return frames_[i]; }
+
+  /// Appends a frame; the first frame fixes width/height in the metadata.
+  void Append(Frame frame);
+
+  /// Duration implied by frame count and fps.
+  double DurationSeconds() const {
+    return metadata_.fps > 0 ? static_cast<double>(frames_.size()) / metadata_.fps
+                             : 0.0;
+  }
+
+  const std::vector<Frame>& frames() const { return frames_; }
+
+ private:
+  ClipMetadata metadata_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_VIDEO_CLIP_H_

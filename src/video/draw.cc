@@ -1,0 +1,94 @@
+#include "video/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mivid {
+
+void FillRect(Frame* frame, const BBox& box, uint8_t v) {
+  const int x0 = std::max(0, static_cast<int>(std::floor(box.min_x)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(box.min_y)));
+  const int x1 = std::min(frame->width() - 1, static_cast<int>(std::ceil(box.max_x)));
+  const int y1 = std::min(frame->height() - 1, static_cast<int>(std::ceil(box.max_y)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) frame->At(x, y) = v;
+  }
+}
+
+void FillRotatedRect(Frame* frame, const Point2& center, double half_len,
+                     double half_wid, double heading, uint8_t v) {
+  const double c = std::cos(heading), s = std::sin(heading);
+  const double radius = std::hypot(half_len, half_wid);
+  const int x0 = std::max(0, static_cast<int>(std::floor(center.x - radius)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(center.y - radius)));
+  const int x1 =
+      std::min(frame->width() - 1, static_cast<int>(std::ceil(center.x + radius)));
+  const int y1 =
+      std::min(frame->height() - 1, static_cast<int>(std::ceil(center.y + radius)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = x - center.x, dy = y - center.y;
+      // Rotate into the rectangle's local frame.
+      const double lx = dx * c + dy * s;
+      const double ly = -dx * s + dy * c;
+      if (std::fabs(lx) <= half_len && std::fabs(ly) <= half_wid) {
+        frame->At(x, y) = v;
+      }
+    }
+  }
+}
+
+void DrawRectOutline(RgbImage* image, const BBox& box, uint8_t r, uint8_t g,
+                     uint8_t b) {
+  const int x0 = static_cast<int>(std::floor(box.min_x));
+  const int y0 = static_cast<int>(std::floor(box.min_y));
+  const int x1 = static_cast<int>(std::ceil(box.max_x));
+  const int y1 = static_cast<int>(std::ceil(box.max_y));
+  for (int x = x0; x <= x1; ++x) {
+    image->Set(x, y0, r, g, b);
+    image->Set(x, y1, r, g, b);
+  }
+  for (int y = y0; y <= y1; ++y) {
+    image->Set(x0, y, r, g, b);
+    image->Set(x1, y, r, g, b);
+  }
+}
+
+void DrawDisc(RgbImage* image, const Point2& center, int radius, uint8_t r,
+              uint8_t g, uint8_t b) {
+  const int cx = static_cast<int>(std::lround(center.x));
+  const int cy = static_cast<int>(std::lround(center.y));
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy <= radius * radius) {
+        image->Set(cx + dx, cy + dy, r, g, b);
+      }
+    }
+  }
+}
+
+void DrawLine(RgbImage* image, const Point2& a, const Point2& b, uint8_t r,
+              uint8_t g, uint8_t bl) {
+  int x0 = static_cast<int>(std::lround(a.x));
+  int y0 = static_cast<int>(std::lround(a.y));
+  const int x1 = static_cast<int>(std::lround(b.x));
+  const int y1 = static_cast<int>(std::lround(b.y));
+  const int dx = std::abs(x1 - x0), sx = x0 < x1 ? 1 : -1;
+  const int dy = -std::abs(y1 - y0), sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    image->Set(x0, y0, r, g, bl);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+}  // namespace mivid

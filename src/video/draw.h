@@ -1,0 +1,37 @@
+// Drawing primitives on frames and RGB canvases.
+//
+// The simulator uses these to rasterize vehicles; the tracking demo uses
+// them to reproduce the paper's Fig. 1 (MBRs + centroid dots).
+
+#ifndef MIVID_VIDEO_DRAW_H_
+#define MIVID_VIDEO_DRAW_H_
+
+#include "geometry/geometry.h"
+#include "video/frame.h"
+#include "video/image_io.h"
+
+namespace mivid {
+
+/// Fills an axis-aligned rectangle with intensity `v` (clipped to frame).
+void FillRect(Frame* frame, const BBox& box, uint8_t v);
+
+/// Fills a rotated rectangle centered at `center` with half-extents
+/// (half_len, half_wid) rotated by `heading` radians.
+void FillRotatedRect(Frame* frame, const Point2& center, double half_len,
+                     double half_wid, double heading, uint8_t v);
+
+/// Draws a 1-pixel rectangle outline on an RGB canvas.
+void DrawRectOutline(RgbImage* image, const BBox& box, uint8_t r, uint8_t g,
+                     uint8_t b);
+
+/// Draws a filled disc (used for centroid dots).
+void DrawDisc(RgbImage* image, const Point2& center, int radius, uint8_t r,
+              uint8_t g, uint8_t b);
+
+/// Draws a line segment (Bresenham) on an RGB canvas.
+void DrawLine(RgbImage* image, const Point2& a, const Point2& b, uint8_t r,
+              uint8_t g, uint8_t bl);
+
+}  // namespace mivid
+
+#endif  // MIVID_VIDEO_DRAW_H_

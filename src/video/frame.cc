@@ -1,0 +1,28 @@
+#include "video/frame.h"
+
+#include <cstdlib>
+
+namespace mivid {
+
+void Frame::Fill(uint8_t v) {
+  for (auto& p : pixels_) p = v;
+}
+
+double Frame::MeanIntensity() const {
+  if (pixels_.empty()) return 0.0;
+  double s = 0.0;
+  for (uint8_t p : pixels_) s += p;
+  return s / static_cast<double>(pixels_.size());
+}
+
+Frame Frame::AbsDiff(const Frame& other) const {
+  assert(width_ == other.width_ && height_ == other.height_);
+  Frame out(width_, height_);
+  for (size_t i = 0; i < pixels_.size(); ++i) {
+    out.pixels_[i] = static_cast<uint8_t>(
+        std::abs(static_cast<int>(pixels_[i]) - static_cast<int>(other.pixels_[i])));
+  }
+  return out;
+}
+
+}  // namespace mivid

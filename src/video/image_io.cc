@@ -1,0 +1,70 @@
+#include "video/image_io.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace mivid {
+
+Status WritePgm(const Frame& frame, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  std::fprintf(f, "P5\n%d %d\n255\n", frame.width(), frame.height());
+  const size_t n = frame.pixels().size();
+  const size_t written = n ? std::fwrite(frame.pixels().data(), 1, n, f) : 0;
+  std::fclose(f);
+  if (written != n) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<Frame> ReadPgm(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+  char magic[3] = {};
+  int w = 0, h = 0, maxval = 0;
+  if (std::fscanf(f, "%2s %d %d %d", magic, &w, &h, &maxval) != 4 ||
+      std::string(magic) != "P5" || maxval != 255 || w <= 0 || h <= 0) {
+    std::fclose(f);
+    return Status::Corruption("not a valid 8-bit P5 PGM: " + path);
+  }
+  std::fgetc(f);  // single whitespace after the header
+  Frame frame(w, h);
+  const size_t n = frame.pixels().size();
+  const size_t got = std::fread(frame.pixels().data(), 1, n, f);
+  std::fclose(f);
+  if (got != n) return Status::Corruption("truncated PGM payload: " + path);
+  return frame;
+}
+
+void RgbImage::Set(int x, int y, uint8_t r, uint8_t g, uint8_t b) {
+  if (x < 0 || x >= width || y < 0 || y >= height) return;
+  const size_t i =
+      (static_cast<size_t>(y) * static_cast<size_t>(width) + static_cast<size_t>(x)) * 3;
+  pixels[i] = r;
+  pixels[i + 1] = g;
+  pixels[i + 2] = b;
+}
+
+RgbImage ToRgb(const Frame& frame) {
+  RgbImage img(frame.width(), frame.height());
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      const uint8_t v = frame.At(x, y);
+      img.Set(x, y, v, v, v);
+    }
+  }
+  return img;
+}
+
+Status WritePpm(const RgbImage& image, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  std::fprintf(f, "P6\n%d %d\n255\n", image.width, image.height);
+  const size_t n = image.pixels.size();
+  const size_t written = n ? std::fwrite(image.pixels.data(), 1, n, f) : 0;
+  std::fclose(f);
+  if (written != n) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace mivid

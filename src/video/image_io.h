@@ -1,0 +1,40 @@
+// PGM/PPM image I/O for inspecting frames and annotated tracking output.
+
+#ifndef MIVID_VIDEO_IMAGE_IO_H_
+#define MIVID_VIDEO_IMAGE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "video/frame.h"
+
+namespace mivid {
+
+/// Writes `frame` as a binary PGM (P5) file.
+Status WritePgm(const Frame& frame, const std::string& path);
+
+/// Reads a binary PGM (P5) file.
+Result<Frame> ReadPgm(const std::string& path);
+
+/// An RGB image used only for annotated visual output (tracking overlays).
+struct RgbImage {
+  int width = 0;
+  int height = 0;
+  std::vector<uint8_t> pixels;  // 3 bytes per pixel, row-major
+
+  RgbImage() = default;
+  RgbImage(int w, int h) : width(w), height(h),
+      pixels(static_cast<size_t>(w) * static_cast<size_t>(h) * 3, 0) {}
+
+  void Set(int x, int y, uint8_t r, uint8_t g, uint8_t b);
+};
+
+/// Converts a greyscale frame into an RGB canvas.
+RgbImage ToRgb(const Frame& frame);
+
+/// Writes `image` as a binary PPM (P6) file.
+Status WritePpm(const RgbImage& image, const std::string& path);
+
+}  // namespace mivid
+
+#endif  // MIVID_VIDEO_IMAGE_IO_H_

@@ -1,0 +1,138 @@
+// Tests for retrieval/active_selection and svm/model_selection.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "retrieval/active_selection.h"
+#include "svm/model_selection.h"
+
+namespace mivid {
+namespace {
+
+MilDataset LabeledCorpus(int n, const std::set<int>& labeled_ids) {
+  MilDataset ds;
+  for (int b = 0; b < n; ++b) {
+    MilBag bag;
+    bag.id = b;
+    MilInstance inst;
+    inst.bag_id = b;
+    inst.instance_id = 0;
+    inst.features = {0.1 * b, 0.0, 0.0};
+    inst.raw_features = inst.features;
+    bag.instances.push_back(inst);
+    ds.AddBag(std::move(bag));
+  }
+  for (int id : labeled_ids) {
+    (void)ds.SetLabel(id, BagLabel::kRelevant);
+  }
+  return ds;
+}
+
+std::vector<ScoredBag> DescendingRanking(int n) {
+  std::vector<ScoredBag> ranking;
+  for (int b = 0; b < n; ++b) {
+    ranking.push_back({b, 1.0 - 0.1 * b});  // bag 0 best, scores fall by 0.1
+  }
+  return ranking;
+}
+
+TEST(ActiveSelectionTest, PureExploitEqualsRanking) {
+  const MilDataset ds = LabeledCorpus(10, {});
+  ActiveSelectionOptions options;
+  options.explore_fraction = 0.0;
+  const auto sel =
+      SelectForFeedback(DescendingRanking(10), ds, 4, 0.0, options);
+  EXPECT_EQ(sel, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ActiveSelectionTest, ExploreSlotsPickBoundaryBags) {
+  const MilDataset ds = LabeledCorpus(10, {});
+  ActiveSelectionOptions options;
+  options.explore_fraction = 0.5;
+  // Boundary at 0.55: bags 4 (0.6) and 5 (0.5) are the most uncertain.
+  const auto sel =
+      SelectForFeedback(DescendingRanking(10), ds, 4, 0.55, options);
+  ASSERT_EQ(sel.size(), 4u);
+  EXPECT_EQ(sel[0], 0);
+  EXPECT_EQ(sel[1], 1);
+  const std::set<int> explore(sel.begin() + 2, sel.end());
+  EXPECT_TRUE(explore.count(4));
+  EXPECT_TRUE(explore.count(5));
+}
+
+TEST(ActiveSelectionTest, SkipsLabeledBags) {
+  const MilDataset ds = LabeledCorpus(10, {0, 1});
+  ActiveSelectionOptions options;
+  options.explore_fraction = 0.0;
+  const auto sel =
+      SelectForFeedback(DescendingRanking(10), ds, 3, 0.0, options);
+  EXPECT_EQ(sel, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(ActiveSelectionTest, BackfillsWhenUnlabeledScarce) {
+  const MilDataset ds = LabeledCorpus(4, {0, 1, 2});
+  ActiveSelectionOptions options;
+  const auto sel =
+      SelectForFeedback(DescendingRanking(4), ds, 4, 0.0, options);
+  EXPECT_EQ(sel.size(), 4u);  // labeled bags backfill rather than shorting
+  const std::set<int> unique(sel.begin(), sel.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+std::vector<std::vector<Vec>> PositiveGroups(int groups, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Vec>> out;
+  for (int g = 0; g < groups; ++g) {
+    std::vector<Vec> group;
+    const int n = 2 + static_cast<int>(rng.UniformInt(0, 2));
+    for (int i = 0; i < n; ++i) {
+      group.push_back({0.7 + rng.Gaussian(0, 0.05),
+                       0.6 + rng.Gaussian(0, 0.05)});
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+TEST(GridSearchTest, PrefersConfigurationsThatSeparate) {
+  Rng rng(17);
+  std::vector<Vec> background;
+  for (int i = 0; i < 60; ++i) {
+    background.push_back({std::fabs(rng.Gaussian(0.05, 0.05)),
+                          std::fabs(rng.Gaussian(0.05, 0.05))});
+  }
+  Result<std::vector<OneClassCandidate>> grid =
+      GridSearchOneClass(PositiveGroups(6, 3), background);
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  ASSERT_FALSE(grid->empty());
+  const OneClassCandidate& best = grid->front();
+  // A good configuration accepts most held-out positives and almost no
+  // background.
+  EXPECT_GT(best.holdout_acceptance, 0.6);
+  EXPECT_LT(best.background_acceptance, 0.2);
+  EXPECT_GT(best.score, 0.5);
+  // Sorted descending by score.
+  for (size_t i = 1; i < grid->size(); ++i) {
+    EXPECT_GE((*grid)[i - 1].score, (*grid)[i].score);
+  }
+}
+
+TEST(GridSearchTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(GridSearchOneClass({}, {}).ok());
+  EXPECT_FALSE(GridSearchOneClass({{{1.0}}}, {}).ok());     // one group
+  EXPECT_FALSE(GridSearchOneClass({{{1.0}}, {}}, {}).ok()); // empty group
+}
+
+TEST(GridSearchTest, WorksWithoutBackgroundSample) {
+  Result<std::vector<OneClassCandidate>> grid =
+      GridSearchOneClass(PositiveGroups(4, 5), {});
+  ASSERT_TRUE(grid.ok());
+  for (const auto& c : *grid) {
+    EXPECT_DOUBLE_EQ(c.background_acceptance, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mivid

@@ -1,0 +1,194 @@
+// Tests for svm/binary_svm: the C-SVC SMO solver, including a brute-force
+// cross-check of the dual optimum on tiny problems.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "svm/binary_svm.h"
+
+namespace mivid {
+namespace {
+
+TEST(BinarySvmTest, SeparatesLinearlySeparableClouds) {
+  Rng rng(3);
+  std::vector<Vec> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({rng.Gaussian(2, 0.4), rng.Gaussian(2, 0.4)});
+    labels.push_back(1);
+    points.push_back({rng.Gaussian(-2, 0.4), rng.Gaussian(-2, 0.4)});
+    labels.push_back(-1);
+  }
+  BinarySvmOptions options;
+  options.c = 10.0;
+  options.kernel.type = KernelType::kLinear;
+  Result<BinarySvmModel> model =
+      BinarySvmTrainer(options).Train(points, labels);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  int correct = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    correct += model->Predict(points[i]) == labels[i] ? 1 : 0;
+  }
+  EXPECT_EQ(correct, static_cast<int>(points.size()));
+  EXPECT_EQ(model->Predict({3, 3}), 1);
+  EXPECT_EQ(model->Predict({-3, -3}), -1);
+}
+
+TEST(BinarySvmTest, RbfSolvesXor) {
+  // XOR is not linearly separable; RBF handles it.
+  std::vector<Vec> points;
+  std::vector<int> labels;
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    for (int sx = 0; sx < 2; ++sx) {
+      for (int sy = 0; sy < 2; ++sy) {
+        points.push_back({sx + rng.Gaussian(0, 0.08),
+                          sy + rng.Gaussian(0, 0.08)});
+        labels.push_back(sx == sy ? 1 : -1);
+      }
+    }
+  }
+  BinarySvmOptions options;
+  options.c = 10.0;
+  options.kernel.sigma = 0.4;
+  Result<BinarySvmModel> model =
+      BinarySvmTrainer(options).Train(points, labels);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Predict({0.0, 0.0}), 1);
+  EXPECT_EQ(model->Predict({1.0, 1.0}), 1);
+  EXPECT_EQ(model->Predict({1.0, 0.0}), -1);
+  EXPECT_EQ(model->Predict({0.0, 1.0}), -1);
+}
+
+TEST(BinarySvmTest, MaxMarginMatchesAnalyticCase) {
+  // Two points at (-1, 0) and (1, 0): the separating hyperplane is x = 0,
+  // w = (1, 0), b = 0, margin 1 each side. With large C the SVM is the
+  // hard-margin optimum.
+  BinarySvmOptions options;
+  options.c = 1000.0;
+  options.kernel.type = KernelType::kLinear;
+  Result<BinarySvmModel> model = BinarySvmTrainer(options).Train(
+      {{1.0, 0.0}, {-1.0, 0.0}}, {1, -1});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->DecisionValue({1.0, 0.0}), 1.0, 1e-3);
+  EXPECT_NEAR(model->DecisionValue({-1.0, 0.0}), -1.0, 1e-3);
+  EXPECT_NEAR(model->DecisionValue({0.0, 0.0}), 0.0, 1e-3);
+  EXPECT_NEAR(model->bias(), 0.0, 1e-3);
+}
+
+/// Dual objective for the brute-force check:
+/// W(a) = sum a_i - 1/2 sum a_i a_j y_i y_j K_ij.
+double DualObjective(const std::vector<Vec>& x, const std::vector<int>& y,
+                     const Vec& a, const KernelParams& kernel) {
+  double obj = 0;
+  for (size_t i = 0; i < a.size(); ++i) obj += a[i];
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a.size(); ++j) {
+      obj -= 0.5 * a[i] * a[j] * y[i] * y[j] * KernelEval(kernel, x[i], x[j]);
+    }
+  }
+  return obj;
+}
+
+TEST(BinarySvmTest, SmoReachesBruteForceDualOptimumOnTinyProblem) {
+  // 4 points, grid-search the dual over the equality-constrained simplex.
+  const std::vector<Vec> x{{0.0, 0.0}, {0.3, 0.2}, {1.0, 1.0}, {0.8, 1.2}};
+  const std::vector<int> y{-1, -1, 1, 1};
+  BinarySvmOptions options;
+  options.c = 2.0;
+  options.kernel.sigma = 1.0;
+  options.tolerance = 1e-6;
+  Result<BinarySvmModel> model = BinarySvmTrainer(options).Train(x, y);
+  ASSERT_TRUE(model.ok());
+
+  // Recover alphas: coefficients are alpha_i y_i for support vectors; grid
+  // search all (a0, a1, a2) with a3 = a0 + a1 - a2 (from sum a_i y_i = 0).
+  double best = -1e300;
+  const int kGrid = 40;
+  for (int i0 = 0; i0 <= kGrid; ++i0) {
+    for (int i1 = 0; i1 <= kGrid; ++i1) {
+      for (int i2 = 0; i2 <= kGrid; ++i2) {
+        Vec a{2.0 * i0 / kGrid, 2.0 * i1 / kGrid, 2.0 * i2 / kGrid, 0.0};
+        a[3] = a[0] + a[1] - a[2];
+        if (a[3] < 0 || a[3] > options.c) continue;
+        best = std::max(best, DualObjective(x, y, a, options.kernel));
+      }
+    }
+  }
+  // The SMO solution's dual objective, reconstructed from the model.
+  // f(x) = sum_i coeff_i K(sv_i, x) + b with coeff_i = a_i y_i; recompute
+  // the objective via the decision values at the training points:
+  // W(a) = sum a_i - 1/2 sum_i a_i y_i (f(x_i) - b).
+  double sum_a = 0, quad = 0;
+  for (size_t i = 0; i < model->support_vectors().size(); ++i) {
+    const double coeff = model->coefficients()[i];  // a_i y_i
+    const double a_i = std::fabs(coeff);
+    sum_a += a_i;
+    quad += coeff * (model->DecisionValue(model->support_vectors()[i]) -
+                     model->bias());
+  }
+  const double smo_obj = sum_a - 0.5 * quad;
+  EXPECT_GE(smo_obj, best - 0.02) << "SMO is below the brute-force optimum";
+}
+
+TEST(BinarySvmTest, AlphasRespectBoxAndEqualityConstraints) {
+  Rng rng(9);
+  std::vector<Vec> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    const bool pos = rng.Bernoulli(0.5);
+    points.push_back({rng.Gaussian(pos ? 1 : -1, 0.8),
+                      rng.Gaussian(pos ? 1 : -1, 0.8)});
+    labels.push_back(pos ? 1 : -1);
+  }
+  BinarySvmOptions options;
+  options.c = 1.5;
+  Result<BinarySvmModel> model =
+      BinarySvmTrainer(options).Train(points, labels);
+  ASSERT_TRUE(model.ok());
+  double sum_ay = 0;
+  for (double coeff : model->coefficients()) {
+    EXPECT_LE(std::fabs(coeff), options.c + 1e-9);  // |a_i y_i| <= C
+    sum_ay += coeff;                                 // sum a_i y_i = 0
+  }
+  EXPECT_NEAR(sum_ay, 0.0, 1e-9);
+}
+
+TEST(BinarySvmTest, RejectsBadInput) {
+  BinarySvmOptions options;
+  BinarySvmTrainer trainer(options);
+  EXPECT_FALSE(trainer.Train({}, {}).ok());
+  EXPECT_FALSE(trainer.Train({{1.0}}, {1}).ok());  // one class only
+  EXPECT_FALSE(trainer.Train({{1.0}, {2.0}}, {1, 0}).ok());  // bad label
+  EXPECT_FALSE(trainer.Train({{1.0}, {2.0, 3.0}}, {1, -1}).ok());  // ragged
+  BinarySvmOptions bad_c;
+  bad_c.c = 0.0;
+  EXPECT_FALSE(
+      BinarySvmTrainer(bad_c).Train({{1.0}, {2.0}}, {1, -1}).ok());
+}
+
+TEST(BinarySvmTest, ClassImbalanceStillSeparates) {
+  Rng rng(11);
+  std::vector<Vec> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 5; ++i) {
+    points.push_back({rng.Gaussian(2, 0.2), rng.Gaussian(2, 0.2)});
+    labels.push_back(1);
+  }
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.Gaussian(-2, 0.5), rng.Gaussian(-2, 0.5)});
+    labels.push_back(-1);
+  }
+  BinarySvmOptions options;
+  options.c = 5.0;
+  Result<BinarySvmModel> model =
+      BinarySvmTrainer(options).Train(points, labels);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Predict({2.0, 2.0}), 1);
+  EXPECT_EQ(model->Predict({-2.0, -2.0}), -1);
+}
+
+}  // namespace
+}  // namespace mivid

@@ -1,0 +1,179 @@
+// Tests for eval/: feedback oracle, retrieval metrics, experiment runner.
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/oracle.h"
+
+namespace mivid {
+namespace {
+
+GroundTruth MakeGroundTruth() {
+  GroundTruth gt;
+  gt.total_frames = 300;
+  IncidentRecord crash;
+  crash.type = IncidentType::kWallCrash;
+  crash.begin_frame = 100;
+  crash.end_frame = 140;
+  crash.vehicle_ids = {1};
+  IncidentRecord uturn;
+  uturn.type = IncidentType::kUTurn;
+  uturn.begin_frame = 200;
+  uturn.end_frame = 240;
+  uturn.vehicle_ids = {2};
+  gt.incidents = {crash, uturn};
+  return gt;
+}
+
+VideoSequence MakeWindow(int id, int begin, int end) {
+  VideoSequence vs;
+  vs.vs_id = id;
+  vs.begin_frame = begin;
+  vs.end_frame = end;
+  vs.ts.emplace_back();  // one dummy TS so the window isn't empty
+  return vs;
+}
+
+TEST(OracleTest, AccidentQueryLabelsOnlyAccidentOverlaps) {
+  const GroundTruth gt = MakeGroundTruth();
+  FeedbackOracle oracle(&gt);  // default: accident types
+  EXPECT_EQ(oracle.LabelFor(MakeWindow(0, 110, 125)), BagLabel::kRelevant);
+  EXPECT_EQ(oracle.LabelFor(MakeWindow(1, 90, 100)), BagLabel::kRelevant);
+  EXPECT_EQ(oracle.LabelFor(MakeWindow(2, 0, 50)), BagLabel::kIrrelevant);
+  // U-turn windows are NOT accidents.
+  EXPECT_EQ(oracle.LabelFor(MakeWindow(3, 210, 225)), BagLabel::kIrrelevant);
+}
+
+TEST(OracleTest, CustomQueryTypes) {
+  const GroundTruth gt = MakeGroundTruth();
+  FeedbackOracle oracle(&gt, {IncidentType::kUTurn});
+  EXPECT_EQ(oracle.LabelFor(MakeWindow(0, 210, 225)), BagLabel::kRelevant);
+  EXPECT_EQ(oracle.LabelFor(MakeWindow(1, 110, 125)), BagLabel::kIrrelevant);
+}
+
+TEST(OracleTest, LabelAllAndCount) {
+  const GroundTruth gt = MakeGroundTruth();
+  FeedbackOracle oracle(&gt);
+  const std::vector<VideoSequence> windows{
+      MakeWindow(0, 0, 50), MakeWindow(1, 100, 115), MakeWindow(2, 130, 145)};
+  const auto labels = oracle.LabelAll(windows);
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels.at(0), BagLabel::kIrrelevant);
+  EXPECT_EQ(labels.at(1), BagLabel::kRelevant);
+  EXPECT_EQ(oracle.CountRelevant(windows), 2u);
+}
+
+TEST(MetricsTest, AccuracyAtN) {
+  std::map<int, BagLabel> truth{{1, BagLabel::kRelevant},
+                                {2, BagLabel::kIrrelevant},
+                                {3, BagLabel::kRelevant}};
+  // 2 relevant in top 4 (unknown id 9 counts as irrelevant).
+  EXPECT_DOUBLE_EQ(AccuracyAtN({1, 2, 3, 9}, truth, 4), 0.5);
+  // Denominator is n even when fewer results exist (paper's top-20 rule).
+  EXPECT_DOUBLE_EQ(AccuracyAtN({1}, truth, 4), 0.25);
+  EXPECT_DOUBLE_EQ(AccuracyAtN({1, 3}, truth, 0), 0.0);
+}
+
+TEST(MetricsTest, RecallAtN) {
+  std::map<int, BagLabel> truth{{1, BagLabel::kRelevant},
+                                {3, BagLabel::kRelevant},
+                                {5, BagLabel::kRelevant},
+                                {2, BagLabel::kIrrelevant}};
+  EXPECT_DOUBLE_EQ(RecallAtN({1, 2, 3}, truth, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtN({2}, truth, 1), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtN({1}, std::map<int, BagLabel>{}, 1), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecision) {
+  std::map<int, BagLabel> truth{{1, BagLabel::kRelevant},
+                                {2, BagLabel::kRelevant}};
+  // Perfect ranking: AP = 1.
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 2, 3}, truth), 1.0);
+  // Relevant at positions 2 and 4: AP = (1/2 + 2/4) / 2 = 0.5.
+  EXPECT_DOUBLE_EQ(AveragePrecision({9, 1, 8, 2}, truth), 0.5);
+}
+
+TEST(MetricsTest, RankingIdsStripsScores) {
+  const std::vector<ScoredBag> ranking{{7, 0.9}, {3, 0.5}};
+  EXPECT_EQ(RankingIds(ranking), (std::vector<int>{7, 3}));
+}
+
+TEST(ExperimentTest, GroundTruthPipelineSmoke) {
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 800;
+  scenario_options.num_wall_crashes = 2;
+  scenario_options.num_sudden_stops = 1;
+  scenario_options.num_speeding = 1;
+  scenario_options.num_uturns = 0;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kGroundTruthTracks;
+  options.feedback_rounds = 2;
+  options.top_n = 10;
+
+  Result<ExperimentResult> result = RunRfExperiment(scenario, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->curves.size(), 2u);
+  EXPECT_EQ(result->curves[0].method, "MIL_OneClassSVM");
+  EXPECT_EQ(result->curves[1].method, "Weighted_RF");
+  // Initial + 2 feedback rounds.
+  ASSERT_EQ(result->curves[0].accuracy.size(), 3u);
+  // Both methods share the identical initial round (same heuristic).
+  EXPECT_DOUBLE_EQ(result->curves[0].accuracy[0],
+                   result->curves[1].accuracy[0]);
+  for (double a : result->curves[0].accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  // Formatting contains the table header and both methods.
+  const std::string text = FormatExperimentResult(result.value());
+  EXPECT_NE(text.find("MIL_OneClassSVM"), std::string::npos);
+  EXPECT_NE(text.find("Initial"), std::string::npos);
+}
+
+TEST(ExperimentTest, VisionPipelineSmoke) {
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 500;
+  scenario_options.num_wall_crashes = 1;
+  scenario_options.num_sudden_stops = 1;
+  scenario_options.num_speeding = 0;
+  scenario_options.num_uturns = 0;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kVisionTracks;
+  options.feedback_rounds = 1;
+  options.top_n = 5;
+  Result<ExperimentResult> result = RunRfExperiment(scenario, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->num_windows, 0u);
+  EXPECT_GT(result->num_ts, 0u);
+}
+
+TEST(ExperimentTest, AnalysisIsDeterministic) {
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 600;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kGroundTruthTracks;
+  Result<ClipAnalysis> a = AnalyzeScenario(scenario, options);
+  Result<ClipAnalysis> b = AnalyzeScenario(scenario, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->windows.size(), b->windows.size());
+  EXPECT_EQ(a->num_relevant, b->num_relevant);
+  ASSERT_EQ(a->dataset.size(), b->dataset.size());
+  for (size_t i = 0; i < a->dataset.size(); ++i) {
+    ASSERT_EQ(a->dataset.bag(i).instances.size(),
+              b->dataset.bag(i).instances.size());
+    for (size_t j = 0; j < a->dataset.bag(i).instances.size(); ++j) {
+      EXPECT_EQ(a->dataset.bag(i).instances[j].features,
+                b->dataset.bag(i).instances[j].features);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mivid

@@ -1,0 +1,286 @@
+// Tests for event/: checkpoint features (Sec. 4), scaler, sliding windows
+// (Sec. 5.1), event models.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "event/event_model.h"
+#include "event/features.h"
+#include "event/sliding_window.h"
+
+namespace mivid {
+namespace {
+
+Track StraightTrack(int id, int first_frame, int last_frame, double speed,
+                    double y = 100.0, double x0 = 0.0) {
+  Track t;
+  t.id = id;
+  for (int f = first_frame; f <= last_frame; ++f) {
+    t.points.push_back({f, {x0 + speed * (f - first_frame), y}, {}});
+  }
+  return t;
+}
+
+TEST(FeaturesTest, ConstantSpeedHasZeroVdiffTheta) {
+  const std::vector<Track> tracks{StraightTrack(0, 0, 60, 3.0)};
+  FeatureOptions options;
+  const auto features = ComputeTrackFeatures(tracks, options);
+  ASSERT_EQ(features.size(), 1u);
+  ASSERT_GE(features[0].points.size(), 10u);
+  for (size_t i = 2; i < features[0].points.size(); ++i) {
+    const auto& p = features[0].points[i];
+    EXPECT_NEAR(p.speed, 3.0, 1e-9);
+    EXPECT_NEAR(p.vdiff, 0.0, 1e-9);
+    EXPECT_NEAR(p.theta, 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(p.inv_mdist, 0.0);  // no other vehicle
+  }
+}
+
+TEST(FeaturesTest, SuddenStopProducesVdiffSpike) {
+  Track t;
+  t.id = 0;
+  double x = 0;
+  for (int f = 0; f <= 60; ++f) {
+    const double speed = f < 30 ? 3.0 : 0.0;  // hard stop at frame 30
+    x += speed;
+    t.points.push_back({f, {x, 100}, {}});
+  }
+  const auto features = ComputeTrackFeatures({t}, FeatureOptions{});
+  double max_vdiff = 0;
+  for (const auto& p : features[0].points) max_vdiff = std::max(max_vdiff, p.vdiff);
+  // Checkpoint sampling smears the instantaneous stop across one interval,
+  // so the spike is bounded by but close to the full speed change.
+  EXPECT_GE(max_vdiff, 2.0);
+  EXPECT_LE(max_vdiff, 3.0 + 1e-9);
+}
+
+TEST(FeaturesTest, TurnProducesTheta) {
+  Track t;
+  t.id = 0;
+  // Move east for 30 frames then north for 30: a 90-degree turn.
+  for (int f = 0; f <= 30; ++f) t.points.push_back({f, {3.0 * f, 100}, {}});
+  for (int f = 31; f <= 60; ++f) {
+    t.points.push_back({f, {90, 100 - 3.0 * (f - 30)}, {}});
+  }
+  const auto features = ComputeTrackFeatures({t}, FeatureOptions{});
+  double max_theta = 0;
+  for (const auto& p : features[0].points) max_theta = std::max(max_theta, p.theta);
+  EXPECT_NEAR(max_theta, M_PI / 2, 0.05);
+}
+
+TEST(FeaturesTest, MinMotionGateSuppressesJitterTheta) {
+  Track t;
+  t.id = 0;
+  // Nearly stationary with sub-pixel jitter.
+  for (int f = 0; f <= 60; ++f) {
+    t.points.push_back({f, {100.0 + 0.05 * (f % 2), 100.0 - 0.05 * (f % 3)}, {}});
+  }
+  FeatureOptions options;
+  options.min_motion = 1.0;
+  const auto features = ComputeTrackFeatures({t}, options);
+  for (const auto& p : features[0].points) {
+    EXPECT_DOUBLE_EQ(p.theta, 0.0);
+  }
+}
+
+TEST(FeaturesTest, MdistBetweenCoVisibleVehicles) {
+  const std::vector<Track> tracks{StraightTrack(0, 0, 60, 3.0, 100.0),
+                                  StraightTrack(1, 0, 60, 3.0, 120.0)};
+  const auto features = ComputeTrackFeatures(tracks, FeatureOptions{});
+  ASSERT_EQ(features.size(), 2u);
+  // Same x at every checkpoint, y separated by 20 px.
+  for (const auto& p : features[0].points) {
+    EXPECT_NEAR(p.inv_mdist, 1.0 / 20.0, 1e-9);
+  }
+}
+
+TEST(FeaturesTest, MdistClampAvoidsInfinity) {
+  const std::vector<Track> tracks{StraightTrack(0, 0, 30, 3.0, 100.0),
+                                  StraightTrack(1, 0, 30, 3.0, 100.3)};
+  FeatureOptions options;
+  options.min_mdist = 1.0;
+  const auto features = ComputeTrackFeatures(tracks, options);
+  for (const auto& p : features[0].points) {
+    EXPECT_LE(p.inv_mdist, 1.0);
+  }
+}
+
+TEST(FeaturesTest, ShortTracksDropped) {
+  Track stub;
+  stub.id = 7;
+  stub.points = {{0, {0, 0}, {}}, {1, {1, 0}, {}}};  // < 2 checkpoints
+  const auto features = ComputeTrackFeatures({stub}, FeatureOptions{});
+  EXPECT_TRUE(features.empty());
+}
+
+TEST(FeaturesTest, VelocityFeatureOptIn) {
+  const std::vector<Track> tracks{StraightTrack(0, 0, 30, 2.0)};
+  FeatureOptions options;
+  const auto features = ComputeTrackFeatures(tracks, options);
+  EXPECT_EQ(features[0].points[2].ToVector(false).size(), 3u);
+  const Vec with_v = features[0].points[2].ToVector(true);
+  ASSERT_EQ(with_v.size(), 4u);
+  EXPECT_NEAR(with_v[3], 2.0, 1e-9);
+}
+
+TEST(FeatureScalerTest, NormalizesToUnitRangeAndClamps) {
+  // A stopping track plus a turning track give every dimension some spread.
+  Track stopper;
+  stopper.id = 0;
+  double x = 0;
+  for (int f = 0; f <= 60; ++f) {
+    x += f < 30 ? 3.0 : 0.0;
+    stopper.points.push_back({f, {x, 100}, {}});
+  }
+  Track turner;
+  turner.id = 1;
+  for (int f = 0; f <= 30; ++f) turner.points.push_back({f, {3.0 * f, 140}, {}});
+  for (int f = 31; f <= 60; ++f) {
+    turner.points.push_back({f, {90, 140 + 3.0 * (f - 30)}, {}});
+  }
+  const auto features =
+      ComputeTrackFeatures({stopper, turner}, FeatureOptions{});
+  const FeatureScaler scaler = FeatureScaler::Fit(features, false);
+  ASSERT_EQ(scaler.dimension(), 3u);
+  for (const auto& tf : features) {
+    for (const auto& p : tf.points) {
+      const Vec n = scaler.Apply(p.ToVector(false));
+      for (double v : n) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+  // Every dimension has spread here, so extremes clamp to exactly 1.
+  for (size_t d = 0; d < 3; ++d) EXPECT_GT(scaler.upper()[d], scaler.lower()[d]);
+  Vec extreme{1e9, 1e9, 1e9};
+  for (double v : scaler.Apply(extreme)) EXPECT_DOUBLE_EQ(v, 1.0);
+  // A dimension with no spread maps to 0 (defined, not NaN).
+  const std::vector<Track> flat{StraightTrack(2, 0, 40, 2.0)};
+  const FeatureScaler degenerate =
+      FeatureScaler::Fit(ComputeTrackFeatures(flat, FeatureOptions{}), false);
+  EXPECT_DOUBLE_EQ(degenerate.Apply({0.5, 0.5, 0.5})[1], 0.0);
+}
+
+TEST(FeatureScalerTest, EmptyInputYieldsIdentityRange) {
+  const FeatureScaler scaler = FeatureScaler::Fit({}, false);
+  EXPECT_EQ(scaler.dimension(), 3u);
+  const Vec n = scaler.Apply({0.5, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(n[0], 0.5);
+}
+
+TEST(SlidingWindowTest, TilingCountsAndSpans) {
+  // One track covering frames 0..89 -> checkpoints 0,5,...,85.
+  const std::vector<Track> tracks{StraightTrack(0, 0, 89, 2.0)};
+  FeatureOptions fopts;
+  WindowOptions wopts;
+  wopts.window_size = 3;
+  wopts.stride = 3;
+  const auto features = ComputeTrackFeatures(tracks, fopts);
+  const auto windows = ExtractWindows(features, 90, fopts, wopts);
+  // Grid 0..85; windows starting at 0,15,30,45,60,75 fit (last checkpoint
+  // 75+10=85 <= 85).
+  ASSERT_EQ(windows.size(), 6u);
+  EXPECT_EQ(windows[0].begin_frame, 0);
+  EXPECT_EQ(windows[0].end_frame, 10);
+  EXPECT_EQ(windows[5].begin_frame, 75);
+  for (const auto& vs : windows) {
+    ASSERT_EQ(vs.ts.size(), 1u);
+    EXPECT_EQ(vs.ts[0].points.size(), 3u);
+  }
+}
+
+TEST(SlidingWindowTest, OverlappingStride) {
+  const std::vector<Track> tracks{StraightTrack(0, 0, 44, 2.0)};
+  FeatureOptions fopts;
+  WindowOptions wopts;
+  wopts.stride = 1;
+  const auto features = ComputeTrackFeatures(tracks, fopts);
+  const auto windows = ExtractWindows(features, 45, fopts, wopts);
+  // Checkpoints 0..40; window starts 0,5,...,30 (start+10 <= 40).
+  EXPECT_EQ(windows.size(), 7u);
+}
+
+TEST(SlidingWindowTest, PartialCoverageExcluded) {
+  // Track present only in the middle of the clip.
+  const std::vector<Track> tracks{StraightTrack(0, 20, 49, 2.0)};
+  FeatureOptions fopts;
+  WindowOptions wopts;
+  const auto features = ComputeTrackFeatures(tracks, fopts);
+  const auto windows = ExtractWindows(features, 90, fopts, wopts);
+  // Checkpoints 20..45 exist; only window [15..25]? No: needs 15,20,25 -
+  // 15 missing. Window [30..40] fully covered.
+  for (const auto& vs : windows) {
+    for (const auto& ts : vs.ts) {
+      EXPECT_EQ(ts.points.size(), 3u);
+      EXPECT_GE(ts.points.front().frame, 20);
+      EXPECT_LE(ts.points.back().frame, 45);
+    }
+  }
+  EXPECT_EQ(CountTrajectorySequences(windows), 1u);
+}
+
+TEST(SlidingWindowTest, EmptyWindowsDroppedByDefaultKeptOnRequest) {
+  const std::vector<Track> tracks{StraightTrack(0, 0, 29, 2.0)};
+  FeatureOptions fopts;
+  WindowOptions wopts;
+  const auto features = ComputeTrackFeatures(tracks, fopts);
+  const auto dropped = ExtractWindows(features, 300, fopts, wopts);
+  wopts.keep_empty = true;
+  const auto kept = ExtractWindows(features, 300, fopts, wopts);
+  EXPECT_LT(dropped.size(), kept.size());
+  // vs_ids remain globally consistent in both modes.
+  for (size_t i = 1; i < dropped.size(); ++i) {
+    EXPECT_GT(dropped[i].vs_id, dropped[i - 1].vs_id);
+  }
+}
+
+TEST(SlidingWindowTest, FlattenConcatenatesNormalizedPoints) {
+  const std::vector<Track> tracks{StraightTrack(0, 0, 60, 3.0)};
+  FeatureOptions fopts;
+  const auto features = ComputeTrackFeatures(tracks, fopts);
+  const FeatureScaler scaler = FeatureScaler::Fit(features, false);
+  const auto windows = ExtractWindows(features, 61, fopts, WindowOptions{});
+  ASSERT_FALSE(windows.empty());
+  const Vec flat = windows[0].ts[0].Flatten(scaler, false);
+  EXPECT_EQ(flat.size(), 9u);  // 3 checkpoints x 3 features
+  const Vec raw = windows[0].ts[0].FlattenRaw(false);
+  EXPECT_EQ(raw.size(), 9u);
+}
+
+TEST(EventModelTest, AccidentScoreIsSquareSum) {
+  const EventModel m = EventModel::Accident(3);
+  EXPECT_DOUBLE_EQ(m.ScorePoint({1.0, 0.5, 2.0}), 1.0 + 0.25 + 4.0);
+  EXPECT_DOUBLE_EQ(m.ScorePoint({0, 0, 0}), 0.0);
+}
+
+TEST(EventModelTest, UTurnWeightsDirectionChange) {
+  const EventModel m = EventModel::UTurn(3);
+  EXPECT_GT(m.ScorePoint({0, 0, 1}), m.ScorePoint({1, 0, 0}));
+}
+
+TEST(EventModelTest, SpeedingUsesVelocity) {
+  const EventModel m = EventModel::Speeding();
+  ASSERT_EQ(m.weights.size(), 4u);
+  EXPECT_GT(m.ScorePoint({0, 0, 0, 1}), m.ScorePoint({1, 0, 0, 0}));
+}
+
+TEST(EventModelTest, TsAndVsScoresAreMaxima) {
+  const std::vector<Track> tracks{StraightTrack(0, 0, 60, 3.0)};
+  FeatureOptions fopts;
+  const auto features = ComputeTrackFeatures(tracks, fopts);
+  const FeatureScaler scaler = FeatureScaler::Fit(features, false);
+  const auto windows = ExtractWindows(features, 61, fopts, WindowOptions{});
+  const EventModel m = EventModel::Accident(3);
+  ASSERT_FALSE(windows.empty());
+  const double vs_score = m.ScoreVs(windows[0], scaler, false);
+  double max_ts = 0;
+  for (const auto& ts : windows[0].ts) {
+    max_ts = std::max(max_ts, m.ScoreTs(ts, scaler, false));
+  }
+  EXPECT_DOUBLE_EQ(vs_score, max_ts);
+}
+
+}  // namespace
+}  // namespace mivid

@@ -1,0 +1,177 @@
+// Tests for geometry/homography: DLT estimation, transforms, track
+// normalization. Parameterized property sweep over random projective maps.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/homography.h"
+
+namespace mivid {
+namespace {
+
+TEST(HomographyTest, IdentityByDefault) {
+  Homography h;
+  const Point2 p{12.5, -3.25};
+  EXPECT_NEAR(Distance(h.Apply(p), p), 0.0, 1e-12);
+}
+
+TEST(HomographyTest, RecoversPureTranslation) {
+  const std::vector<Point2> src{{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  std::vector<Point2> dst;
+  for (const auto& p : src) dst.push_back({p.x + 5, p.y - 3});
+  Result<Homography> h = Homography::Estimate(src, dst);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_LT(h->MaxTransferError(src, dst), 1e-8);
+  EXPECT_NEAR(h->Apply({4.0, 4.0}).x, 9.0, 1e-8);
+}
+
+TEST(HomographyTest, RecoversSimilarityTransform) {
+  // Rotation by 30 degrees, scale 2, translation (7, -1).
+  const double c = std::cos(M_PI / 6), s = std::sin(M_PI / 6);
+  auto map = [&](const Point2& p) {
+    return Point2{2 * (c * p.x - s * p.y) + 7, 2 * (s * p.x + c * p.y) - 1};
+  };
+  std::vector<Point2> src{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {5, 3}};
+  std::vector<Point2> dst;
+  for (const auto& p : src) dst.push_back(map(p));
+  Result<Homography> h = Homography::Estimate(src, dst);
+  ASSERT_TRUE(h.ok());
+  EXPECT_LT(h->MaxTransferError(src, dst), 1e-7);
+  EXPECT_LT(Distance(h->Apply({3.0, 8.0}), map({3.0, 8.0})), 1e-7);
+}
+
+/// Property: a random (well-conditioned) projective map is recovered from
+/// noiseless correspondences, and the inverse undoes it.
+class HomographyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HomographyPropertyTest, RoundtripsRandomProjectiveMaps) {
+  Rng rng(100 + static_cast<uint64_t>(GetParam()));
+  Matrix m = Matrix::Identity(3);
+  m.At(0, 0) = rng.Uniform(0.7, 1.4);
+  m.At(0, 1) = rng.Uniform(-0.3, 0.3);
+  m.At(0, 2) = rng.Uniform(-30, 30);
+  m.At(1, 0) = rng.Uniform(-0.3, 0.3);
+  m.At(1, 1) = rng.Uniform(0.7, 1.4);
+  m.At(1, 2) = rng.Uniform(-30, 30);
+  m.At(2, 0) = rng.Uniform(-0.001, 0.001);
+  m.At(2, 1) = rng.Uniform(-0.001, 0.001);
+  const Homography truth(m);
+
+  std::vector<Point2> src, dst;
+  for (int i = 0; i < 12; ++i) {
+    const Point2 p{rng.Uniform(0, 320), rng.Uniform(0, 240)};
+    src.push_back(p);
+    dst.push_back(truth.Apply(p));
+  }
+  Result<Homography> h = Homography::Estimate(src, dst);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_LT(h->MaxTransferError(src, dst), 1e-6);
+
+  // Inverse maps dst back to src.
+  Result<Homography> inv = h->Inverse();
+  ASSERT_TRUE(inv.ok());
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_LT(Distance(inv->Apply(dst[i]), src[i]), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomographyPropertyTest,
+                         ::testing::Range(0, 8));
+
+TEST(HomographyTest, NoisyCorrespondencesFitInLeastSquares) {
+  Rng rng(55);
+  Matrix m = Matrix::Identity(3);
+  m.At(0, 2) = 12;
+  m.At(1, 2) = -7;
+  const Homography truth(m);
+  std::vector<Point2> src, dst;
+  for (int i = 0; i < 30; ++i) {
+    const Point2 p{rng.Uniform(0, 320), rng.Uniform(0, 240)};
+    src.push_back(p);
+    Point2 q = truth.Apply(p);
+    dst.push_back({q.x + rng.Gaussian(0, 0.5), q.y + rng.Gaussian(0, 0.5)});
+  }
+  Result<Homography> h = Homography::Estimate(src, dst);
+  ASSERT_TRUE(h.ok());
+  EXPECT_LT(h->MaxTransferError(src, dst), 3.0);
+}
+
+TEST(HomographyTest, RejectsTooFewOrDegenerate) {
+  EXPECT_FALSE(
+      Homography::Estimate({{0, 0}, {1, 1}, {2, 2}}, {{0, 0}, {1, 1}, {2, 2}})
+          .ok());
+  // All collinear points: no unique homography.
+  std::vector<Point2> line;
+  for (int i = 0; i < 6; ++i) line.push_back({1.0 * i, 2.0 * i});
+  EXPECT_FALSE(Homography::Estimate(line, line).ok());
+}
+
+TEST(HomographyTest, TransformTrackMapsCentroidsAndBoxes) {
+  Matrix m = Matrix::Identity(3);
+  m.At(0, 0) = 2;  // scale x by 2
+  m.At(1, 2) = 10; // shift y by 10
+  const Homography h(m);
+  Track track;
+  track.id = 4;
+  track.points = {{0, {5, 5}, BBox(4, 4, 6, 6)},
+                  {5, {10, 5}, BBox(9, 4, 11, 6)}};
+  const Track out = TransformTrack(track, h);
+  EXPECT_EQ(out.id, 4);
+  ASSERT_EQ(out.points.size(), 2u);
+  EXPECT_NEAR(out.points[0].centroid.x, 10.0, 1e-12);
+  EXPECT_NEAR(out.points[0].centroid.y, 15.0, 1e-12);
+  EXPECT_NEAR(out.points[0].bbox.min_x, 8.0, 1e-12);
+  EXPECT_NEAR(out.points[0].bbox.max_x, 12.0, 1e-12);
+  EXPECT_NEAR(out.points[1].bbox.min_y, 14.0, 1e-12);
+}
+
+TEST(HomographyTest, CrossCameraNormalizationAlignsTracks) {
+  // Two "cameras" view the same road plane through different homographies.
+  // Normalizing both tracks into the plane makes them comparable.
+  Matrix cam_a = Matrix::Identity(3);
+  cam_a.At(0, 0) = 1.5;
+  cam_a.At(0, 2) = 20;
+  Matrix cam_b = Matrix::Identity(3);
+  cam_b.At(1, 1) = 0.8;
+  cam_b.At(1, 2) = -5;
+  cam_b.At(2, 0) = 0.0005;
+  const Homography view_a(cam_a), view_b(cam_b);
+
+  // A vehicle drives straight in plane coordinates.
+  Track plane_track;
+  plane_track.id = 0;
+  for (int f = 0; f <= 50; f += 5) {
+    plane_track.points.push_back({f, {10.0 + 3.0 * f, 100.0}, {}});
+  }
+  const Track seen_a = TransformTrack(plane_track, view_a);
+  const Track seen_b = TransformTrack(plane_track, view_b);
+
+  // Calibrate each camera from 4 known ground markers.
+  const std::vector<Point2> markers{{0, 80}, {300, 80}, {0, 160}, {300, 160},
+                                    {150, 120}};
+  std::vector<Point2> seen_markers_a, seen_markers_b;
+  for (const auto& p : markers) {
+    seen_markers_a.push_back(view_a.Apply(p));
+    seen_markers_b.push_back(view_b.Apply(p));
+  }
+  Result<Homography> norm_a = Homography::Estimate(seen_markers_a, markers);
+  Result<Homography> norm_b = Homography::Estimate(seen_markers_b, markers);
+  ASSERT_TRUE(norm_a.ok());
+  ASSERT_TRUE(norm_b.ok());
+
+  const Track recovered_a = TransformTrack(seen_a, norm_a.value());
+  const Track recovered_b = TransformTrack(seen_b, norm_b.value());
+  for (size_t i = 0; i < plane_track.points.size(); ++i) {
+    EXPECT_LT(Distance(recovered_a.points[i].centroid,
+                       plane_track.points[i].centroid),
+              1e-5);
+    EXPECT_LT(Distance(recovered_a.points[i].centroid,
+                       recovered_b.points[i].centroid),
+              1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace mivid

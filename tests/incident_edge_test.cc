@@ -1,0 +1,189 @@
+// Edge-case tests for incident executors (deferral, aborts, empty scenes)
+// and for the noisy feedback oracle.
+
+#include <gtest/gtest.h>
+
+#include "eval/oracle.h"
+#include "trafficsim/scenarios.h"
+#include "trafficsim/world.h"
+
+namespace mivid {
+namespace {
+
+ScenarioSpec EmptyTunnel(int frames) {
+  ScenarioSpec spec;
+  spec.name = "empty";
+  spec.layout = MakeTunnelLayout();
+  spec.total_frames = frames;
+  return spec;
+}
+
+TEST(IncidentEdgeTest, IncidentWithNoVehiclesNeverStarts) {
+  ScenarioSpec spec = EmptyTunnel(300);
+  IncidentSpec inc;
+  inc.type = IncidentType::kSuddenStop;
+  inc.trigger_frame = 10;
+  spec.incidents = {inc};
+  TrafficWorld world(spec);
+  const GroundTruth gt = world.Run();
+  EXPECT_TRUE(gt.incidents.empty())
+      << "executor must defer forever without a pickable vehicle";
+}
+
+TEST(IncidentEdgeTest, TriggerDefersUntilVehicleAvailable) {
+  ScenarioSpec spec = EmptyTunnel(600);
+  // The vehicle only becomes pickable well after the trigger frame.
+  spec.spawns = {{200, 0, VehicleType::kCar, 3.0, 210}};
+  IncidentSpec inc;
+  inc.type = IncidentType::kSuddenStop;
+  inc.trigger_frame = 10;
+  inc.hold_frames = 10;
+  spec.incidents = {inc};
+  TrafficWorld world(spec);
+  const GroundTruth gt = world.Run();
+  ASSERT_EQ(gt.incidents.size(), 1u);
+  // Spawn at 200 plus time to clear the 30 px pick margin.
+  EXPECT_GT(gt.incidents[0].begin_frame, 210);
+}
+
+TEST(IncidentEdgeTest, RearEndNeedsTwoVehiclesInOneLane) {
+  ScenarioSpec spec = EmptyTunnel(700);
+  // Two vehicles in different lanes: no valid (leader, follower) pair.
+  spec.spawns = {{0, 0, VehicleType::kCar, 3.0, 200},
+                 {30, 1, VehicleType::kSuv, 3.0, 210}};
+  IncidentSpec inc;
+  inc.type = IncidentType::kRearEnd;
+  inc.trigger_frame = 60;
+  spec.incidents = {inc};
+  TrafficWorld world(spec);
+  const GroundTruth gt = world.Run();
+  EXPECT_TRUE(gt.incidents.empty());
+}
+
+TEST(IncidentEdgeTest, RearEndBindsSameLanePair) {
+  ScenarioSpec spec = EmptyTunnel(700);
+  spec.spawns = {{0, 0, VehicleType::kCar, 3.0, 200},
+                 {25, 0, VehicleType::kSuv, 3.2, 210}};
+  IncidentSpec inc;
+  inc.type = IncidentType::kRearEnd;
+  inc.trigger_frame = 80;
+  inc.hold_frames = 15;
+  spec.incidents = {inc};
+  TrafficWorld world(spec);
+  const GroundTruth gt = world.Run();
+  ASSERT_EQ(gt.incidents.size(), 1u);
+  EXPECT_EQ(gt.incidents[0].type, IncidentType::kRearEnd);
+  EXPECT_EQ(gt.incidents[0].vehicle_ids.size(), 2u);
+}
+
+TEST(IncidentEdgeTest, CrossCollisionImpossibleInTunnel) {
+  // The tunnel has no vertical lanes, so the executor can never bind a
+  // victim and must stay dormant.
+  ScenarioSpec spec = EmptyTunnel(500);
+  spec.spawns = {{0, 0, VehicleType::kCar, 3.0, 200},
+                 {40, 1, VehicleType::kCar, 3.0, 205}};
+  IncidentSpec inc;
+  inc.type = IncidentType::kCrossCollision;
+  inc.trigger_frame = 60;
+  spec.incidents = {inc};
+  TrafficWorld world(spec);
+  const GroundTruth gt = world.Run();
+  EXPECT_TRUE(gt.incidents.empty());
+}
+
+TEST(IncidentEdgeTest, WallCrashImpossibleWithoutWalls) {
+  ScenarioSpec spec;
+  spec.name = "no_walls";
+  spec.layout = MakeIntersectionLayout();  // no walls in this layout
+  spec.total_frames = 400;
+  spec.spawns = {{0, 0, VehicleType::kCar, 2.5, 200}};
+  IncidentSpec inc;
+  inc.type = IncidentType::kWallCrash;
+  inc.trigger_frame = 30;
+  spec.incidents = {inc};
+  TrafficWorld world(spec);
+  const GroundTruth gt = world.Run();
+  EXPECT_TRUE(gt.incidents.empty());
+}
+
+TEST(IncidentEdgeTest, IncidentRunningAtClipEndIsClosedOut) {
+  ScenarioSpec spec = EmptyTunnel(200);
+  spec.spawns = {{0, 0, VehicleType::kCar, 3.0, 200}};
+  IncidentSpec inc;
+  inc.type = IncidentType::kSuddenStop;
+  inc.trigger_frame = 60;  // while the vehicle is still mid-scene
+  inc.hold_frames = 500;   // cannot finish within the clip
+  spec.incidents = {inc};
+  TrafficWorld world(spec);
+  const GroundTruth gt = world.Run();
+  ASSERT_EQ(gt.incidents.size(), 1u);
+  EXPECT_EQ(gt.incidents[0].end_frame, spec.total_frames - 1);
+}
+
+TEST(IncidentEdgeTest, TwoIncidentsPickDistinctVehicles) {
+  ScenarioSpec spec = EmptyTunnel(900);
+  spec.spawns = {{0, 0, VehicleType::kCar, 3.0, 200},
+                 {120, 1, VehicleType::kSuv, 3.0, 210}};
+  IncidentSpec a;
+  a.type = IncidentType::kSuddenStop;
+  a.trigger_frame = 60;
+  a.hold_frames = 300;  // vehicle 0 is still controlled when b triggers
+  IncidentSpec b = a;
+  b.trigger_frame = 200;
+  b.hold_frames = 10;
+  spec.incidents = {a, b};
+  TrafficWorld world(spec);
+  const GroundTruth gt = world.Run();
+  ASSERT_EQ(gt.incidents.size(), 2u);
+  ASSERT_EQ(gt.incidents[0].vehicle_ids.size(), 1u);
+  ASSERT_EQ(gt.incidents[1].vehicle_ids.size(), 1u);
+  EXPECT_NE(gt.incidents[0].vehicle_ids[0], gt.incidents[1].vehicle_ids[0])
+      << "second incident must not steal the controlled vehicle";
+}
+
+TEST(NoisyOracleTest, ZeroNoiseMatchesCleanOracle) {
+  GroundTruth gt;
+  IncidentRecord rec;
+  rec.type = IncidentType::kWallCrash;
+  rec.begin_frame = 50;
+  rec.end_frame = 80;
+  gt.incidents = {rec};
+  FeedbackOracle clean(&gt);
+  FeedbackOracle noisy(&gt);
+  noisy.SetLabelNoise(0.0);
+  VideoSequence vs;
+  vs.vs_id = 1;
+  vs.begin_frame = 60;
+  vs.end_frame = 70;
+  EXPECT_EQ(clean.LabelFor(vs), noisy.LabelFor(vs));
+}
+
+TEST(NoisyOracleTest, NoiseIsDeterministicPerWindow) {
+  GroundTruth gt;
+  FeedbackOracle oracle(&gt);
+  oracle.SetLabelNoise(0.5, 7);
+  VideoSequence vs;
+  vs.vs_id = 13;
+  const BagLabel first = oracle.LabelFor(vs);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(oracle.LabelFor(vs), first)
+        << "re-asking the user must give the same answer";
+  }
+}
+
+TEST(NoisyOracleTest, ErrorRateIsApproximatelyHonored) {
+  GroundTruth gt;  // no incidents: every true label is irrelevant
+  FeedbackOracle oracle(&gt);
+  oracle.SetLabelNoise(0.25, 11);
+  int flipped = 0;
+  const int n = 2000;
+  for (int id = 0; id < n; ++id) {
+    VideoSequence vs;
+    vs.vs_id = id;
+    flipped += oracle.LabelFor(vs) == BagLabel::kRelevant ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / n, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace mivid

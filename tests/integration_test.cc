@@ -1,0 +1,179 @@
+// Integration tests: the full pipeline (simulate -> render -> segment ->
+// track -> features -> windows -> MIL retrieval) end to end, plus
+// cross-pipeline consistency checks.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "segment/segmenter.h"
+#include "track/tracker.h"
+#include "trafficsim/renderer.h"
+
+namespace mivid {
+namespace {
+
+TEST(IntegrationTest, VisionTracksApproximateGroundTruth) {
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 600;
+  scenario_options.num_wall_crashes = 0;
+  scenario_options.num_sudden_stops = 0;
+  scenario_options.num_speeding = 0;
+  scenario_options.num_uturns = 0;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+
+  // Ground truth.
+  TrafficWorld gt_world(scenario);
+  const GroundTruth gt = gt_world.Run();
+
+  // Vision.
+  TrafficWorld world(scenario);
+  Renderer renderer(scenario.layout);
+  VehicleSegmenter segmenter;
+  Tracker tracker;
+  while (!world.Done()) {
+    world.Step();
+    const Frame frame = renderer.Render(world.vehicles());
+    tracker.Observe(world.frame() - 1, segmenter.Process(frame));
+  }
+  const std::vector<Track> vision = tracker.Finish();
+
+  // Roughly one vision track per vehicle (some fragmentation tolerated).
+  EXPECT_GE(vision.size(), gt.tracks.size());
+  EXPECT_LE(vision.size(), gt.tracks.size() * 2);
+
+  // Every long vision track matches some ground-truth track closely at
+  // its midpoint frame.
+  for (const auto& vt : vision) {
+    if (vt.points.size() < 20) continue;
+    const TrackPoint& mid = vt.points[vt.points.size() / 2];
+    double best = 1e9;
+    for (const auto& gt_track : gt.tracks) {
+      Point2 p;
+      if (gt_track.CentroidAt(mid.frame, &p)) {
+        best = std::min(best, Distance(p, mid.centroid));
+      }
+    }
+    EXPECT_LT(best, 6.0) << "vision track far from any ground-truth vehicle";
+  }
+}
+
+TEST(IntegrationTest, MilBeatsOrMatchesItsInitialRoundOnTunnel) {
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 1200;
+  scenario_options.num_wall_crashes = 3;
+  scenario_options.num_sudden_stops = 1;
+  scenario_options.num_speeding = 1;
+  scenario_options.num_uturns = 1;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kGroundTruthTracks;
+  options.feedback_rounds = 3;
+  options.top_n = 10;
+  Result<ExperimentResult> result = RunRfExperiment(scenario, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const MethodCurve& mil = result->curves[0];
+  ASSERT_EQ(mil.method, "MIL_OneClassSVM");
+  const double initial = mil.accuracy.front();
+  const double final = mil.accuracy.back();
+  EXPECT_GE(final, initial) << "feedback must not hurt MIL retrieval";
+}
+
+TEST(IntegrationTest, UTurnQueryFindsUTurnsNotAccidents) {
+  // Query a different event type through the same machinery: the oracle
+  // answers for U-turns, and the initial model weighs direction change.
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 1500;
+  scenario_options.num_wall_crashes = 1;
+  scenario_options.num_sudden_stops = 1;
+  scenario_options.num_speeding = 0;
+  scenario_options.num_uturns = 3;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+
+  ExperimentOptions options;
+  options.pipeline = PipelineMode::kGroundTruthTracks;
+  options.relevant_types = {IncidentType::kUTurn};
+  options.feedback_rounds = 2;
+  options.top_n = 10;
+  Result<ClipAnalysis> analysis = AnalyzeScenario(scenario, options);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_GT(analysis->num_relevant, 0u);
+
+  Result<ExperimentResult> result = RunRfExperimentOnAnalysis(
+      *analysis, scenario.name, scenario.total_frames, options);
+  ASSERT_TRUE(result.ok());
+  // MIL retrieval finds at least some U-turn windows after feedback.
+  const MethodCurve& mil = result->curves[0];
+  EXPECT_GT(mil.accuracy.back(), 0.0);
+}
+
+TEST(IntegrationTest, StoppedVehiclesStaySegmentedThroughHold) {
+  // A sudden-stop vehicle must remain visible to the vision pipeline
+  // during its standstill (selective background update).
+  ScenarioSpec spec;
+  spec.name = "stop_test";
+  spec.layout = MakeTunnelLayout();
+  spec.total_frames = 260;
+  spec.spawns = {{0, 0, VehicleType::kCar, 3.0, 220}};
+  IncidentSpec inc;
+  inc.type = IncidentType::kSuddenStop;
+  inc.trigger_frame = 60;
+  inc.hold_frames = 60;
+  spec.incidents = {inc};
+
+  TrafficWorld world(spec);
+  Renderer renderer(spec.layout);
+  VehicleSegmenter segmenter;
+  int detections_during_hold = 0;
+  int frames_during_hold = 0;
+  while (!world.Done()) {
+    world.Step();
+    const Frame frame = renderer.Render(world.vehicles());
+    const auto blobs = segmenter.Process(frame);
+    const int f = world.frame() - 1;
+    if (f >= 100 && f <= 140) {  // deep inside the standstill
+      ++frames_during_hold;
+      detections_during_hold += blobs.empty() ? 0 : 1;
+    }
+  }
+  ASSERT_GT(frames_during_hold, 0);
+  EXPECT_GE(detections_during_hold, frames_during_hold * 9 / 10);
+}
+
+TEST(IntegrationTest, PaperProtocolRunsOnBothClips) {
+  // The two headline scenarios run the full vision protocol without error
+  // and produce sane corpus sizes (full-length versions run in bench/).
+  for (const bool intersection : {false, true}) {
+    ScenarioSpec scenario;
+    if (intersection) {
+      IntersectionScenarioOptions o;
+      o.total_frames = 300;
+      o.num_cross_collisions = 1;
+      o.num_rear_ends = 0;
+      o.num_uturns = 1;
+      o.num_speeding = 0;
+      scenario = MakeIntersectionScenario(o);
+    } else {
+      TunnelScenarioOptions o;
+      o.total_frames = 500;
+      o.num_wall_crashes = 1;
+      o.num_sudden_stops = 0;
+      o.num_speeding = 0;
+      o.num_uturns = 0;
+      scenario = MakeTunnelScenario(o);
+    }
+    ExperimentOptions options;
+    options.pipeline = PipelineMode::kVisionTracks;
+    options.feedback_rounds = 1;
+    Result<ExperimentResult> result = RunRfExperiment(scenario, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->num_windows, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mivid

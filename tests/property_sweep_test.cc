@@ -1,0 +1,106 @@
+// Parameterized property sweeps: Hungarian optimality against brute-force
+// permutation search, and segmentation robustness across noise levels.
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "segment/segmenter.h"
+#include "track/assignment.h"
+#include "video/draw.h"
+
+namespace mivid {
+namespace {
+
+/// Property: on random square cost matrices, HungarianAssign attains the
+/// exact optimum found by enumerating all permutations.
+class HungarianOptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianOptimalityTest, MatchesBruteForce) {
+  const int seed = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(seed));
+  const size_t n = 2 + static_cast<size_t>(rng.UniformInt(0, 4));  // 2..6
+  Matrix cost(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) cost.At(r, c) = rng.Uniform(0, 10);
+  }
+
+  // Brute force over all permutations.
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 1e300;
+  do {
+    double total = 0;
+    for (size_t r = 0; r < n; ++r) total += cost.At(r, perm[r]);
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  const Assignment assignment = HungarianAssign(cost, 1e12);
+  double hungarian = 0;
+  std::vector<bool> used(n, false);
+  for (size_t r = 0; r < n; ++r) {
+    ASSERT_GE(assignment[r], 0);
+    ASSERT_FALSE(used[static_cast<size_t>(assignment[r])]);
+    used[static_cast<size_t>(assignment[r])] = true;
+    hungarian += cost.At(r, static_cast<size_t>(assignment[r]));
+  }
+  EXPECT_NEAR(hungarian, best, 1e-9)
+      << "n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianOptimalityTest,
+                         ::testing::Range(0, 12));
+
+/// Property: a bright moving vehicle stays detected across sensor noise
+/// levels up to a realistic bound, and the centroid error stays small.
+class SegmentationNoiseSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SegmentationNoiseSweepTest, VehicleDetectedDespiteNoise) {
+  const double noise = GetParam();
+  Rng rng(2000 + static_cast<uint64_t>(noise * 10));
+  SegmenterOptions options;
+  options.background.warmup_frames = 10;
+  options.blob.min_area = 30;
+  VehicleSegmenter segmenter(options);
+
+  int frames_with_vehicle = 0, detected = 0;
+  double centroid_error = 0;
+  for (int f = 0; f < 80; ++f) {
+    Frame frame(128, 64, 70);
+    const bool vehicle_present = f >= 20;
+    double cx = 0;
+    if (vehicle_present) {
+      cx = 12 + 1.5 * (f - 20) + 8;  // center x of a 16x8 body
+      FillRect(&frame, BBox(cx - 8, 28, cx + 8, 36), 210);
+    }
+    for (auto& p : frame.pixels()) {
+      p = static_cast<uint8_t>(std::clamp(
+          static_cast<double>(p) + rng.Gaussian(0, noise), 0.0, 255.0));
+    }
+    const auto blobs = segmenter.Process(frame);
+    if (vehicle_present && f >= 25) {
+      ++frames_with_vehicle;
+      if (!blobs.empty()) {
+        ++detected;
+        double best = 1e9;
+        for (const auto& b : blobs) {
+          best = std::min(best, std::fabs(b.centroid.x - cx));
+        }
+        centroid_error += best;
+      }
+    }
+  }
+  ASSERT_GT(frames_with_vehicle, 0);
+  EXPECT_GE(detected, frames_with_vehicle * 9 / 10)
+      << "noise sigma " << noise;
+  EXPECT_LT(centroid_error / std::max(1, detected), 3.0)
+      << "noise sigma " << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, SegmentationNoiseSweepTest,
+                         ::testing::Values(0.0, 2.0, 6.0, 10.0, 14.0));
+
+}  // namespace
+}  // namespace mivid

@@ -1,0 +1,124 @@
+// Tests for retrieval/query_by_example: query-by-example and
+// query-by-sketch ranking modes.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "retrieval/query_by_example.h"
+
+namespace mivid {
+namespace {
+
+MilDataset MakeCorpus(int n_bags, const std::set<int>& hot, uint64_t seed) {
+  Rng rng(seed);
+  MilDataset ds;
+  for (int b = 0; b < n_bags; ++b) {
+    MilBag bag;
+    bag.id = b;
+    for (int i = 0; i < 2; ++i) {
+      MilInstance inst;
+      inst.bag_id = b;
+      inst.instance_id = i;
+      inst.features.assign(9, 0.0);
+      for (auto& v : inst.features) v = std::fabs(rng.Gaussian(0.05, 0.04));
+      if (hot.count(b) && i == 0) {
+        inst.features[3] = 0.85;
+        inst.features[4] = 0.75;
+      }
+      inst.raw_features = inst.features;
+      bag.instances.push_back(std::move(inst));
+    }
+    ds.AddBag(std::move(bag));
+  }
+  return ds;
+}
+
+TEST(QueryByExampleTest, ExampleBagRanksFirstSimilarBagsNext) {
+  const std::set<int> hot{3, 8, 12, 17};
+  const MilDataset ds = MakeCorpus(25, hot, 5);
+  KernelParams kernel;
+  kernel.sigma = 0.3;
+  const auto ranking = QueryByExample(ds, *ds.FindBag(3), kernel);
+  ASSERT_EQ(ranking.size(), 25u);
+  EXPECT_EQ(ranking[0].bag_id, 3);  // the example itself
+  // The other hot bags occupy the next ranks.
+  std::set<int> next{ranking[1].bag_id, ranking[2].bag_id,
+                     ranking[3].bag_id};
+  EXPECT_EQ(next, (std::set<int>{8, 12, 17}));
+}
+
+TEST(QueryByExampleTest, DimensionMismatchScoresZero) {
+  const MilDataset ds = MakeCorpus(5, {1}, 7);
+  MilBag alien;
+  alien.id = 999;
+  MilInstance inst;
+  inst.features = {1.0, 2.0};  // wrong dimension
+  alien.instances.push_back(inst);
+  KernelParams kernel;
+  const auto ranking = QueryByExample(ds, alien, kernel);
+  for (const auto& sb : ranking) EXPECT_DOUBLE_EQ(sb.score, 0.0);
+}
+
+TEST(QueryBySketchTest, SketchOfATurnFindsTurningWindows) {
+  // Build a corpus from real tracks: one straight, one 90-degree turn.
+  Track straight, turner;
+  straight.id = 0;
+  turner.id = 1;
+  for (int f = 0; f <= 30; ++f) {
+    straight.points.push_back({f, {3.0 * f, 50}, {}});
+    turner.points.push_back({f, {3.0 * f, 150}, {}});
+  }
+  for (int f = 31; f <= 60; ++f) {
+    straight.points.push_back({f, {3.0 * f, 50}, {}});
+    turner.points.push_back({f, {90, 150 + 3.0 * (f - 30)}, {}});
+  }
+  FeatureOptions fopts;
+  const auto features = ComputeTrackFeatures({straight, turner}, fopts);
+  const FeatureScaler scaler = FeatureScaler::Fit(features, false);
+  WindowOptions wopts;
+  const auto windows = ExtractWindows(features, 61, fopts, wopts);
+  const MilDataset ds = MilDataset::FromVideoSequences(windows, scaler, false);
+
+  // Sketch: a right-angle path (the user draws a turn).
+  TrajectorySketch sketch;
+  for (int i = 0; i <= 6; ++i) sketch.points.push_back({15.0 * i, 0.0});
+  for (int i = 1; i <= 6; ++i) sketch.points.push_back({90.0, 15.0 * i});
+  KernelParams kernel;
+  kernel.sigma = 0.4;
+  Result<std::vector<ScoredBag>> ranking =
+      QueryBySketch(ds, sketch, scaler, fopts, wopts, kernel);
+  ASSERT_TRUE(ranking.ok()) << ranking.status().ToString();
+
+  // The top-ranked bag must be the window where the turner turns.
+  const MilBag* top = ds.FindBag(ranking.value()[0].bag_id);
+  ASSERT_NE(top, nullptr);
+  double best_theta = 0;
+  // Recover the corresponding window and check its turner TS has theta.
+  for (const auto& vs : windows) {
+    if (vs.vs_id != top->id) continue;
+    for (const auto& ts : vs.ts) {
+      if (ts.track_id != 1) continue;
+      for (const auto& p : ts.points) best_theta = std::max(best_theta, p.theta);
+    }
+  }
+  EXPECT_GT(best_theta, 0.5) << "sketch should retrieve the turning window";
+}
+
+TEST(QueryBySketchTest, RejectsDegenerateSketches) {
+  const MilDataset ds = MakeCorpus(3, {}, 11);
+  FeatureOptions fopts;
+  WindowOptions wopts;
+  FeatureScaler scaler = FeatureScaler::Fit({}, false);
+  KernelParams kernel;
+  TrajectorySketch empty;
+  EXPECT_FALSE(QueryBySketch(ds, empty, scaler, fopts, wopts, kernel).ok());
+  TrajectorySketch tiny;
+  tiny.points = {{0, 0}, {5, 5}};
+  EXPECT_FALSE(QueryBySketch(ds, tiny, scaler, fopts, wopts, kernel).ok());
+}
+
+}  // namespace
+}  // namespace mivid

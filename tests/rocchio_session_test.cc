@@ -1,0 +1,180 @@
+// Tests for baseline/rocchio and session persistence (db/session_store,
+// RetrievalSession snapshot/restore).
+
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/rocchio.h"
+#include "common/rng.h"
+#include "db/video_db.h"
+#include "eval/metrics.h"
+#include "retrieval/session.h"
+
+namespace mivid {
+namespace {
+
+MilDataset MakeCorpus(int n_bags, const std::set<int>& hot, uint64_t seed) {
+  Rng rng(seed);
+  MilDataset ds;
+  for (int b = 0; b < n_bags; ++b) {
+    MilBag bag;
+    bag.id = b;
+    for (int i = 0; i < 2; ++i) {
+      MilInstance inst;
+      inst.bag_id = b;
+      inst.instance_id = i;
+      inst.features.assign(9, 0.0);
+      for (auto& v : inst.features) v = std::fabs(rng.Gaussian(0.05, 0.04));
+      if (hot.count(b) && i == 0) {
+        inst.features[3] = 0.8 + rng.Uniform(-0.04, 0.04);
+        inst.features[4] = 0.7 + rng.Uniform(-0.04, 0.04);
+      }
+      inst.raw_features = inst.features;
+      bag.instances.push_back(std::move(inst));
+    }
+    ds.AddBag(std::move(bag));
+  }
+  return ds;
+}
+
+TEST(RocchioTest, UntrainedUntilRelevantFeedback) {
+  MilDataset ds = MakeCorpus(10, {1}, 3);
+  RocchioEngine engine(&ds, RocchioOptions{});
+  EXPECT_FALSE(engine.trained());
+  ASSERT_TRUE(engine.Learn().ok());  // no relevant labels: a no-op
+  EXPECT_FALSE(engine.trained());
+  EXPECT_TRUE(engine.Rank().empty());
+}
+
+TEST(RocchioTest, QueryPointMovesTowardRelevantCluster) {
+  const std::set<int> hot{1, 2, 3, 4};
+  MilDataset ds = MakeCorpus(20, hot, 5);
+  for (int b : {1, 2}) (void)ds.SetLabel(b, BagLabel::kRelevant);
+  for (int b : {10, 11}) (void)ds.SetLabel(b, BagLabel::kIrrelevant);
+  RocchioEngine engine(&ds, RocchioOptions{});
+  ASSERT_TRUE(engine.Learn().ok());
+  ASSERT_TRUE(engine.trained());
+  const Vec& q = engine.query_point();
+  // The relevant bags mix one hot and one noise instance; their mean has
+  // elevated dims 3/4 and the update amplifies the pull.
+  EXPECT_GT(q[3], 0.3);
+  EXPECT_GT(q[4], 0.25);
+  EXPECT_LT(q[0], 0.3);
+}
+
+TEST(RocchioTest, RanksHotBagsAboveColdOnes) {
+  const std::set<int> hot{2, 5, 8, 11};
+  MilDataset ds = MakeCorpus(24, hot, 7);
+  for (int b : {2, 5}) (void)ds.SetLabel(b, BagLabel::kRelevant);
+  for (int b : {0, 1}) (void)ds.SetLabel(b, BagLabel::kIrrelevant);
+  RocchioEngine engine(&ds, RocchioOptions{});
+  ASSERT_TRUE(engine.Learn().ok());
+  const auto ids = RankingIds(engine.Rank());
+  std::map<int, BagLabel> truth;
+  for (int b = 0; b < 24; ++b) {
+    truth[b] = hot.count(b) ? BagLabel::kRelevant : BagLabel::kIrrelevant;
+  }
+  EXPECT_GE(AccuracyAtN(ids, truth, 4), 0.75);
+}
+
+TEST(RocchioTest, GammaPushesAwayFromIrrelevant) {
+  MilDataset ds = MakeCorpus(12, {1, 2}, 9);
+  (void)ds.SetLabel(1, BagLabel::kRelevant);
+  (void)ds.SetLabel(5, BagLabel::kIrrelevant);
+  RocchioOptions with_gamma;
+  with_gamma.gamma = 0.5;
+  RocchioOptions without_gamma;
+  without_gamma.gamma = 0.0;
+  RocchioEngine a(&ds, with_gamma), b(&ds, without_gamma);
+  ASSERT_TRUE(a.Learn().ok());
+  ASSERT_TRUE(b.Learn().ok());
+  // With gamma the query point has strictly less projection onto the
+  // irrelevant direction: q_gamma . m = q_0 . m - gamma |m|^2.
+  const MilBag* irr = ds.FindBag(5);
+  Vec irr_mean(9, 0.0);
+  for (const auto& inst : irr->instances) {
+    for (size_t d = 0; d < 9; ++d) irr_mean[d] += inst.features[d] / 2;
+  }
+  ASSERT_GT(Norm(irr_mean), 0.0);
+  EXPECT_LT(Dot(a.query_point(), irr_mean), Dot(b.query_point(), irr_mean));
+}
+
+TEST(SessionStoreTest, SnapshotRoundtrip) {
+  SessionState state;
+  state.camera_id = "cam-7";
+  state.round = 3;
+  state.labels = {{4, BagLabel::kRelevant},
+                  {9, BagLabel::kIrrelevant},
+                  {12, BagLabel::kRelevant}};
+  Result<SessionState> back =
+      DeserializeSessionState(SerializeSessionState(state));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->camera_id, "cam-7");
+  EXPECT_EQ(back->round, 3);
+  ASSERT_EQ(back->labels.size(), 3u);
+  EXPECT_EQ(back->labels[1].first, 9);
+  EXPECT_EQ(back->labels[1].second, BagLabel::kIrrelevant);
+}
+
+TEST(SessionStoreTest, DetectsCorruption) {
+  SessionState state;
+  state.camera_id = "x";
+  std::string bytes = SerializeSessionState(state);
+  bytes.back() ^= 0x1;
+  EXPECT_TRUE(DeserializeSessionState(bytes).status().IsCorruption());
+  EXPECT_FALSE(DeserializeSessionState("zz").ok());
+}
+
+TEST(SessionPersistenceTest, ResumeReproducesRankingExactly) {
+  const std::set<int> hot{3, 7, 11, 15};
+  SessionOptions options;
+  options.top_n = 6;
+
+  // Session A: two rounds of feedback, snapshot.
+  RetrievalSession a(MakeCorpus(30, hot, 13), options);
+  std::map<int, BagLabel> truth;
+  for (int b = 0; b < 30; ++b) {
+    truth[b] = hot.count(b) ? BagLabel::kRelevant : BagLabel::kIrrelevant;
+  }
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::pair<int, BagLabel>> feedback;
+    for (int id : a.TopBags()) feedback.emplace_back(id, truth.at(id));
+    ASSERT_TRUE(a.SubmitFeedback(feedback).ok());
+  }
+  const auto labels = a.LabeledBags();
+  EXPECT_FALSE(labels.empty());
+
+  // Session B: fresh corpus, restore, identical ranking.
+  RetrievalSession b(MakeCorpus(30, hot, 13), options);
+  ASSERT_TRUE(b.Restore(labels, a.round()).ok());
+  EXPECT_EQ(b.round(), a.round());
+  EXPECT_EQ(b.TopBags(), a.TopBags());
+}
+
+TEST(SessionPersistenceTest, VideoDbSaveLoadList) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mivid_db_sessions").string();
+  std::filesystem::remove_all(dir);
+  VideoDbOptions options;
+  options.create_if_missing = true;
+  auto db = VideoDb::Open(dir, options);
+  ASSERT_TRUE(db.ok());
+
+  SessionState state;
+  state.camera_id = "cam-1";
+  state.round = 2;
+  state.labels = {{0, BagLabel::kRelevant}};
+  ASSERT_TRUE(db.value()->SaveSession("alice_accidents", state).ok());
+  EXPECT_EQ(db.value()->ListSessions(),
+            (std::vector<std::string>{"alice_accidents"}));
+  Result<SessionState> back = db.value()->LoadSession("alice_accidents");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->camera_id, "cam-1");
+  EXPECT_TRUE(db.value()->LoadSession("bob").status().IsNotFound());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mivid

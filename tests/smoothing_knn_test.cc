@@ -1,0 +1,196 @@
+// Tests for trajectory/smoothing and mil/citation_knn.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "mil/citation_knn.h"
+#include "trajectory/smoothing.h"
+
+namespace mivid {
+namespace {
+
+Track NoisyLine(int n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  Track t;
+  t.id = 0;
+  for (int f = 0; f < n; ++f) {
+    t.points.push_back({f,
+                        {3.0 * f + rng.Gaussian(0, noise),
+                         100.0 + rng.Gaussian(0, noise)},
+                        BBox(3.0 * f - 8, 96, 3.0 * f + 8, 104)});
+  }
+  return t;
+}
+
+TEST(SmoothingTest, RemovesNoiseFromStraightTrack) {
+  const Track noisy = NoisyLine(60, 2.0, 7);
+  Result<Track> smoothed = SmoothTrack(noisy);
+  ASSERT_TRUE(smoothed.ok());
+  ASSERT_EQ(smoothed->points.size(), noisy.points.size());
+  // Smoothed centroids are closer to the true line than the noisy ones.
+  double noisy_err = 0, smooth_err = 0;
+  for (size_t i = 0; i < noisy.points.size(); ++i) {
+    const Point2 truth{3.0 * static_cast<double>(noisy.points[i].frame), 100.0};
+    noisy_err += Distance(noisy.points[i].centroid, truth);
+    smooth_err += Distance(smoothed->points[i].centroid, truth);
+  }
+  EXPECT_LT(smooth_err, noisy_err * 0.7);
+  // Frames and boxes untouched.
+  EXPECT_EQ(smoothed->points[5].frame, noisy.points[5].frame);
+  EXPECT_DOUBLE_EQ(smoothed->points[5].bbox.min_y, 96.0);
+}
+
+TEST(SmoothingTest, ShortTracksPassThrough) {
+  Track stub;
+  stub.id = 3;
+  stub.points = {{0, {1, 1}, {}}, {1, {2, 2}, {}}};
+  Result<Track> smoothed = SmoothTrack(stub);
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_EQ(smoothed->points[0].centroid, Point2(1, 1));
+}
+
+TEST(SmoothingTest, PiecewiseFollowsManeuvers) {
+  // A long track with a sharp 90-degree turn: one global degree-4 fit
+  // would round the corner badly; piecewise fitting keeps it tight.
+  Track turn;
+  turn.id = 0;
+  for (int f = 0; f < 40; ++f) turn.points.push_back({f, {3.0 * f, 100}, {}});
+  for (int f = 40; f < 80; ++f) {
+    turn.points.push_back({f, {117.0, 100 + 3.0 * (f - 39)}, {}});
+  }
+  SmoothingOptions options;
+  options.piece_points = 16;
+  Result<Track> smoothed = SmoothTrack(turn, options);
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_LT(SmoothingResidual(turn, smoothed.value()), 2.5);
+}
+
+TEST(SmoothingTest, SmoothTracksHandlesMixedLengths) {
+  std::vector<Track> tracks{NoisyLine(60, 1.0, 9), Track{}, NoisyLine(3, 0, 11)};
+  tracks[1].id = 9;
+  const auto out = SmoothTracks(tracks);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].id, 9);
+  EXPECT_EQ(out[2].points.size(), 3u);
+}
+
+TEST(SmoothingTest, ResidualReportsDisplacement) {
+  const Track a = NoisyLine(30, 0.0, 13);
+  Track b = a;
+  for (auto& p : b.points) p.centroid.y += 3.0;
+  EXPECT_NEAR(SmoothingResidual(a, b), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(SmoothingResidual(Track{}, Track{}), 0.0);
+}
+
+MilBag MakeBag(int id, const Vec& hot, uint64_t seed) {
+  Rng rng(seed);
+  MilBag bag;
+  bag.id = id;
+  for (int i = 0; i < 2; ++i) {
+    MilInstance inst;
+    inst.bag_id = id;
+    inst.instance_id = i;
+    inst.features.assign(4, 0.0);
+    for (auto& v : inst.features) v = std::fabs(rng.Gaussian(0.05, 0.03));
+    if (i == 0 && !hot.empty()) inst.features = hot;
+    inst.raw_features = inst.features;
+    bag.instances.push_back(std::move(inst));
+  }
+  return bag;
+}
+
+TEST(BagDistanceTest, MinimalFormCollapsesToCommonInstances) {
+  // Both bags contain a near-zero "normal" instance, so the minimal form
+  // sees only that shared background and ignores the hot instances — the
+  // reason the engine defaults to the maximal form.
+  MilBag a = MakeBag(0, {1, 0, 0, 0}, 3);
+  MilBag b = MakeBag(1, {1, 0.3, 0, 0}, 5);
+  const double d_min = BagToBagDistance(a, b, BagDistance::kMinimalHausdorff);
+  EXPECT_LT(d_min, 0.15) << "minimal form should match the noise instances";
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(d_min,
+                   BagToBagDistance(b, a, BagDistance::kMinimalHausdorff));
+  // The maximal form reflects the worst-matched instance and separates
+  // the bags by their hot-instance difference.
+  const double d_max = BagToBagDistance(a, b, BagDistance::kMaximalHausdorff);
+  EXPECT_GT(d_max, d_min);
+  EXPECT_NEAR(d_max, 0.3, 0.2);
+}
+
+TEST(BagDistanceTest, EmptyBagIsInfinitelyFar)  {
+  MilBag a = MakeBag(0, {1, 0, 0, 0}, 7);
+  MilBag empty;
+  EXPECT_TRUE(std::isinf(
+      BagToBagDistance(a, empty, BagDistance::kMinimalHausdorff)));
+}
+
+TEST(CitationKnnTest, RequiresRelevantLabel) {
+  MilDataset ds;
+  ds.AddBag(MakeBag(0, {}, 9));
+  ds.AddBag(MakeBag(1, {}, 11));
+  (void)ds.SetLabel(0, BagLabel::kIrrelevant);
+  CitationKnnEngine engine(&ds, CitationKnnOptions{});
+  EXPECT_TRUE(engine.Learn().IsFailedPrecondition());
+  EXPECT_FALSE(engine.trained());
+}
+
+TEST(CitationKnnTest, RanksBagsNearRelevantNeighborsHigh) {
+  const Vec hot{0.9, 0.8, 0.1, 0.2};
+  MilDataset ds;
+  std::set<int> hot_bags{0, 1, 2, 3, 10, 11};
+  for (int b = 0; b < 24; ++b) {
+    Vec signature;
+    if (hot_bags.count(b)) {
+      Rng rng(100 + static_cast<uint64_t>(b));
+      signature = hot;
+      for (auto& v : signature) v += rng.Gaussian(0, 0.03);
+    }
+    ds.AddBag(MakeBag(b, signature, 200 + static_cast<uint64_t>(b)));
+  }
+  // Label some hot relevant, some cold irrelevant.
+  for (int b : {0, 1, 2, 3}) (void)ds.SetLabel(b, BagLabel::kRelevant);
+  for (int b : {4, 5, 6, 7}) (void)ds.SetLabel(b, BagLabel::kIrrelevant);
+
+  CitationKnnEngine engine(&ds, CitationKnnOptions{});
+  ASSERT_TRUE(engine.Learn().ok());
+  const auto ranking = engine.Rank();
+  ASSERT_EQ(ranking.size(), 24u);
+  // The unlabeled hot bags (10, 11) outrank every unlabeled cold bag.
+  double hot_worst = 1e300;
+  double cold_best = -1e300;
+  for (const auto& sb : ranking) {
+    if (sb.bag_id == 10 || sb.bag_id == 11) {
+      hot_worst = std::min(hot_worst, sb.score);
+    } else if (sb.bag_id >= 12) {
+      cold_best = std::max(cold_best, sb.score);
+    }
+  }
+  EXPECT_GT(hot_worst, cold_best);
+}
+
+TEST(CitationKnnTest, MaximalDistanceModeAlsoWorks) {
+  const Vec hot{0.9, 0.8, 0.1, 0.2};
+  MilDataset ds;
+  for (int b = 0; b < 10; ++b) {
+    ds.AddBag(MakeBag(b, b < 4 ? hot : Vec{}, 300 + static_cast<uint64_t>(b)));
+  }
+  for (int b : {0, 1}) (void)ds.SetLabel(b, BagLabel::kRelevant);
+  for (int b : {5, 6}) (void)ds.SetLabel(b, BagLabel::kIrrelevant);
+  CitationKnnOptions options;
+  options.distance = BagDistance::kMaximalHausdorff;
+  CitationKnnEngine engine(&ds, options);
+  ASSERT_TRUE(engine.Learn().ok());
+  const auto ids = RankingIds(engine.Rank());
+  // Hot unlabeled bags 2, 3 appear before cold unlabeled ones.
+  const auto pos = [&](int id) {
+    return std::find(ids.begin(), ids.end(), id) - ids.begin();
+  };
+  EXPECT_LT(pos(2), pos(7));
+  EXPECT_LT(pos(3), pos(8));
+}
+
+}  // namespace
+}  // namespace mivid

@@ -1,0 +1,149 @@
+// Tests for video/: frames, clips, image I/O, drawing primitives.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "video/clip.h"
+#include "video/draw.h"
+#include "video/frame.h"
+#include "video/image_io.h"
+
+namespace mivid {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(FrameTest, ConstructFillAccess) {
+  Frame f(4, 3, 7);
+  EXPECT_EQ(f.width(), 4);
+  EXPECT_EQ(f.height(), 3);
+  EXPECT_EQ(f.size(), 12u);
+  EXPECT_EQ(f.At(3, 2), 7);
+  f.At(1, 1) = 200;
+  EXPECT_EQ(f.At(1, 1), 200);
+  f.Fill(9);
+  EXPECT_EQ(f.At(1, 1), 9);
+}
+
+TEST(FrameTest, BoundsCheckedGet) {
+  Frame f(2, 2, 5);
+  EXPECT_EQ(f.Get(0, 0), 5);
+  EXPECT_EQ(f.Get(-1, 0, 42), 42);
+  EXPECT_EQ(f.Get(2, 0, 42), 42);
+  EXPECT_TRUE(f.InBounds(1, 1));
+  EXPECT_FALSE(f.InBounds(2, 1));
+}
+
+TEST(FrameTest, MeanIntensityAndAbsDiff) {
+  Frame a(2, 1);
+  a.At(0, 0) = 10;
+  a.At(1, 0) = 30;
+  EXPECT_DOUBLE_EQ(a.MeanIntensity(), 20.0);
+  Frame b(2, 1, 25);
+  const Frame d = a.AbsDiff(b);
+  EXPECT_EQ(d.At(0, 0), 15);
+  EXPECT_EQ(d.At(1, 0), 5);
+}
+
+TEST(VideoClipTest, AppendSetsMetadataDimensions) {
+  VideoClip clip;
+  clip.metadata().fps = 25.0;
+  clip.Append(Frame(320, 240));
+  clip.Append(Frame(320, 240));
+  EXPECT_EQ(clip.frame_count(), 2u);
+  EXPECT_EQ(clip.metadata().width, 320);
+  EXPECT_EQ(clip.metadata().height, 240);
+  EXPECT_NEAR(clip.DurationSeconds(), 2.0 / 25.0, 1e-12);
+}
+
+TEST(ImageIoTest, PgmRoundtrip) {
+  Frame f(16, 9);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      f.At(x, y) = static_cast<uint8_t>((x * 16 + y * 7) & 0xff);
+    }
+  }
+  const std::string path = TempPath("mivid_test.pgm");
+  ASSERT_TRUE(WritePgm(f, path).ok());
+  Result<Frame> back = ReadPgm(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->width(), 16);
+  EXPECT_EQ(back->height(), 9);
+  EXPECT_EQ(back->pixels(), f.pixels());
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoTest, ReadRejectsMissingAndCorrupt) {
+  EXPECT_TRUE(ReadPgm("/nonexistent/nowhere.pgm").status().IsIOError());
+  const std::string path = TempPath("mivid_corrupt.pgm");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("P5\n4 4\n255\nxx", f);  // truncated payload
+  std::fclose(f);
+  EXPECT_TRUE(ReadPgm(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoTest, PpmWriteProducesHeaderAndPayload) {
+  RgbImage img(2, 2);
+  img.Set(0, 0, 255, 0, 0);
+  const std::string path = TempPath("mivid_test.ppm");
+  ASSERT_TRUE(WritePpm(img, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char header[16] = {};
+  ASSERT_EQ(std::fread(header, 1, 2, f), 2u);
+  EXPECT_EQ(header[0], 'P');
+  EXPECT_EQ(header[1], '6');
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(DrawTest, FillRectClipsToFrame) {
+  Frame f(10, 10, 0);
+  FillRect(&f, BBox(-5, -5, 3, 3), 200);
+  EXPECT_EQ(f.At(0, 0), 200);
+  EXPECT_EQ(f.At(3, 3), 200);
+  EXPECT_EQ(f.At(4, 4), 0);
+}
+
+TEST(DrawTest, FillRotatedRectAxisAligned) {
+  Frame f(20, 20, 0);
+  FillRotatedRect(&f, {10, 10}, 4, 2, 0.0, 255);
+  EXPECT_EQ(f.At(10, 10), 255);
+  EXPECT_EQ(f.At(14, 10), 255);  // half_len along x
+  EXPECT_EQ(f.At(10, 12), 255);  // half_wid along y
+  EXPECT_EQ(f.At(15, 10), 0);
+  EXPECT_EQ(f.At(10, 13), 0);
+}
+
+TEST(DrawTest, FillRotatedRect90Degrees) {
+  Frame f(20, 20, 0);
+  FillRotatedRect(&f, {10, 10}, 4, 2, M_PI / 2, 255);
+  // Length now runs along y.
+  EXPECT_EQ(f.At(10, 14), 255);
+  EXPECT_EQ(f.At(14, 10), 0);
+}
+
+TEST(DrawTest, RgbPrimitives) {
+  RgbImage img(20, 20);
+  DrawRectOutline(&img, BBox(2, 2, 10, 10), 255, 255, 0);
+  DrawDisc(&img, {15, 15}, 2, 255, 0, 0);
+  DrawLine(&img, {0, 0}, {19, 19}, 0, 255, 0);
+  // Outline edge (off the diagonal the line will cover).
+  EXPECT_EQ(img.pixels[(5 * 20 + 2) * 3], 255);
+  // Disc pixel off the diagonal is red.
+  EXPECT_EQ(img.pixels[(15 * 20 + 16) * 3], 255);
+  EXPECT_EQ(img.pixels[(15 * 20 + 16) * 3 + 1], 0);
+  // Diagonal line pixel is green (drawn last, wins the diagonal).
+  EXPECT_EQ(img.pixels[(7 * 20 + 7) * 3 + 1], 255);
+  // Out-of-bounds set is a no-op.
+  img.Set(-1, 0, 1, 1, 1);
+  img.Set(0, 99, 1, 1, 1);
+}
+
+}  // namespace
+}  // namespace mivid

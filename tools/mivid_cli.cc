@@ -1,0 +1,197 @@
+// mivid command-line tool: manage a surveillance video database and run
+// retrieval sessions from the terminal.
+//
+//   mivid_cli init <db>                       create an empty database
+//   mivid_cli simulate <db> <tunnel|intersection> <camera-id> [frames]
+//                                             simulate + ingest a clip
+//   mivid_cli list <db>                       show catalog and cameras
+//   mivid_cli query <db> <camera-id> [rounds] run an accident query with
+//                                             oracle feedback (stored
+//                                             incident annotations)
+//   mivid_cli models <db>                     list saved query models
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "db/query_engine.h"
+#include "db/video_db.h"
+#include "eval/metrics.h"
+#include "trafficsim/scenarios.h"
+
+using namespace mivid;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mivid_cli init <db>\n"
+               "  mivid_cli simulate <db> <tunnel|intersection> <camera-id> "
+               "[frames]\n"
+               "  mivid_cli list <db>\n"
+               "  mivid_cli query <db> <camera-id> [rounds]\n"
+               "  mivid_cli models <db>\n");
+  return 2;
+}
+
+Result<std::unique_ptr<VideoDb>> OpenDb(const std::string& path,
+                                        bool create) {
+  VideoDbOptions options;
+  options.create_if_missing = create;
+  return VideoDb::Open(path, options);
+}
+
+int CmdInit(const std::string& path) {
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(path, true);
+  if (!db.ok()) return Fail(db.status());
+  std::printf("created database at %s\n", path.c_str());
+  return 0;
+}
+
+int CmdSimulate(const std::string& path, const std::string& kind,
+                const std::string& camera, int frames) {
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(path, true);
+  if (!db.ok()) return Fail(db.status());
+
+  ScenarioSpec scenario;
+  if (kind == "tunnel") {
+    TunnelScenarioOptions options;
+    if (frames > 0) options.total_frames = frames;
+    scenario = MakeTunnelScenario(options);
+  } else if (kind == "intersection") {
+    IntersectionScenarioOptions options;
+    if (frames > 0) options.total_frames = frames;
+    scenario = MakeIntersectionScenario(options);
+  } else {
+    return Usage();
+  }
+
+  TrafficWorld world(scenario);
+  const GroundTruth gt = world.Run();
+  ClipInfo info;
+  info.camera_id = camera;
+  info.location = scenario.name;
+  info.total_frames = scenario.total_frames;
+  info.scenario = scenario.name;
+  Result<int> id = db.value()->IngestClip(info, gt.tracks, gt.incidents);
+  if (!id.ok()) return Fail(id.status());
+  std::printf("ingested clip %d: %s scenario, %d frames, %zu tracks, "
+              "%zu incidents\n",
+              id.value(), scenario.name.c_str(), scenario.total_frames,
+              gt.tracks.size(), gt.incidents.size());
+  return 0;
+}
+
+int CmdList(const std::string& path) {
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(path, false);
+  if (!db.ok()) return Fail(db.status());
+  std::printf("%zu clip(s):\n", db.value()->clip_count());
+  for (const ClipInfo& info : db.value()->ListClips()) {
+    std::printf("  clip %-3d camera=%-16s location=%-14s frames=%-6d "
+                "scenario=%s\n",
+                info.clip_id, info.camera_id.c_str(), info.location.c_str(),
+                info.total_frames, info.scenario.c_str());
+  }
+  std::printf("cameras:\n");
+  for (const std::string& cam : db.value()->Cameras()) {
+    std::printf("  %s (%zu clips)\n", cam.c_str(),
+                db.value()->ClipsForCamera(cam).size());
+  }
+  return 0;
+}
+
+int CmdQuery(const std::string& path, const std::string& camera, int rounds) {
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(path, false);
+  if (!db.ok()) return Fail(db.status());
+
+  QueryEngine engine(db.value().get());
+  QueryOptions query;
+  Result<CameraCorpus> corpus = engine.BuildCorpus(camera, query);
+  if (!corpus.ok()) return Fail(corpus.status());
+  Result<RetrievalSession> session = engine.StartSession(camera, query);
+  if (!session.ok()) return Fail(session.status());
+
+  size_t relevant = 0;
+  for (const auto& [id, label] : corpus->truth) {
+    (void)id;
+    relevant += label == BagLabel::kRelevant ? 1 : 0;
+  }
+  std::printf("accident query on %s: %zu windows, %zu relevant\n",
+              camera.c_str(), corpus->dataset.size(), relevant);
+
+  for (int round = 0; round <= rounds; ++round) {
+    const auto top = session->TopBags();
+    const double acc = AccuracyAtN(top, corpus->truth, query.session.top_n);
+    std::printf("round %d (%s): accuracy@%zu = %.0f%%  [", round,
+                session->engine().trained() ? "one-class SVM" : "heuristic",
+                query.session.top_n, 100 * acc);
+    for (size_t i = 0; i < top.size() && i < 10; ++i) {
+      const auto& ref = corpus->bag_refs.at(top[i]);
+      std::printf("%sclip%d@%d%s", i ? " " : "", ref.clip_id,
+                  ref.begin_frame,
+                  corpus->truth.at(top[i]) == BagLabel::kRelevant ? "*" : "");
+    }
+    std::printf("%s]\n", top.size() > 10 ? " ..." : "");
+    if (round == rounds) break;
+    std::vector<std::pair<int, BagLabel>> feedback;
+    for (int id : top) feedback.emplace_back(id, corpus->truth.at(id));
+    const Status s = session->SubmitFeedback(feedback);
+    if (!s.ok()) return Fail(s);
+  }
+  if (session->engine().model() != nullptr) {
+    const std::string name = "accidents_" + camera;
+    const Status s = db.value()->SaveModel(name, *session->engine().model());
+    if (s.ok()) std::printf("saved query model '%s'\n", name.c_str());
+  }
+  return 0;
+}
+
+int CmdModels(const std::string& path) {
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(path, false);
+  if (!db.ok()) return Fail(db.status());
+  for (const std::string& name : db.value()->ListModels()) {
+    Result<OneClassSvmModel> model = db.value()->LoadModel(name);
+    if (model.ok()) {
+      std::printf("  %-30s %zu support vectors, rho=%.4f\n", name.c_str(),
+                  model->num_support_vectors(), model->rho());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  const std::string db_path = argv[2];
+  if (cmd == "init") return CmdInit(db_path);
+  if (cmd == "simulate" && argc >= 5) {
+    int frames = 0;
+    if (argc >= 6) {
+      int64_t v = 0;
+      if (!ParseInt64(argv[5], &v) || v <= 0) return Usage();
+      frames = static_cast<int>(v);
+    }
+    return CmdSimulate(db_path, argv[3], argv[4], frames);
+  }
+  if (cmd == "list") return CmdList(db_path);
+  if (cmd == "query" && argc >= 4) {
+    int rounds = 3;
+    if (argc >= 5) {
+      int64_t v = 0;
+      if (!ParseInt64(argv[4], &v)) return Usage();
+      rounds = static_cast<int>(v);
+    }
+    return CmdQuery(db_path, argv[3], rounds);
+  }
+  if (cmd == "models") return CmdModels(db_path);
+  return Usage();
+}
