@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trajectory_smoothing.dir/ablation_trajectory_smoothing.cc.o"
+  "CMakeFiles/ablation_trajectory_smoothing.dir/ablation_trajectory_smoothing.cc.o.d"
+  "ablation_trajectory_smoothing"
+  "ablation_trajectory_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trajectory_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weight_normalization.dir/ablation_weight_normalization.cc.o"
+  "CMakeFiles/ablation_weight_normalization.dir/ablation_weight_normalization.cc.o.d"
+  "ablation_weight_normalization"
+  "ablation_weight_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weight_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_z_sweep.dir/ablation_z_sweep.cc.o"
+  "CMakeFiles/ablation_z_sweep.dir/ablation_z_sweep.cc.o.d"
+  "ablation_z_sweep"
+  "ablation_z_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_z_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

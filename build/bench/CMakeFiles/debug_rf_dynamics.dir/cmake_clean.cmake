@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_rf_dynamics.dir/debug_rf_dynamics.cc.o"
+  "CMakeFiles/debug_rf_dynamics.dir/debug_rf_dynamics.cc.o.d"
+  "debug_rf_dynamics"
+  "debug_rf_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_rf_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

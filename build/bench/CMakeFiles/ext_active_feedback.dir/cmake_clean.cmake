@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_active_feedback.dir/ext_active_feedback.cc.o"
+  "CMakeFiles/ext_active_feedback.dir/ext_active_feedback.cc.o.d"
+  "ext_active_feedback"
+  "ext_active_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_active_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_feedback_noise.dir/ext_feedback_noise.cc.o"
+  "CMakeFiles/ext_feedback_noise.dir/ext_feedback_noise.cc.o.d"
+  "ext_feedback_noise"
+  "ext_feedback_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_feedback_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mil_baselines.dir/ext_mil_baselines.cc.o"
+  "CMakeFiles/ext_mil_baselines.dir/ext_mil_baselines.cc.o.d"
+  "ext_mil_baselines"
+  "ext_mil_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mil_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

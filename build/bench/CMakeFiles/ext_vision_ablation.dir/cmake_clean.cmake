@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_vision_ablation.dir/ext_vision_ablation.cc.o"
+  "CMakeFiles/ext_vision_ablation.dir/ext_vision_ablation.cc.o.d"
+  "ext_vision_ablation"
+  "ext_vision_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vision_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_polyfit.dir/fig2_polyfit.cc.o"
+  "CMakeFiles/fig2_polyfit.dir/fig2_polyfit.cc.o.d"
+  "fig2_polyfit"
+  "fig2_polyfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_polyfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

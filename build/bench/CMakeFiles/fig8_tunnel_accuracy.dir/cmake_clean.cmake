@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tunnel_accuracy.dir/fig8_tunnel_accuracy.cc.o"
+  "CMakeFiles/fig8_tunnel_accuracy.dir/fig8_tunnel_accuracy.cc.o.d"
+  "fig8_tunnel_accuracy"
+  "fig8_tunnel_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tunnel_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_clip_stats.dir/table_clip_stats.cc.o"
+  "CMakeFiles/table_clip_stats.dir/table_clip_stats.cc.o.d"
+  "table_clip_stats"
+  "table_clip_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_clip_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

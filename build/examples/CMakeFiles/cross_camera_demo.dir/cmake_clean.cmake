@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_camera_demo.dir/cross_camera_demo.cpp.o"
+  "CMakeFiles/cross_camera_demo.dir/cross_camera_demo.cpp.o.d"
+  "cross_camera_demo"
+  "cross_camera_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_camera_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

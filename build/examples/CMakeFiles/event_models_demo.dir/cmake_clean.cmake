@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_models_demo.dir/event_models_demo.cpp.o"
+  "CMakeFiles/event_models_demo.dir/event_models_demo.cpp.o.d"
+  "event_models_demo"
+  "event_models_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_models_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_retrieval.dir/incident_retrieval.cpp.o"
+  "CMakeFiles/incident_retrieval.dir/incident_retrieval.cpp.o.d"
+  "incident_retrieval"
+  "incident_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

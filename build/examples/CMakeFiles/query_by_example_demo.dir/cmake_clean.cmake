@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_by_example_demo.dir/query_by_example_demo.cpp.o"
+  "CMakeFiles/query_by_example_demo.dir/query_by_example_demo.cpp.o.d"
+  "query_by_example_demo"
+  "query_by_example_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_by_example_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

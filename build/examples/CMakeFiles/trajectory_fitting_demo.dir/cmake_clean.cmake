@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_fitting_demo.dir/trajectory_fitting_demo.cpp.o"
+  "CMakeFiles/trajectory_fitting_demo.dir/trajectory_fitting_demo.cpp.o.d"
+  "trajectory_fitting_demo"
+  "trajectory_fitting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_fitting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

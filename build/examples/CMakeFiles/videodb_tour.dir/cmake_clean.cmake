@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/videodb_tour.dir/videodb_tour.cpp.o"
+  "CMakeFiles/videodb_tour.dir/videodb_tour.cpp.o.d"
+  "videodb_tour"
+  "videodb_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/videodb_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

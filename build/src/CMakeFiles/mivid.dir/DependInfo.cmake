@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/rocchio.cc" "src/CMakeFiles/mivid.dir/baseline/rocchio.cc.o" "gcc" "src/CMakeFiles/mivid.dir/baseline/rocchio.cc.o.d"
+  "/root/repo/src/baseline/weighted_rf.cc" "src/CMakeFiles/mivid.dir/baseline/weighted_rf.cc.o" "gcc" "src/CMakeFiles/mivid.dir/baseline/weighted_rf.cc.o.d"
+  "/root/repo/src/common/ascii_plot.cc" "src/CMakeFiles/mivid.dir/common/ascii_plot.cc.o" "gcc" "src/CMakeFiles/mivid.dir/common/ascii_plot.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/mivid.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/mivid.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mivid.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mivid.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mivid.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mivid.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/mivid.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/mivid.dir/common/string_util.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/CMakeFiles/mivid.dir/db/catalog.cc.o" "gcc" "src/CMakeFiles/mivid.dir/db/catalog.cc.o.d"
+  "/root/repo/src/db/codec.cc" "src/CMakeFiles/mivid.dir/db/codec.cc.o" "gcc" "src/CMakeFiles/mivid.dir/db/codec.cc.o.d"
+  "/root/repo/src/db/feature_store.cc" "src/CMakeFiles/mivid.dir/db/feature_store.cc.o" "gcc" "src/CMakeFiles/mivid.dir/db/feature_store.cc.o.d"
+  "/root/repo/src/db/frame_store.cc" "src/CMakeFiles/mivid.dir/db/frame_store.cc.o" "gcc" "src/CMakeFiles/mivid.dir/db/frame_store.cc.o.d"
+  "/root/repo/src/db/query_engine.cc" "src/CMakeFiles/mivid.dir/db/query_engine.cc.o" "gcc" "src/CMakeFiles/mivid.dir/db/query_engine.cc.o.d"
+  "/root/repo/src/db/session_store.cc" "src/CMakeFiles/mivid.dir/db/session_store.cc.o" "gcc" "src/CMakeFiles/mivid.dir/db/session_store.cc.o.d"
+  "/root/repo/src/db/video_db.cc" "src/CMakeFiles/mivid.dir/db/video_db.cc.o" "gcc" "src/CMakeFiles/mivid.dir/db/video_db.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/mivid.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/mivid.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/mivid.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/mivid.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/oracle.cc" "src/CMakeFiles/mivid.dir/eval/oracle.cc.o" "gcc" "src/CMakeFiles/mivid.dir/eval/oracle.cc.o.d"
+  "/root/repo/src/event/event_model.cc" "src/CMakeFiles/mivid.dir/event/event_model.cc.o" "gcc" "src/CMakeFiles/mivid.dir/event/event_model.cc.o.d"
+  "/root/repo/src/event/features.cc" "src/CMakeFiles/mivid.dir/event/features.cc.o" "gcc" "src/CMakeFiles/mivid.dir/event/features.cc.o.d"
+  "/root/repo/src/event/sliding_window.cc" "src/CMakeFiles/mivid.dir/event/sliding_window.cc.o" "gcc" "src/CMakeFiles/mivid.dir/event/sliding_window.cc.o.d"
+  "/root/repo/src/geometry/geometry.cc" "src/CMakeFiles/mivid.dir/geometry/geometry.cc.o" "gcc" "src/CMakeFiles/mivid.dir/geometry/geometry.cc.o.d"
+  "/root/repo/src/geometry/homography.cc" "src/CMakeFiles/mivid.dir/geometry/homography.cc.o" "gcc" "src/CMakeFiles/mivid.dir/geometry/homography.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/mivid.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/mivid.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/mivid.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/mivid.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/pca.cc" "src/CMakeFiles/mivid.dir/linalg/pca.cc.o" "gcc" "src/CMakeFiles/mivid.dir/linalg/pca.cc.o.d"
+  "/root/repo/src/linalg/solve.cc" "src/CMakeFiles/mivid.dir/linalg/solve.cc.o" "gcc" "src/CMakeFiles/mivid.dir/linalg/solve.cc.o.d"
+  "/root/repo/src/linalg/stats.cc" "src/CMakeFiles/mivid.dir/linalg/stats.cc.o" "gcc" "src/CMakeFiles/mivid.dir/linalg/stats.cc.o.d"
+  "/root/repo/src/mil/bag.cc" "src/CMakeFiles/mivid.dir/mil/bag.cc.o" "gcc" "src/CMakeFiles/mivid.dir/mil/bag.cc.o.d"
+  "/root/repo/src/mil/citation_knn.cc" "src/CMakeFiles/mivid.dir/mil/citation_knn.cc.o" "gcc" "src/CMakeFiles/mivid.dir/mil/citation_knn.cc.o.d"
+  "/root/repo/src/mil/dataset.cc" "src/CMakeFiles/mivid.dir/mil/dataset.cc.o" "gcc" "src/CMakeFiles/mivid.dir/mil/dataset.cc.o.d"
+  "/root/repo/src/mil/diverse_density.cc" "src/CMakeFiles/mivid.dir/mil/diverse_density.cc.o" "gcc" "src/CMakeFiles/mivid.dir/mil/diverse_density.cc.o.d"
+  "/root/repo/src/mil/mi_svm.cc" "src/CMakeFiles/mivid.dir/mil/mi_svm.cc.o" "gcc" "src/CMakeFiles/mivid.dir/mil/mi_svm.cc.o.d"
+  "/root/repo/src/retrieval/active_selection.cc" "src/CMakeFiles/mivid.dir/retrieval/active_selection.cc.o" "gcc" "src/CMakeFiles/mivid.dir/retrieval/active_selection.cc.o.d"
+  "/root/repo/src/retrieval/heuristic.cc" "src/CMakeFiles/mivid.dir/retrieval/heuristic.cc.o" "gcc" "src/CMakeFiles/mivid.dir/retrieval/heuristic.cc.o.d"
+  "/root/repo/src/retrieval/mil_rf_engine.cc" "src/CMakeFiles/mivid.dir/retrieval/mil_rf_engine.cc.o" "gcc" "src/CMakeFiles/mivid.dir/retrieval/mil_rf_engine.cc.o.d"
+  "/root/repo/src/retrieval/query_by_example.cc" "src/CMakeFiles/mivid.dir/retrieval/query_by_example.cc.o" "gcc" "src/CMakeFiles/mivid.dir/retrieval/query_by_example.cc.o.d"
+  "/root/repo/src/retrieval/session.cc" "src/CMakeFiles/mivid.dir/retrieval/session.cc.o" "gcc" "src/CMakeFiles/mivid.dir/retrieval/session.cc.o.d"
+  "/root/repo/src/segment/background.cc" "src/CMakeFiles/mivid.dir/segment/background.cc.o" "gcc" "src/CMakeFiles/mivid.dir/segment/background.cc.o.d"
+  "/root/repo/src/segment/blob.cc" "src/CMakeFiles/mivid.dir/segment/blob.cc.o" "gcc" "src/CMakeFiles/mivid.dir/segment/blob.cc.o.d"
+  "/root/repo/src/segment/segmenter.cc" "src/CMakeFiles/mivid.dir/segment/segmenter.cc.o" "gcc" "src/CMakeFiles/mivid.dir/segment/segmenter.cc.o.d"
+  "/root/repo/src/segment/spcpe.cc" "src/CMakeFiles/mivid.dir/segment/spcpe.cc.o" "gcc" "src/CMakeFiles/mivid.dir/segment/spcpe.cc.o.d"
+  "/root/repo/src/svm/binary_svm.cc" "src/CMakeFiles/mivid.dir/svm/binary_svm.cc.o" "gcc" "src/CMakeFiles/mivid.dir/svm/binary_svm.cc.o.d"
+  "/root/repo/src/svm/kernel.cc" "src/CMakeFiles/mivid.dir/svm/kernel.cc.o" "gcc" "src/CMakeFiles/mivid.dir/svm/kernel.cc.o.d"
+  "/root/repo/src/svm/model_io.cc" "src/CMakeFiles/mivid.dir/svm/model_io.cc.o" "gcc" "src/CMakeFiles/mivid.dir/svm/model_io.cc.o.d"
+  "/root/repo/src/svm/model_selection.cc" "src/CMakeFiles/mivid.dir/svm/model_selection.cc.o" "gcc" "src/CMakeFiles/mivid.dir/svm/model_selection.cc.o.d"
+  "/root/repo/src/svm/one_class_svm.cc" "src/CMakeFiles/mivid.dir/svm/one_class_svm.cc.o" "gcc" "src/CMakeFiles/mivid.dir/svm/one_class_svm.cc.o.d"
+  "/root/repo/src/track/assignment.cc" "src/CMakeFiles/mivid.dir/track/assignment.cc.o" "gcc" "src/CMakeFiles/mivid.dir/track/assignment.cc.o.d"
+  "/root/repo/src/track/tracker.cc" "src/CMakeFiles/mivid.dir/track/tracker.cc.o" "gcc" "src/CMakeFiles/mivid.dir/track/tracker.cc.o.d"
+  "/root/repo/src/track/vehicle_classifier.cc" "src/CMakeFiles/mivid.dir/track/vehicle_classifier.cc.o" "gcc" "src/CMakeFiles/mivid.dir/track/vehicle_classifier.cc.o.d"
+  "/root/repo/src/trafficsim/driver.cc" "src/CMakeFiles/mivid.dir/trafficsim/driver.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trafficsim/driver.cc.o.d"
+  "/root/repo/src/trafficsim/incident.cc" "src/CMakeFiles/mivid.dir/trafficsim/incident.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trafficsim/incident.cc.o.d"
+  "/root/repo/src/trafficsim/renderer.cc" "src/CMakeFiles/mivid.dir/trafficsim/renderer.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trafficsim/renderer.cc.o.d"
+  "/root/repo/src/trafficsim/road.cc" "src/CMakeFiles/mivid.dir/trafficsim/road.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trafficsim/road.cc.o.d"
+  "/root/repo/src/trafficsim/scenarios.cc" "src/CMakeFiles/mivid.dir/trafficsim/scenarios.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trafficsim/scenarios.cc.o.d"
+  "/root/repo/src/trafficsim/vehicle.cc" "src/CMakeFiles/mivid.dir/trafficsim/vehicle.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trafficsim/vehicle.cc.o.d"
+  "/root/repo/src/trafficsim/world.cc" "src/CMakeFiles/mivid.dir/trafficsim/world.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trafficsim/world.cc.o.d"
+  "/root/repo/src/trajectory/polyfit.cc" "src/CMakeFiles/mivid.dir/trajectory/polyfit.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trajectory/polyfit.cc.o.d"
+  "/root/repo/src/trajectory/smoothing.cc" "src/CMakeFiles/mivid.dir/trajectory/smoothing.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trajectory/smoothing.cc.o.d"
+  "/root/repo/src/trajectory/trajectory.cc" "src/CMakeFiles/mivid.dir/trajectory/trajectory.cc.o" "gcc" "src/CMakeFiles/mivid.dir/trajectory/trajectory.cc.o.d"
+  "/root/repo/src/video/clip.cc" "src/CMakeFiles/mivid.dir/video/clip.cc.o" "gcc" "src/CMakeFiles/mivid.dir/video/clip.cc.o.d"
+  "/root/repo/src/video/draw.cc" "src/CMakeFiles/mivid.dir/video/draw.cc.o" "gcc" "src/CMakeFiles/mivid.dir/video/draw.cc.o.d"
+  "/root/repo/src/video/frame.cc" "src/CMakeFiles/mivid.dir/video/frame.cc.o" "gcc" "src/CMakeFiles/mivid.dir/video/frame.cc.o.d"
+  "/root/repo/src/video/image_io.cc" "src/CMakeFiles/mivid.dir/video/image_io.cc.o" "gcc" "src/CMakeFiles/mivid.dir/video/image_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

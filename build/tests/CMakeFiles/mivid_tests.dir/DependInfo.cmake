@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/active_gridsearch_test.cc" "tests/CMakeFiles/mivid_tests.dir/active_gridsearch_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/active_gridsearch_test.cc.o.d"
+  "/root/repo/tests/background_median_test.cc" "tests/CMakeFiles/mivid_tests.dir/background_median_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/background_median_test.cc.o.d"
+  "/root/repo/tests/binary_svm_test.cc" "tests/CMakeFiles/mivid_tests.dir/binary_svm_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/binary_svm_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/mivid_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/db_test.cc" "tests/CMakeFiles/mivid_tests.dir/db_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/db_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/mivid_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/event_test.cc" "tests/CMakeFiles/mivid_tests.dir/event_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/event_test.cc.o.d"
+  "/root/repo/tests/frame_store_test.cc" "tests/CMakeFiles/mivid_tests.dir/frame_store_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/frame_store_test.cc.o.d"
+  "/root/repo/tests/geometry_test.cc" "tests/CMakeFiles/mivid_tests.dir/geometry_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/geometry_test.cc.o.d"
+  "/root/repo/tests/homography_test.cc" "tests/CMakeFiles/mivid_tests.dir/homography_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/homography_test.cc.o.d"
+  "/root/repo/tests/incident_edge_test.cc" "tests/CMakeFiles/mivid_tests.dir/incident_edge_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/incident_edge_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/mivid_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/linalg_test.cc" "tests/CMakeFiles/mivid_tests.dir/linalg_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/linalg_test.cc.o.d"
+  "/root/repo/tests/mil_baselines_test.cc" "tests/CMakeFiles/mivid_tests.dir/mil_baselines_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/mil_baselines_test.cc.o.d"
+  "/root/repo/tests/mil_test.cc" "tests/CMakeFiles/mivid_tests.dir/mil_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/mil_test.cc.o.d"
+  "/root/repo/tests/misc_edge_test.cc" "tests/CMakeFiles/mivid_tests.dir/misc_edge_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/misc_edge_test.cc.o.d"
+  "/root/repo/tests/property_sweep_test.cc" "tests/CMakeFiles/mivid_tests.dir/property_sweep_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/property_sweep_test.cc.o.d"
+  "/root/repo/tests/query_by_example_test.cc" "tests/CMakeFiles/mivid_tests.dir/query_by_example_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/query_by_example_test.cc.o.d"
+  "/root/repo/tests/retrieval_test.cc" "tests/CMakeFiles/mivid_tests.dir/retrieval_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/retrieval_test.cc.o.d"
+  "/root/repo/tests/rocchio_session_test.cc" "tests/CMakeFiles/mivid_tests.dir/rocchio_session_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/rocchio_session_test.cc.o.d"
+  "/root/repo/tests/segment_test.cc" "tests/CMakeFiles/mivid_tests.dir/segment_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/segment_test.cc.o.d"
+  "/root/repo/tests/smoothing_knn_test.cc" "tests/CMakeFiles/mivid_tests.dir/smoothing_knn_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/smoothing_knn_test.cc.o.d"
+  "/root/repo/tests/svm_test.cc" "tests/CMakeFiles/mivid_tests.dir/svm_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/svm_test.cc.o.d"
+  "/root/repo/tests/track_test.cc" "tests/CMakeFiles/mivid_tests.dir/track_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/track_test.cc.o.d"
+  "/root/repo/tests/trafficsim_test.cc" "tests/CMakeFiles/mivid_tests.dir/trafficsim_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/trafficsim_test.cc.o.d"
+  "/root/repo/tests/trajectory_test.cc" "tests/CMakeFiles/mivid_tests.dir/trajectory_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/trajectory_test.cc.o.d"
+  "/root/repo/tests/video_test.cc" "tests/CMakeFiles/mivid_tests.dir/video_test.cc.o" "gcc" "tests/CMakeFiles/mivid_tests.dir/video_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mivid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

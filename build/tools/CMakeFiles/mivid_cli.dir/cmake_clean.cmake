@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mivid_cli.dir/mivid_cli.cc.o"
+  "CMakeFiles/mivid_cli.dir/mivid_cli.cc.o.d"
+  "mivid_cli"
+  "mivid_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mivid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
