@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the micro benchmarks and writes BENCH_micro.json so the perf
+# trajectory is tracked across PRs.
+#
+# Usage: bench/run_micro_bench.sh [build-dir] [out-file] [benchmark-filter]
+#   build-dir  defaults to ./build
+#   out-file   defaults to ./BENCH_micro.json
+#   filter     google-benchmark regex, defaults to all benchmarks
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_FILE="${2:-BENCH_micro.json}"
+FILTER="${3:-.}"
+
+BIN="${BUILD_DIR}/bench/micro_perf"
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not built; run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j --target micro_perf" >&2
+  exit 1
+fi
+
+"${BIN}" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json \
+  --benchmark_out="${OUT_FILE}" \
+  --benchmark_out_format=json
+echo "wrote ${OUT_FILE}"

@@ -1,0 +1,171 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace mivid {
+
+namespace {
+
+thread_local bool tls_in_pool_worker = false;
+
+/// Thread count requested via SetGlobalThreadCount (0 = default).
+std::atomic<int> g_requested_threads{0};
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("MIVID_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return HardwareThreads();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorkerThread() { return tls_in_pool_worker; }
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (InWorkerThread()) {
+    // Nested fork-join from a worker: run inline. Waiting on the queue
+    // here could deadlock once every worker blocks on sub-tasks.
+    for (auto& t : tasks) t();
+    return;
+  }
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->remaining = tasks.size();
+  for (auto& t : tasks) {
+    Submit([state, task = std::move(t)] {
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (error && !state->first_error) state->first_error = error;
+      if (--state->remaining == 0) state->done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;   // guarded by g_pool_mu
+int g_pool_size = 0;                  // size g_pool was built with
+
+}  // namespace
+
+void SetGlobalThreadCount(int n) {
+  g_requested_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(g_pool_mu);
+  if (g_pool && g_pool_size != GlobalThreadCount()) {
+    g_pool.reset();  // rebuilt lazily at the new size
+    g_pool_size = 0;
+  }
+}
+
+int GlobalThreadCount() {
+  const int requested = g_requested_threads.load(std::memory_order_relaxed);
+  return requested >= 1 ? requested : DefaultThreadCount();
+}
+
+ThreadPool* GlobalPool() {
+  const int count = GlobalThreadCount();
+  if (count <= 1) return nullptr;
+  std::unique_lock<std::mutex> lock(g_pool_mu);
+  if (!g_pool || g_pool_size != count) {
+    g_pool.reset();  // join old workers before spawning the new pool
+    g_pool = std::make_unique<ThreadPool>(count);
+    g_pool_size = count;
+  }
+  return g_pool.get();
+}
+
+size_t ParallelChunkCount(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t chunks = (n + grain - 1) / grain;
+  ThreadPool* pool =
+      (chunks > 1 && !ThreadPool::InWorkerThread()) ? GlobalPool() : nullptr;
+  if (pool == nullptr) {
+    // Serial fallback: same chunk boundaries, executed in order.
+    for (size_t begin = 0; begin < n; begin += grain) {
+      fn(begin, std::min(begin + grain, n));
+    }
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (size_t begin = 0; begin < n; begin += grain) {
+    const size_t end = std::min(begin + grain, n);
+    tasks.push_back([&fn, begin, end] { fn(begin, end); });
+  }
+  pool->RunBatch(tasks);
+}
+
+}  // namespace mivid

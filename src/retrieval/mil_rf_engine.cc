@@ -1,8 +1,23 @@
 #include "retrieval/mil_rf_engine.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
 
 namespace mivid {
+
+namespace {
+
+/// A training candidate: the instance vector, its heuristic score, and its
+/// stable identity (the kernel-cache key).
+struct TrainingCandidate {
+  Vec features;
+  double score = 0.0;
+  InstanceKey id;
+};
+
+}  // namespace
 
 MilRfEngine::MilRfEngine(const MilDataset* dataset, MilRfOptions options)
     : dataset_(dataset), options_(options) {
@@ -21,7 +36,7 @@ Status MilRfEngine::Learn() {
 
   // Assemble the training set (each candidate with its heuristic score so
   // the global floor below can be applied).
-  std::vector<std::pair<Vec, double>> candidates;
+  std::vector<TrainingCandidate> candidates;
   for (const MilBag* bag : relevant) {
     if (bag->empty()) continue;
     std::vector<double> scores;
@@ -32,23 +47,23 @@ Status MilRfEngine::Learn() {
           inst.raw_features, options_.tie_break_model, options_.base_dim));
       best_score = std::max(best_score, scores.back());
     }
+    auto add = [&](size_t i) {
+      candidates.push_back({bag->instances[i].features, scores[i],
+                            {bag->id, bag->instances[i].instance_id}});
+    };
     if (options_.policy == TrainingSetPolicy::kAllInstances) {
-      for (size_t i = 0; i < scores.size(); ++i) {
-        candidates.emplace_back(bag->instances[i].features, scores[i]);
-      }
+      for (size_t i = 0; i < scores.size(); ++i) add(i);
     } else if (options_.policy == TrainingSetPolicy::kTopInstancePerBag) {
       for (size_t i = 0; i < scores.size(); ++i) {
         if (scores[i] == best_score) {
-          candidates.emplace_back(bag->instances[i].features, scores[i]);
+          add(i);
           break;
         }
       }
     } else {  // kTopScoredInstances
       const double cutoff = best_score * options_.top_score_fraction;
       for (size_t i = 0; i < scores.size(); ++i) {
-        if (scores[i] >= cutoff) {
-          candidates.emplace_back(bag->instances[i].features, scores[i]);
-        }
+        if (scores[i] >= cutoff) add(i);
       }
     }
   }
@@ -57,25 +72,34 @@ Status MilRfEngine::Learn() {
   // support region at the feature origin; drop such anchors.
   if (options_.min_training_score > 0.0) {
     double global_best = 0.0;
-    for (const auto& [v, s] : candidates) {
-      (void)v;
-      global_best = std::max(global_best, s);
+    for (const auto& c : candidates) {
+      global_best = std::max(global_best, c.score);
     }
     const double floor = options_.min_training_score * global_best;
-    std::vector<std::pair<Vec, double>> kept;
+    std::vector<TrainingCandidate> kept;
     for (auto& c : candidates) {
-      if (c.second >= floor) kept.push_back(std::move(c));
+      if (c.score >= floor) kept.push_back(std::move(c));
     }
     if (!kept.empty()) candidates.swap(kept);
   }
   std::vector<Vec> training;
+  std::vector<InstanceKey> training_ids;
   training.reserve(candidates.size());
-  for (auto& [v, s] : candidates) {
-    (void)s;
-    training.push_back(std::move(v));
+  training_ids.reserve(candidates.size());
+  for (auto& c : candidates) {
+    training.push_back(std::move(c.features));
+    training_ids.push_back(c.id);
   }
   if (training.empty()) {
     return Status::FailedPrecondition("relevant bags contain no instances");
+  }
+  // Validate dimensions before any pairwise work: the distance kernels
+  // index both vectors by the same coordinate.
+  for (const auto& t : training) {
+    if (t.size() != training[0].size()) {
+      return Status::InvalidArgument(
+          "relevant bags contain instances of inconsistent dimension");
+    }
   }
 
   // Eq. 9: delta = 1 - (h/H + z).
@@ -87,16 +111,23 @@ Status MilRfEngine::Learn() {
 
   OneClassSvmOptions svm_options;
   svm_options.kernel = options_.kernel;
-  if (options_.auto_sigma && svm_options.kernel.type == KernelType::kRbf &&
-      training.size() >= 2) {
+  const bool rbf = svm_options.kernel.type == KernelType::kRbf;
+
+  // RBF sessions reuse pairwise distances across rounds: only the pairs
+  // involving newly labeled instances are computed, the rest are cache
+  // hits. The distances feed both the bandwidth heuristic and the Gram.
+  std::optional<Matrix> d2;
+  if (rbf) {
+    d2 = kernel_cache_.PairwiseSquaredDistances(training, training_ids);
+  }
+  if (options_.auto_sigma && rbf && training.size() >= 2) {
     // Median-distance bandwidth heuristic: wide enough to generalize
     // across the relevant cluster, narrow enough to exclude the rest.
     std::vector<double> dists;
     dists.reserve(training.size() * (training.size() - 1) / 2);
     for (size_t i = 0; i < training.size(); ++i) {
       for (size_t j = i + 1; j < training.size(); ++j) {
-        dists.push_back(
-            std::sqrt(SquaredDistance(training[i], training[j])));
+        dists.push_back(std::sqrt(d2->At(i, j)));
       }
     }
     std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
@@ -108,7 +139,13 @@ Status MilRfEngine::Learn() {
   }
   svm_options.nu = nu;
   OneClassSvmTrainer trainer(svm_options);
-  MIVID_ASSIGN_OR_RETURN(OneClassSvmModel model, trainer.Train(training));
+  OneClassSvmModel model;
+  if (rbf) {
+    const GramMatrix gram(svm_options.kernel, *d2);
+    MIVID_ASSIGN_OR_RETURN(model, trainer.Train(training, gram));
+  } else {
+    MIVID_ASSIGN_OR_RETURN(model, trainer.Train(training));
+  }
 
   model_ = std::move(model);
   last_nu_ = nu;
@@ -127,9 +164,28 @@ double MilRfEngine::BagScore(const MilBag& bag) const {
 std::vector<ScoredBag> MilRfEngine::Rank() const {
   std::vector<ScoredBag> ranking;
   if (!model_) return ranking;
-  ranking.reserve(dataset_->size());
-  for (const auto& bag : dataset_->bags()) {
-    ranking.push_back({bag.id, BagScore(bag)});
+
+  // Flatten every instance of every bag, score them all in one parallel
+  // batch, then take per-bag maxima (order-independent, so the ranking is
+  // identical at any thread count).
+  const std::vector<MilBag>& bags = dataset_->bags();
+  std::vector<const Vec*> instances;
+  std::vector<size_t> bag_begin(bags.size() + 1, 0);
+  for (size_t b = 0; b < bags.size(); ++b) {
+    for (const auto& inst : bags[b].instances) {
+      instances.push_back(&inst.features);
+    }
+    bag_begin[b + 1] = instances.size();
+  }
+  const std::vector<double> values = model_->DecisionValues(instances);
+
+  ranking.reserve(bags.size());
+  for (size_t b = 0; b < bags.size(); ++b) {
+    double best = -1e18;
+    for (size_t q = bag_begin[b]; q < bag_begin[b + 1]; ++q) {
+      best = std::max(best, values[q]);
+    }
+    ranking.push_back({bags[b].id, best});
   }
   std::stable_sort(ranking.begin(), ranking.end(),
                    [](const ScoredBag& a, const ScoredBag& b) {

@@ -18,6 +18,7 @@
 #include "event/event_model.h"
 #include "mil/dataset.h"
 #include "retrieval/heuristic.h"
+#include "svm/kernel_cache.h"
 #include "svm/one_class_svm.h"
 
 namespace mivid {
@@ -87,10 +88,17 @@ class MilRfEngine {
     return model_ ? &*model_ : nullptr;
   }
 
+  /// Cross-round kernel cache statistics (RBF sessions only).
+  const KernelCache& kernel_cache() const { return kernel_cache_; }
+
  private:
   const MilDataset* dataset_;
   MilRfOptions options_;
   std::optional<OneClassSvmModel> model_;
+  /// Pairwise-distance cache keyed by (bag_id, instance_id): feedback
+  /// rounds mostly retrain on the same instances, so the Gram blocks that
+  /// did not change between rounds are served from here.
+  KernelCache kernel_cache_;
   double last_nu_ = 0.0;
   size_t last_training_size_ = 0;
 };

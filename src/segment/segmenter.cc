@@ -1,27 +1,62 @@
 #include "segment/segmenter.h"
 
+#include <utility>
+
 namespace mivid {
 
 VehicleSegmenter::VehicleSegmenter(SegmenterOptions options)
     : options_(options), background_(options.background) {}
 
-std::vector<Blob> VehicleSegmenter::Process(const Frame& frame) {
-  background_.Update(frame);
-  if (!background_.Ready()) return {};
+namespace {
 
-  Mask mask = background_.Subtract(frame);
-  if (options_.use_spcpe) {
+/// The pure back half shared by Refine and Process: SPCPE refinement,
+/// morphological cleanup, blob extraction.
+std::vector<Blob> RefineFrame(const Frame& frame, const Mask& subtraction,
+                              double bg_mean, const SegmenterOptions& options) {
+  Mask mask = subtraction;
+  if (options.use_spcpe) {
     // Refine the candidate foreground: SPCPE separates true vehicle pixels
     // from background clutter that leaked through the threshold.
-    const double bg_mean = background_.BackgroundFrame().MeanIntensity();
-    SpcpeResult refined = RunSpcpe(frame, &mask, bg_mean, options_.spcpe);
+    SpcpeResult refined = RunSpcpe(frame, &mask, bg_mean, options.spcpe);
     mask = std::move(refined.partition);
   }
-  if (options_.clean_iterations > 0) {
+  if (options.clean_iterations > 0) {
     mask = CleanMask(mask, frame.width(), frame.height(),
-                     options_.clean_iterations);
+                     options.clean_iterations);
   }
-  return ExtractBlobs(mask, frame, options_.blob);
+  return ExtractBlobs(mask, frame, options.blob);
+}
+
+}  // namespace
+
+PendingSegmentation VehicleSegmenter::Ingest(Frame frame) {
+  background_.Update(frame);
+  PendingSegmentation pending;
+  pending.ready = background_.Ready();
+  if (!pending.ready) return pending;
+  pending.mask = background_.Subtract(frame);
+  if (options_.use_spcpe) {
+    pending.bg_mean = background_.BackgroundFrame().MeanIntensity();
+  }
+  pending.frame = std::move(frame);
+  return pending;
+}
+
+std::vector<Blob> VehicleSegmenter::Refine(const PendingSegmentation& pending,
+                                           const SegmenterOptions& options) {
+  if (!pending.ready) return {};
+  return RefineFrame(pending.frame, pending.mask, pending.bg_mean, options);
+}
+
+std::vector<Blob> VehicleSegmenter::Process(const Frame& frame) {
+  // Same pipeline as Refine(Ingest(frame)) but without buffering the
+  // frame, so serial per-frame callers pay no copy.
+  background_.Update(frame);
+  if (!background_.Ready()) return {};
+  const Mask mask = background_.Subtract(frame);
+  const double bg_mean =
+      options_.use_spcpe ? background_.BackgroundFrame().MeanIntensity() : -1.0;
+  return RefineFrame(frame, mask, bg_mean, options_);
 }
 
 }  // namespace mivid

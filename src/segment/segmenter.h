@@ -25,7 +25,24 @@ struct SegmenterOptions {
   bool use_spcpe = true;  ///< disable to use the raw subtraction mask
 };
 
+/// The sequential front half of segmenting one frame: the frame itself,
+/// its background-subtraction mask, and the background statistics SPCPE
+/// needs. Produced by VehicleSegmenter::Ingest (which owns the stateful
+/// background model); consumed by the pure, parallelizable Refine step.
+struct PendingSegmentation {
+  Frame frame;
+  Mask mask;
+  double bg_mean = -1.0;  ///< background mean intensity (SPCPE hint)
+  bool ready = false;     ///< false during background warmup
+};
+
 /// Stateful frame-by-frame vehicle segmenter.
+///
+/// Process() == Refine(Ingest(frame)). The split exists so a clip can be
+/// segmented in parallel: Ingest carries the frame-order-dependent
+/// background update (cheap, must stay sequential), Refine carries the
+/// SPCPE/cleanup/blob extraction (expensive, pure function of one
+/// PendingSegmentation, safe to fan out across frames).
 class VehicleSegmenter {
  public:
   explicit VehicleSegmenter(SegmenterOptions options = {});
@@ -33,6 +50,17 @@ class VehicleSegmenter {
   /// Processes the next frame; returns the detected vehicle blobs
   /// (empty during background warmup).
   std::vector<Blob> Process(const Frame& frame);
+
+  /// Advances the background model with `frame` and captures everything
+  /// the stateless Refine step needs.
+  PendingSegmentation Ingest(Frame frame);
+
+  /// Pure second half: SPCPE refinement, morphological cleanup, blob
+  /// extraction. Thread-safe; no segmenter state is read or written.
+  static std::vector<Blob> Refine(const PendingSegmentation& pending,
+                                  const SegmenterOptions& options);
+
+  const SegmenterOptions& options() const { return options_; }
 
   /// True once the background model has warmed up.
   bool Ready() const { return background_.Ready(); }

@@ -1,33 +1,126 @@
 #include "svm/kernel.h"
 
+#include <cassert>
 #include <cmath>
+
+#include "common/thread_pool.h"
 
 namespace mivid {
 
-double KernelEval(const KernelParams& params, const Vec& u, const Vec& v) {
-  switch (params.type) {
-    case KernelType::kRbf: {
-      const double gamma = 1.0 / (2.0 * params.sigma * params.sigma);
-      return std::exp(-gamma * SquaredDistance(u, v));
-    }
+namespace {
+
+/// x^d by repeated multiplication: for the small integer degrees used by
+/// polynomial kernels this is both faster and more predictable than
+/// std::pow. Falls back to std::pow for large or negative degrees.
+double IntPow(double x, int d) {
+  if (d < 0 || d > 16) return std::pow(x, d);
+  double acc = 1.0;
+  double base = x;
+  for (int e = d; e > 0; e >>= 1) {
+    if (e & 1) acc *= base;
+    base *= base;
+  }
+  return acc;
+}
+
+/// Grain for row-parallel Gram construction: small enough to load-balance
+/// the triangular work, fixed so the decomposition is thread-independent.
+constexpr size_t kGramRowGrain = 4;
+
+}  // namespace
+
+PreparedKernel::PreparedKernel(const KernelParams& params) : params_(params) {
+  if (params_.type == KernelType::kRbf) {
+    gamma_ = 1.0 / (2.0 * params_.sigma * params_.sigma);
+  }
+}
+
+double PreparedKernel::Eval(const Vec& u, const Vec& v) const {
+  switch (params_.type) {
+    case KernelType::kRbf:
+      return std::exp(-gamma_ * SquaredDistance(u, v));
     case KernelType::kLinear:
       return Dot(u, v);
     case KernelType::kPoly:
-      return std::pow(Dot(u, v) + params.poly_c, params.poly_degree);
+      return IntPow(Dot(u, v) + params_.poly_c, params_.poly_degree);
   }
   return 0.0;
+}
+
+double PreparedKernel::EvalRbfFromSquaredDistance(double d2) const {
+  return std::exp(-gamma_ * d2);
+}
+
+double KernelEval(const KernelParams& params, const Vec& u, const Vec& v) {
+  return PreparedKernel(params).Eval(u, v);
+}
+
+double ExpandedSquaredDistance(const Vec& u, double u_norm2, const Vec& v,
+                               double v_norm2) {
+  const double d2 = u_norm2 + v_norm2 - 2.0 * Dot(u, v);
+  return d2 > 0.0 ? d2 : 0.0;
+}
+
+std::vector<double> SquaredNorms(const std::vector<Vec>& points) {
+  std::vector<double> norms(points.size());
+  ParallelFor(points.size(), 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      norms[i] = Dot(points[i], points[i]);
+    }
+  });
+  return norms;
 }
 
 GramMatrix::GramMatrix(const KernelParams& params,
                        const std::vector<Vec>& points)
     : n_(points.size()), data_(points.size() * points.size()) {
-  for (size_t i = 0; i < n_; ++i) {
-    for (size_t j = i; j < n_; ++j) {
-      const double k = KernelEval(params, points[i], points[j]);
-      data_[i * n_ + j] = k;
-      data_[j * n_ + i] = k;
-    }
+  const PreparedKernel kernel(params);
+  if (params.type == KernelType::kRbf) {
+    // RBF fast path: K(i,j) = exp(-gamma (|u|^2 + |v|^2 - 2 u.v)) with the
+    // squared norms hoisted out of the O(n^2) pair loop.
+    const std::vector<double> norms = SquaredNorms(points);
+    ParallelFor(n_, kGramRowGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        data_[i * n_ + i] = 1.0;  // exp(0); the expansion is exactly 0 here
+        for (size_t j = i + 1; j < n_; ++j) {
+          const double d2 =
+              ExpandedSquaredDistance(points[i], norms[i], points[j], norms[j]);
+          const double k = kernel.EvalRbfFromSquaredDistance(d2);
+          data_[i * n_ + j] = k;
+          data_[j * n_ + i] = k;
+        }
+      }
+    });
+    return;
   }
+  ParallelFor(n_, kGramRowGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = i; j < n_; ++j) {
+        const double k = kernel.Eval(points[i], points[j]);
+        data_[i * n_ + j] = k;
+        data_[j * n_ + i] = k;
+      }
+    }
+  });
+}
+
+GramMatrix::GramMatrix(const KernelParams& params,
+                       const Matrix& squared_distances)
+    : n_(squared_distances.rows()),
+      data_(squared_distances.rows() * squared_distances.rows()) {
+  // A squared-distance matrix only determines the Gram for RBF kernels.
+  assert(params.type == KernelType::kRbf);
+  const PreparedKernel kernel(params);
+  ParallelFor(n_, kGramRowGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = i; j < n_; ++j) {
+        const double k =
+            kernel.EvalRbfFromSquaredDistance(squared_distances.At(i, j));
+        data_[i * n_ + j] = k;
+        data_[j * n_ + i] = k;
+      }
+    }
+  });
 }
 
 }  // namespace mivid

@@ -25,16 +25,53 @@ struct KernelParams {
   int poly_degree = 3;
 };
 
-/// Evaluates K(u, v) under `params`.
+/// A kernel with its derived constants hoisted out of the evaluation loop
+/// (the RBF gamma = 1/(2 sigma^2) division in particular). Construct once
+/// per batch of evaluations, not per pair.
+class PreparedKernel {
+ public:
+  explicit PreparedKernel(const KernelParams& params);
+
+  const KernelParams& params() const { return params_; }
+  double gamma() const { return gamma_; }
+
+  /// K(u, v).
+  double Eval(const Vec& u, const Vec& v) const;
+
+  /// RBF value from a precomputed squared distance; valid only for kRbf.
+  double EvalRbfFromSquaredDistance(double d2) const;
+
+ private:
+  KernelParams params_;
+  double gamma_ = 0.0;  ///< 1/(2 sigma^2), RBF only
+};
+
+/// Evaluates K(u, v) under `params`. Prefer PreparedKernel in loops.
 double KernelEval(const KernelParams& params, const Vec& u, const Vec& v);
+
+/// |u - v|^2 via the expansion |u|^2 + |v|^2 - 2 u.v given precomputed
+/// squared norms (clamped at 0 against cancellation). This is the one
+/// formula every Gram/cache path uses, so cached and uncached entries are
+/// bit-identical.
+double ExpandedSquaredDistance(const Vec& u, double u_norm2, const Vec& v,
+                               double v_norm2);
+
+/// Squared norms |p_i|^2 for every point (computed in parallel).
+std::vector<double> SquaredNorms(const std::vector<Vec>& points);
 
 /// Precomputed symmetric kernel (Gram) matrix over a training set.
 ///
-/// The one-class solver touches rows repeatedly; for the tiny training
-/// sets of an RF session a full dense Gram matrix is the fastest cache.
+/// The one-class solver touches rows repeatedly; for the training sets of
+/// an RF session a full dense Gram matrix is the fastest cache. Rows are
+/// filled in parallel (entries are independent, so the result does not
+/// depend on the thread count).
 class GramMatrix {
  public:
   GramMatrix(const KernelParams& params, const std::vector<Vec>& points);
+
+  /// RBF-only fast path: builds exp(-gamma * d2) from a precomputed
+  /// squared-distance matrix (e.g. a KernelCache product).
+  GramMatrix(const KernelParams& params, const Matrix& squared_distances);
 
   size_t size() const { return n_; }
   double At(size_t i, size_t j) const { return data_[i * n_ + j]; }

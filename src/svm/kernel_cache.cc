@@ -1,0 +1,81 @@
+#include "svm/kernel_cache.h"
+
+#include "common/thread_pool.h"
+
+namespace mivid {
+
+namespace {
+
+uint64_t PackId(InstanceKey key) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(key.bag_id)) << 32) |
+         static_cast<uint32_t>(key.instance_id);
+}
+
+}  // namespace
+
+uint32_t KernelCache::DenseIndex(InstanceKey key) {
+  const uint64_t packed = PackId(key);
+  auto [it, inserted] =
+      dense_index_.emplace(packed, static_cast<uint32_t>(dense_index_.size()));
+  return it->second;
+}
+
+Matrix KernelCache::PairwiseSquaredDistances(
+    const std::vector<Vec>& points, const std::vector<InstanceKey>& ids) {
+  const size_t n = points.size();
+  Matrix d2(n, n, 0.0);
+  if (n == 0) return d2;
+
+  // Phase 1 (serial): resolve ids, serve cached pairs, list the misses.
+  std::vector<uint32_t> dense(n);
+  for (size_t i = 0; i < n; ++i) dense[i] = DenseIndex(ids[i]);
+  struct Missing {
+    size_t i, j;
+    uint64_t key;
+  };
+  std::vector<Missing> missing;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const uint64_t key = PairKey(dense[i], dense[j]);
+      const auto it = d2_.find(key);
+      if (it != d2_.end()) {
+        ++hits_;
+        d2.At(i, j) = it->second;
+        d2.At(j, i) = it->second;
+      } else {
+        ++misses_;
+        missing.push_back({i, j, key});
+      }
+    }
+  }
+
+  // Phase 2 (parallel): compute the missing pairs into their fixed slots.
+  const std::vector<double> norms = SquaredNorms(points);
+  std::vector<double> computed(missing.size());
+  ParallelFor(missing.size(), 256, [&](size_t begin, size_t end) {
+    for (size_t m = begin; m < end; ++m) {
+      const auto& [i, j, key] = missing[m];
+      (void)key;
+      computed[m] =
+          ExpandedSquaredDistance(points[i], norms[i], points[j], norms[j]);
+    }
+  });
+
+  // Phase 3 (serial): publish results into the matrix and the cache.
+  for (size_t m = 0; m < missing.size(); ++m) {
+    const auto& [i, j, key] = missing[m];
+    d2.At(i, j) = computed[m];
+    d2.At(j, i) = computed[m];
+    d2_.emplace(key, computed[m]);
+  }
+  return d2;
+}
+
+void KernelCache::Clear() {
+  dense_index_.clear();
+  d2_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace mivid

@@ -1,0 +1,76 @@
+// Cross-round kernel cache for relevance-feedback sessions.
+//
+// Each feedback round retrains the One-class SVM on a training set that
+// heavily overlaps the previous round's (the relevant bags accumulate).
+// Recomputing the full Gram matrix every round therefore redoes O(H^2 d)
+// work on pairs that did not change. This cache memoizes pairwise squared
+// distances keyed by *stable instance ids* (bag_id, instance_id), which
+// are invariant across rounds and across bandwidth changes:
+//
+//   K_rbf(i, j) = exp(-gamma (|u|^2 + |v|^2 - 2 u.v))
+//
+// only the gamma factor depends on sigma, so when auto_sigma re-tunes the
+// bandwidth the cached distances stay valid and only the cheap exp() pass
+// reruns (the sigma-dependent Gram values are never cached, which is what
+// makes bandwidth invalidation a non-event).
+//
+// Distances are computed with ExpandedSquaredDistance — the same formula
+// the uncached GramMatrix fast path uses — so cached and uncached Gram
+// matrices are bit-identical.
+
+#ifndef MIVID_SVM_KERNEL_CACHE_H_
+#define MIVID_SVM_KERNEL_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "svm/kernel.h"
+
+namespace mivid {
+
+/// Stable identity of an instance across feedback rounds.
+struct InstanceKey {
+  int bag_id = -1;
+  int instance_id = -1;
+};
+
+/// Session-scoped cache of pairwise squared distances (and kernel values)
+/// between identified instances. Not thread-safe; the parallel phases of
+/// PairwiseSquaredDistances only touch cache state from the calling thread.
+class KernelCache {
+ public:
+  KernelCache() = default;
+
+  /// Builds the full symmetric |points| x |points| squared-distance matrix,
+  /// serving repeated pairs from the cache and computing missing pairs in
+  /// parallel. `ids[i]` must be the stable identity of `points[i]`.
+  Matrix PairwiseSquaredDistances(const std::vector<Vec>& points,
+                                  const std::vector<InstanceKey>& ids);
+
+  /// Drops everything (e.g. when the corpus is rebuilt).
+  void Clear();
+
+  size_t distance_entries() const { return d2_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  /// Dense index for an instance id (first-seen order), so pair keys fit
+  /// in one uint64 with no collisions.
+  uint32_t DenseIndex(InstanceKey key);
+  static uint64_t PairKey(uint32_t a, uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_map<uint64_t, uint32_t> dense_index_;  // packed id -> index
+  std::unordered_map<uint64_t, double> d2_;             // pair -> |u-v|^2
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_SVM_KERNEL_CACHE_H_

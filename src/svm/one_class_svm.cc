@@ -5,15 +5,33 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace mivid {
 
 double OneClassSvmModel::DecisionValue(const Vec& x) const {
+  const PreparedKernel kernel(kernel_);
   double acc = 0.0;
   for (size_t i = 0; i < support_vectors_.size(); ++i) {
-    acc += coefficients_[i] * KernelEval(kernel_, support_vectors_[i], x);
+    acc += coefficients_[i] * kernel.Eval(support_vectors_[i], x);
   }
   return acc - rho_;
+}
+
+std::vector<double> OneClassSvmModel::DecisionValues(
+    const std::vector<const Vec*>& xs) const {
+  const PreparedKernel kernel(kernel_);
+  std::vector<double> values(xs.size());
+  ParallelFor(xs.size(), 16, [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      double acc = 0.0;
+      for (size_t i = 0; i < support_vectors_.size(); ++i) {
+        acc += coefficients_[i] * kernel.Eval(support_vectors_[i], *xs[q]);
+      }
+      values[q] = acc - rho_;
+    }
+  });
+  return values;
 }
 
 Result<OneClassSvmModel> OneClassSvmTrainer::Train(
@@ -34,6 +52,29 @@ Result<OneClassSvmModel> OneClassSvmTrainer::Train(
   }
 
   const GramMatrix gram(options_.kernel, points);
+  return Train(points, gram);
+}
+
+Result<OneClassSvmModel> OneClassSvmTrainer::Train(
+    const std::vector<Vec>& points, const GramMatrix& gram) const {
+  const size_t n = points.size();
+  if (n == 0) {
+    return Status::InvalidArgument("one-class SVM needs at least one point");
+  }
+  if (gram.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("gram size %zu does not match %zu points", gram.size(), n));
+  }
+  for (const auto& p : points) {
+    if (p.size() != points[0].size()) {
+      return Status::InvalidArgument("inconsistent feature dimensions");
+    }
+  }
+  const double nu = options_.nu;
+  if (!(nu > 0.0 && nu <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("nu must be in (0, 1], got %g", nu));
+  }
   const double c = 1.0 / (nu * static_cast<double>(n));
 
   // Feasible start: sum(alpha) = 1, 0 <= alpha <= c.
@@ -48,12 +89,20 @@ Result<OneClassSvmModel> OneClassSvmTrainer::Train(
     if (k < n && remaining > 1e-15) alpha[k] = remaining;
   }
 
-  // Gradient of 1/2 a^T Q a is Q a.
+  // Gradient of 1/2 a^T Q a is Q a. Parallel over entries: each grad[j]
+  // accumulates its sum over i in ascending order (the same order the
+  // serial i-outer loop adds them), so the result is thread-independent.
   Vec grad(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    if (alpha[i] == 0.0) continue;
-    for (size_t j = 0; j < n; ++j) grad[j] += alpha[i] * gram.At(i, j);
-  }
+  ParallelFor(n, 64, [&](size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (alpha[i] == 0.0) continue;
+        acc += alpha[i] * gram.At(i, j);
+      }
+      grad[j] = acc;
+    }
+  });
 
   const double kTau = 1e-12;
   int iterations = 0;

@@ -39,6 +39,11 @@ class OneClassSvmModel {
   /// Positive inside the learned support region.
   double DecisionValue(const Vec& x) const;
 
+  /// Decision values for a batch of points, evaluated in parallel.
+  /// Each value is computed exactly as DecisionValue would (same
+  /// accumulation order), so results are thread-count independent.
+  std::vector<double> DecisionValues(const std::vector<const Vec*>& xs) const;
+
   /// Hard membership: DecisionValue(x) >= 0.
   bool Contains(const Vec& x) const { return DecisionValue(x) >= 0.0; }
 
@@ -76,6 +81,12 @@ class OneClassSvmTrainer {
   /// Trains on `points` (all from the "relevant" class). Requires at least
   /// one point, equal dimensions, and nu in (0, 1].
   Result<OneClassSvmModel> Train(const std::vector<Vec>& points) const;
+
+  /// Same, but reuses a precomputed Gram matrix over `points` (e.g. built
+  /// through a KernelCache). `gram.size()` must equal `points.size()` and
+  /// `gram` must have been built with this trainer's kernel params.
+  Result<OneClassSvmModel> Train(const std::vector<Vec>& points,
+                                 const GramMatrix& gram) const;
 
  private:
   OneClassSvmOptions options_;

@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "db/query_engine.h"
 #include "db/video_db.h"
 #include "eval/metrics.h"
@@ -31,7 +33,7 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage:\n"
+               "usage: mivid_cli [--threads N] <command> ...\n"
                "  mivid_cli init <db>\n"
                "  mivid_cli simulate <db> <tunnel|intersection> <camera-id> "
                "[frames]\n"
@@ -169,6 +171,30 @@ int CmdModels(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global flag: --threads N caps the worker pool (overrides the
+  // MIVID_THREADS environment variable; 1 forces the serial path).
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      int64_t v = 0;
+      if (!ParseInt64(argv[i] + 10, &v) || v < 1) return Usage();
+      SetGlobalThreadCount(static_cast<int>(v));
+      continue;
+    }
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      int64_t v = 0;
+      if (i + 1 >= argc || !ParseInt64(argv[i + 1], &v) || v < 1) {
+        return Usage();
+      }
+      SetGlobalThreadCount(static_cast<int>(v));
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 3) return Usage();
   const std::string cmd = argv[1];
   const std::string db_path = argv[2];
