@@ -8,9 +8,17 @@
 #include <cstdio>
 
 #include "eval/experiment.h"
+#include "obs/export.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mivid;
+
+  Result<ObsOptions> obs = ExtractObsFlags(&argc, argv);
+  if (!obs.ok()) {
+    std::fprintf(stderr, "usage: fig9_intersection_accuracy %s\nerror: %s\n",
+                 ObsFlagsHelp(), obs.status().ToString().c_str());
+    return 2;
+  }
 
   ExperimentOptions options;
   options.pipeline = PipelineMode::kVisionTracks;
@@ -31,5 +39,11 @@ int main() {
       "Fig. 9 analogue — clip 2 (intersection), accuracy@%zu per round\n\n",
       options.top_n);
   std::printf("%s\n", FormatExperimentResult(result.value()).c_str());
+
+  const Status obs_status = WriteObsOutputs(obs.value());
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "error: %s\n", obs_status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

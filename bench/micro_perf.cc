@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "db/feature_store.h"
 #include "eval/experiment.h"
@@ -263,6 +264,26 @@ void BM_EndToEndPipeline(benchmark::State& state) {
   for (auto _ : state) {
     auto result = RunRfExperiment(scenario, options);
     benchmark::DoNotOptimize(result);
+    // Quality counters: per-round accuracy@20 of the MIL method plus SMO
+    // effort, so BENCH_micro.json tracks retrieval quality alongside time.
+    if (result.ok()) {
+      for (const auto& curve : result->curves) {
+        if (curve.method != "MIL_OneClassSVM") continue;
+        for (size_t r = 0; r < curve.accuracy.size(); ++r) {
+          state.counters[StrFormat("acc20_round%zu", r)] = curve.accuracy[r];
+        }
+      }
+      int64_t smo_iterations = 0;
+      int64_t support_vectors = 0;
+      for (const auto& round : result->mil_summary.rounds) {
+        smo_iterations += round.smo_iterations;
+        support_vectors += static_cast<int64_t>(round.support_vectors);
+      }
+      state.counters["smo_iterations"] =
+          static_cast<double>(smo_iterations);
+      state.counters["support_vectors"] =
+          static_cast<double>(support_vectors);
+    }
   }
   state.SetItemsProcessed(state.iterations() * scenario.total_frames);
 }

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Runs the micro benchmarks and writes BENCH_micro.json so the perf
-# trajectory is tracked across PRs.
+# trajectory is tracked across PRs. BM_EndToEndPipeline also reports
+# quality counters (per-round MIL accuracy@20 as acc20_round<r>, summed
+# SMO iterations and support-vector counts), so the JSON tracks retrieval
+# quality next to wall time.
 #
 # Usage: bench/run_micro_bench.sh [build-dir] [out-file] [benchmark-filter]
 #   build-dir  defaults to ./build

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/thread_pool.h"
+
 namespace mivid {
 
 namespace {
@@ -21,6 +23,8 @@ const char* LevelName(LogLevel level) {
       return "ERROR";
     case LogLevel::kFatal:
       return "FATAL";
+    case LogLevel::kOff:
+      return "OFF";
   }
   return "?";
 }
@@ -32,6 +36,12 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 namespace internal {
 
+bool EveryNTick(std::atomic<uint64_t>* counter, uint64_t n) {
+  const uint64_t occurrence =
+      counter->fetch_add(1, std::memory_order_relaxed);
+  return n <= 1 || occurrence % n == 0;
+}
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
   // Strip directories from the file path for compact output.
@@ -39,11 +49,20 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelName(level);
+  // Pool workers tag their lines so interleaved parallel phases are
+  // attributable: [WARN w3 file:42].
+  const int worker = ThreadPool::CurrentWorkerIndex();
+  if (worker >= 0) stream_ << " w" << worker;
+  stream_ << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  // One write call per line: stdio locks the stream per call, so lines
+  // from concurrent threads never interleave mid-line.
+  stream_ << "\n";
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
   std::fflush(stderr);
   if (level_ == LogLevel::kFatal) std::abort();
 }

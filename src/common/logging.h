@@ -1,20 +1,35 @@
 // Minimal leveled logging for mivid.
 //
 // Usage:
-//   MIVID_LOG(INFO) << "ingested " << n << " frames";
+//   MIVID_LOG(Info) << "ingested " << n << " frames";
+//   MIVID_LOG_EVERY_N(Warn, 1000) << "slow frame";   // 1st, 1001st, ...
 //
-// Severity below the global threshold is compiled into a cheap runtime check.
-// FATAL logs abort after flushing.
+// Severity below the global threshold is compiled into a cheap runtime
+// check. FATAL logs are emitted regardless of the threshold (even at
+// kOff) and abort after flushing. Each log line is written to stderr with
+// a single write call, so lines from concurrent threads never interleave;
+// lines emitted from a thread-pool worker carry its index (`w3`) in the
+// prefix.
 
 #ifndef MIVID_COMMON_LOGGING_H_
 #define MIVID_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace mivid {
 
-enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+  kOff = 5,  ///< suppresses everything except FATAL (which must still
+             ///< report and abort; silencing it would change semantics)
+};
 
 /// Sets the global minimum severity that is emitted. Default: kWarn
 /// (so library code is quiet in tests and benches unless asked).
@@ -49,14 +64,51 @@ struct NullStream {
   }
 };
 
+/// True when `level` should be emitted: at/above the threshold, or FATAL
+/// (which is never suppressible).
+inline bool ShouldLog(LogLevel level) {
+  return level >= GetLogLevel() || level == LogLevel::kFatal;
+}
+
+/// Bumps the per-call-site occurrence counter and returns true on the
+/// 1st, (n+1)th, (2n+1)th, ... execution. n <= 1 always returns true.
+bool EveryNTick(std::atomic<uint64_t>* counter, uint64_t n);
+
+/// Lets the ternary in MIVID_LOG discard the streamed chain: operator&
+/// binds looser than operator<<, so the whole `stream << a << b` runs
+/// first and the result collapses to void, matching the other branch.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal
 
-#define MIVID_LOG(severity)                                              \
-  (::mivid::LogLevel::k##severity < ::mivid::GetLogLevel())              \
-      ? (void)0                                                          \
-      : (void)::mivid::internal::LogMessage(::mivid::LogLevel::k##severity, \
-                                            __FILE__, __LINE__)          \
-            .stream()
+#define MIVID_LOG(severity)                                                  \
+  (!::mivid::internal::ShouldLog(::mivid::LogLevel::k##severity))            \
+      ? (void)0                                                              \
+      : ::mivid::internal::Voidify() &                                       \
+            ::mivid::internal::LogMessage(::mivid::LogLevel::k##severity,    \
+                                          __FILE__, __LINE__)                \
+                .stream()
+
+/// Emits on the 1st, (n+1)th, (2n+1)th, ... execution of this call site
+/// (the occurrence counter advances even while the severity is
+/// suppressed). Safe in hot loops: one relaxed atomic increment when
+/// skipping. The immediately-invoked lambda gives each call site its own
+/// counter while keeping the macro a single expression.
+#define MIVID_LOG_EVERY_N(severity, n)                                       \
+  (!::mivid::internal::EveryNTick(                                           \
+       []() -> ::std::atomic<::std::uint64_t>* {                             \
+         static ::std::atomic<::std::uint64_t> mivid_occurrences{0};         \
+         return &mivid_occurrences;                                          \
+       }(),                                                                  \
+       static_cast<::std::uint64_t>(n)) ||                                   \
+   !::mivid::internal::ShouldLog(::mivid::LogLevel::k##severity))            \
+      ? (void)0                                                              \
+      : ::mivid::internal::Voidify() &                                       \
+            ::mivid::internal::LogMessage(::mivid::LogLevel::k##severity,    \
+                                          __FILE__, __LINE__)                \
+                .stream()
 
 #define MIVID_CHECK(cond)                                                   \
   if (!(cond))                                                              \

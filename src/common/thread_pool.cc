@@ -9,7 +9,7 @@ namespace mivid {
 
 namespace {
 
-thread_local bool tls_in_pool_worker = false;
+thread_local int tls_worker_index = -1;
 
 /// Thread count requested via SetGlobalThreadCount (0 = default).
 std::atomic<int> g_requested_threads{0};
@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -49,8 +49,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
-  tls_in_pool_worker = true;
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {
@@ -64,7 +64,9 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-bool ThreadPool::InWorkerThread() { return tls_in_pool_worker; }
+bool ThreadPool::InWorkerThread() { return tls_worker_index >= 0; }
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
 
 void ThreadPool::RunBatch(std::vector<std::function<void()>>& tasks) {
   if (tasks.empty()) return;

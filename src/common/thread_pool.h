@@ -53,8 +53,13 @@ class ThreadPool {
   /// True when the calling thread is one of this process's pool workers.
   static bool InWorkerThread();
 
+  /// Index of the calling pool worker in [0, num_threads), or -1 when the
+  /// caller is not a pool worker (e.g. the main thread). Stable for the
+  /// lifetime of the worker; used by logging prefixes and trace exports.
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -6,6 +6,8 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "segment/segmenter.h"
 #include "track/tracker.h"
 #include "trajectory/smoothing.h"
@@ -37,6 +39,7 @@ std::vector<Track> VisionTracks(const ScenarioSpec& scenario) {
   pending.reserve(kSegmentBatchFrames);
   frame_ids.reserve(kSegmentBatchFrames);
   auto flush = [&]() {
+    MIVID_TRACE_SPAN("eval/vision_batch");
     std::vector<std::vector<Blob>> blobs(pending.size());
     ParallelFor(pending.size(), 1, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
@@ -71,6 +74,12 @@ MethodCurve RunProtocol(const std::string& name, const ClipAnalysis& analysis,
     const std::vector<ScoredBag> ranking = rank();
     const std::vector<int> ids = RankingIds(ranking);
     curve.accuracy.push_back(AccuracyAtN(ids, analysis.truth, options.top_n));
+    if (MetricsEnabled()) {
+      MetricsRegistry::Global()
+          .GetGauge(StrFormat("eval/accuracy@%zu/%s/round%d", options.top_n,
+                              name.c_str(), round))
+          .Set(curve.accuracy.back());
+    }
     if (round == options.feedback_rounds) break;
 
     // The oracle labels this round's top-n; labels accumulate.
@@ -88,6 +97,8 @@ MethodCurve RunProtocol(const std::string& name, const ClipAnalysis& analysis,
 
 Result<ClipAnalysis> AnalyzeScenario(const ScenarioSpec& scenario,
                                      const ExperimentOptions& options) {
+  MIVID_TRACE_SPAN("eval/analyze");
+  MIVID_SCOPED_TIMER("eval/analyze_seconds");
   ClipAnalysis analysis;
 
   // Ground truth (incidents + perfect tracks) always comes from a
@@ -159,6 +170,7 @@ Result<ExperimentResult> RunRfExperimentOnAnalysis(
     };
     result.curves.push_back(
         RunProtocol("MIL_OneClassSVM", analysis, options, rank, learn));
+    result.mil_summary = engine.run_summary();
   }
 
   // --- Baseline: weighted relevance feedback. ---

@@ -14,6 +14,7 @@
 #include "eval/oracle.h"
 #include "event/sliding_window.h"
 #include "mil/dataset.h"
+#include "retrieval/mil_rf_engine.h"
 #include "retrieval/session.h"
 #include "trafficsim/scenarios.h"
 
@@ -72,6 +73,9 @@ struct ExperimentResult {
   size_t num_ts = 0;
   size_t num_relevant_vs = 0;
   std::vector<MethodCurve> curves;
+  /// Per-round MIL training stats (nu, sigma, SVs, SMO iterations, cache
+  /// hit rates) from the proposed method's engine.
+  RunSummary mil_summary;
 };
 
 /// Runs the paper's protocol on `analysis`: the MIL session and the

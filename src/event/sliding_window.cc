@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mivid {
 
 Vec TrajectorySequence::Flatten(const FeatureScaler& scaler,
@@ -28,6 +31,8 @@ Vec TrajectorySequence::FlattenRaw(bool include_velocity) const {
 std::vector<VideoSequence> ExtractWindows(
     const std::vector<TrackFeatures>& tracks, int total_frames,
     const FeatureOptions& feature_options, const WindowOptions& options) {
+  MIVID_TRACE_SPAN("event/extract_windows");
+  MIVID_SCOPED_TIMER("window/extract_seconds");
   std::vector<VideoSequence> windows;
   const int rate = std::max(1, feature_options.sampling_rate);
   const int wsize = std::max(1, options.window_size);
@@ -72,6 +77,8 @@ std::vector<VideoSequence> ExtractWindows(
     }
     ++vs_id;
   }
+  MIVID_METRIC_COUNT("window/vs", windows.size());
+  MIVID_METRIC_COUNT("window/ts", CountTrajectorySequences(windows));
   return windows;
 }
 

@@ -1,0 +1,52 @@
+// Observability surfacing: JSON snapshot export, the human-readable
+// metrics report, and the shared --metrics-json/--trace/--metrics-report
+// command-line plumbing used by mivid_cli and the experiment drivers.
+
+#ifndef MIVID_OBS_EXPORT_H_
+#define MIVID_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace mivid {
+
+/// Serializes the global MetricsRegistry snapshot plus the per-span
+/// latency aggregates as one JSON object:
+///   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+///    max,mean,p50,p95,p99}},"spans":{name:{count,total_ms,p50_ms,p95_ms,
+///    max_ms}}}
+std::string MetricsToJson();
+
+/// Human-readable tables: every counter/gauge, histogram stats, and the
+/// span latency table + bar chart (ascii_plot).
+std::string FormatMetricsReport();
+
+/// Observability flags shared by the binaries.
+struct ObsOptions {
+  std::string metrics_json_path;  ///< --metrics-json <path>
+  std::string trace_path;         ///< --trace <path>
+  bool report = false;            ///< --metrics-report
+
+  bool any() const {
+    return report || !metrics_json_path.empty() || !trace_path.empty();
+  }
+};
+
+/// Strips the observability flags from (argc, argv) — compacting argv in
+/// place — and enables metric collection / tracing as requested. Returns
+/// the parsed options; `error` is set (and argc untouched beyond the
+/// scanned prefix) when a flag is malformed, e.g. a missing path.
+Result<ObsOptions> ExtractObsFlags(int* argc, char** argv);
+
+/// Writes the requested outputs: the metrics JSON snapshot, the Chrome
+/// trace file, and (on options.report) the text report to stdout. Call
+/// once, after the instrumented work finished.
+Status WriteObsOutputs(const ObsOptions& options);
+
+/// One-line usage text for the shared flags (for Usage() blocks).
+const char* ObsFlagsHelp();
+
+}  // namespace mivid
+
+#endif  // MIVID_OBS_EXPORT_H_

@@ -1,0 +1,53 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Exists so the observability exports (--metrics-json, --trace) can be
+// validated in-process by tests and by tools/check_obs_outputs without an
+// external dependency. Handles the full JSON grammar the exporters emit:
+// objects, arrays, strings (with escapes), numbers, booleans, null.
+// Not a general-purpose library: documents are small (snapshots and
+// traces), so everything is parsed eagerly into a DOM.
+
+#ifndef MIVID_OBS_JSON_H_
+#define MIVID_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mivid {
+
+/// One parsed JSON value.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered members (duplicate keys keep both; Find returns
+  /// the first).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// First member named `key`, or nullptr (also nullptr on non-objects).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace mivid
+
+#endif  // MIVID_OBS_JSON_H_

@@ -1,0 +1,221 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace mivid {
+
+namespace obs_internal {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+int ThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const int shard = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<uint32_t>(kShards));
+  return shard;
+}
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+}  // namespace obs_internal
+
+void EnableMetrics(bool enabled) {
+  obs_internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::BucketBound(int i) {
+  if (i >= kBuckets) return std::numeric_limits<double>::infinity();
+  return 1e-6 * std::ldexp(1.0, i);  // 1e-6 * 2^i
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  Shard& shard = shards_[obs_internal::ThreadShard()];
+  int bucket = kBuckets;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (value <= BucketBound(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  obs_internal::AtomicAddDouble(&shard.sum, value);
+  obs_internal::AtomicMinDouble(&shard.min, value);
+  obs_internal::AtomicMaxDouble(&shard.max, value);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramStats Histogram::Stats() const {
+  uint64_t buckets[kBuckets + 1] = {};
+  HistogramStats stats;
+  bool any = false;
+  for (const auto& shard : shards_) {
+    const uint64_t count = shard.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    stats.count += count;
+    stats.sum += shard.sum.load(std::memory_order_relaxed);
+    const double lo = shard.min.load(std::memory_order_relaxed);
+    const double hi = shard.max.load(std::memory_order_relaxed);
+    if (std::isfinite(lo)) stats.min = any ? std::min(stats.min, lo) : lo;
+    if (std::isfinite(hi)) stats.max = any ? std::max(stats.max, hi) : hi;
+    any = true;
+    for (int i = 0; i <= kBuckets; ++i) {
+      buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  if (stats.count == 0) return stats;
+
+  // A shard's count is bumped before its bucket under concurrent writes
+  // can momentarily disagree; normalize against the bucket total so the
+  // percentile walk always terminates.
+  uint64_t bucket_total = 0;
+  for (int i = 0; i <= kBuckets; ++i) bucket_total += buckets[i];
+  auto percentile = [&](double q) -> double {
+    if (bucket_total == 0) return stats.max;
+    const double target = q * static_cast<double>(bucket_total);
+    uint64_t seen = 0;
+    for (int i = 0; i <= kBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      const double before = static_cast<double>(seen);
+      seen += buckets[i];
+      if (static_cast<double>(seen) >= target) {
+        const double lower = i == 0 ? 0.0 : BucketBound(i - 1);
+        const double upper =
+            i == kBuckets ? stats.max : std::min(BucketBound(i), stats.max);
+        const double fraction =
+            (target - before) / static_cast<double>(buckets[i]);
+        const double v = lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+        return std::clamp(v, stats.min, stats.max);
+      }
+    }
+    return stats.max;
+  };
+  stats.p50 = percentile(0.50);
+  stats.p95 = percentile(0.95);
+  stats.p99 = percentile(0.99);
+  return stats;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Stats();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+ScopedHistogramTimer::ScopedHistogramTimer(Histogram& histogram) {
+  if (!MetricsEnabled()) return;
+  histogram_ = &histogram;
+  begin_ns_ = obs_internal::NowNanos();
+}
+
+ScopedHistogramTimer::~ScopedHistogramTimer() {
+  if (histogram_ == nullptr) return;
+  const uint64_t end_ns = obs_internal::NowNanos();
+  histogram_->Observe(static_cast<double>(end_ns - begin_ns_) * 1e-9);
+}
+
+}  // namespace mivid

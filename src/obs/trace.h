@@ -1,0 +1,125 @@
+// Scoped tracing spans with Chrome trace_event export.
+//
+//   MIVID_TRACE_SPAN("svm/smo");
+//
+// records one complete ("ph":"X") event — begin timestamp, duration,
+// thread — into a per-thread buffer when tracing is enabled. Buffers are
+// append-only rings bounded at SetTraceCapacity() events per thread
+// (events past the cap are counted as dropped, never overwritten, so a
+// concurrent reader can safely walk [0, size) under acquire/release).
+//
+// Exports:
+//  * TraceToChromeJson() — a {"traceEvents":[...]} document loadable by
+//    chrome://tracing / Perfetto, with thread_name metadata rows naming
+//    the pool workers.
+//  * AggregateSpans() / FormatSpanReport() — per-span-name latency table
+//    (count, total, p50, p95, max) computed exactly from the recorded
+//    durations, rendered with ascii_plot.
+//
+// Overhead when disabled: one relaxed atomic load per span; the clock is
+// never read. Span names must be string literals (or otherwise outlive
+// the trace), which is what keeps recording allocation-free.
+
+#ifndef MIVID_OBS_TRACE_H_
+#define MIVID_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mivid {
+
+/// Turns span recording on or off (off by default).
+void EnableTracing(bool enabled);
+bool TracingEnabled();
+
+/// Caps the number of events each thread retains (default 65536). Takes
+/// effect for buffers created after the call; call before EnableTracing.
+void SetTraceCapacity(size_t events_per_thread);
+
+/// Discards every recorded event (buffers stay registered).
+void ResetTrace();
+
+/// One recorded span occurrence.
+struct TraceEventData {
+  const char* name = nullptr;
+  uint64_t begin_us = 0;  ///< microseconds since the process trace epoch
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;           ///< stable per-buffer id (see thread_label)
+  std::string thread_label;   ///< "main", "worker 3", ...
+};
+
+/// Every retained event, ordered by (tid, record order). Within one tid
+/// the end timestamps (begin + dur) are monotonically non-decreasing —
+/// spans are recorded when they close.
+std::vector<TraceEventData> CollectTraceEvents();
+
+/// Total events dropped across all threads since the last ResetTrace().
+uint64_t TraceDroppedEvents();
+
+/// Chrome trace_event JSON: {"traceEvents":[...]} with "M" thread-name
+/// metadata plus one "X" complete event per span.
+std::string TraceToChromeJson();
+
+/// Aggregated latency statistics for one span name.
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  double total_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Exact per-name aggregates (sorted by descending total time).
+std::vector<SpanStats> AggregateSpans();
+
+/// The aggregate table plus a total-time bar chart, rendered as text.
+std::string FormatSpanReport();
+
+namespace obs_internal {
+extern std::atomic<bool> g_tracing_enabled;
+void RecordSpan(const char* name, uint64_t begin_us, uint64_t end_us);
+uint64_t TraceNowMicros();
+}  // namespace obs_internal
+
+inline bool TracingEnabled() {
+  return obs_internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII span. Prefer the MIVID_TRACE_SPAN macro.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      begin_us_ = obs_internal::TraceNowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      obs_internal::RecordSpan(name_, begin_us_,
+                               obs_internal::TraceNowMicros());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t begin_us_ = 0;
+};
+
+#define MIVID_TRACE_CONCAT_INNER(a, b) a##b
+#define MIVID_TRACE_CONCAT(a, b) MIVID_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be
+/// a string literal.
+#define MIVID_TRACE_SPAN(name) \
+  ::mivid::TraceSpan MIVID_TRACE_CONCAT(mivid_trace_span_, __LINE__)(name)
+
+}  // namespace mivid
+
+#endif  // MIVID_OBS_TRACE_H_

@@ -1,11 +1,24 @@
 #include "retrieval/mil_rf_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mivid {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 namespace {
 
@@ -27,6 +40,11 @@ MilRfEngine::MilRfEngine(const MilDataset* dataset, MilRfOptions options)
 }
 
 Status MilRfEngine::Learn() {
+  MIVID_TRACE_SPAN("mil/learn");
+  MIVID_SCOPED_TIMER("mil/learn_seconds");
+  const auto learn_start = std::chrono::steady_clock::now();
+  const uint64_t cache_hits_before = kernel_cache_.hits();
+  const uint64_t cache_misses_before = kernel_cache_.misses();
   const std::vector<const MilBag*> relevant =
       dataset_->BagsWithLabel(BagLabel::kRelevant);
   if (relevant.empty()) {
@@ -150,6 +168,26 @@ Status MilRfEngine::Learn() {
   model_ = std::move(model);
   last_nu_ = nu;
   last_training_size_ = training.size();
+
+  MilRoundStats stats;
+  stats.round = static_cast<int>(summary_.rounds.size()) + 1;
+  stats.nu = nu;
+  stats.sigma = svm_options.kernel.sigma;
+  stats.relevant_bags = relevant.size();
+  stats.training_size = training.size();
+  stats.support_vectors = model_->num_support_vectors();
+  stats.smo_iterations = model_->iterations_used();
+  stats.achieved_outlier_fraction = model_->training_outlier_fraction();
+  stats.cache_hits = kernel_cache_.hits() - cache_hits_before;
+  stats.cache_misses = kernel_cache_.misses() - cache_misses_before;
+  stats.learn_seconds = SecondsSince(learn_start);
+  summary_.rounds.push_back(stats);
+
+  MIVID_METRIC_GAUGE_SET("mil/last_nu", nu);
+  MIVID_METRIC_GAUGE_SET("mil/last_sigma", stats.sigma);
+  MIVID_METRIC_GAUGE_SET("mil/last_training_size",
+                         static_cast<double>(training.size()));
+  MIVID_METRIC_COUNT("mil/learn_calls", 1);
   return Status::OK();
 }
 
@@ -162,6 +200,9 @@ double MilRfEngine::BagScore(const MilBag& bag) const {
 }
 
 std::vector<ScoredBag> MilRfEngine::Rank() const {
+  MIVID_TRACE_SPAN("mil/rank");
+  MIVID_SCOPED_TIMER("rank/seconds");
+  const auto rank_start = std::chrono::steady_clock::now();
   std::vector<ScoredBag> ranking;
   if (!model_) return ranking;
 
@@ -192,6 +233,10 @@ std::vector<ScoredBag> MilRfEngine::Rank() const {
                      if (a.score != b.score) return a.score > b.score;
                      return a.bag_id < b.bag_id;
                    });
+  ++summary_.rank_calls;
+  summary_.total_rank_seconds += SecondsSince(rank_start);
+  MIVID_METRIC_COUNT("rank/bags", ranking.size());
+  MIVID_METRIC_COUNT("rank/calls", 1);
   return ranking;
 }
 

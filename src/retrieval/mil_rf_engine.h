@@ -62,6 +62,31 @@ struct MilRfOptions {
   EventModel tie_break_model; ///< heuristic used by kTopInstancePerBag
 };
 
+/// Training statistics for one relevance-feedback round, recorded by
+/// Learn() so library users get the numbers without scraping logs.
+struct MilRoundStats {
+  int round = 0;               ///< 1-based feedback round (Learn() call)
+  double nu = 0.0;             ///< Eq. 9 delta actually used
+  double sigma = 0.0;          ///< RBF bandwidth after auto-tuning
+  size_t relevant_bags = 0;    ///< h: bags labeled relevant
+  size_t training_size = 0;    ///< H: flattened training instances
+  size_t support_vectors = 0;
+  int smo_iterations = 0;
+  /// Fraction of training instances the trained model rejects; Eq. 9
+  /// targets this at delta, so the gap measures how well nu was realized.
+  double achieved_outlier_fraction = 0.0;
+  uint64_t cache_hits = 0;     ///< kernel-cache hits this round
+  uint64_t cache_misses = 0;
+  double learn_seconds = 0.0;
+};
+
+/// Aggregated per-session statistics returned by MilRfEngine.
+struct RunSummary {
+  std::vector<MilRoundStats> rounds;
+  size_t rank_calls = 0;
+  double total_rank_seconds = 0.0;
+};
+
 /// One-class-SVM MIL ranker over a labeled MilDataset.
 class MilRfEngine {
  public:
@@ -91,6 +116,9 @@ class MilRfEngine {
   /// Cross-round kernel cache statistics (RBF sessions only).
   const KernelCache& kernel_cache() const { return kernel_cache_; }
 
+  /// Per-round training stats plus ranking totals for this session.
+  const RunSummary& run_summary() const { return summary_; }
+
  private:
   const MilDataset* dataset_;
   MilRfOptions options_;
@@ -99,6 +127,8 @@ class MilRfEngine {
   /// rounds mostly retrain on the same instances, so the Gram blocks that
   /// did not change between rounds are served from here.
   KernelCache kernel_cache_;
+  /// Mutable: Rank() is logically const but contributes timing totals.
+  mutable RunSummary summary_;
   double last_nu_ = 0.0;
   size_t last_training_size_ = 0;
 };

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mivid {
 
 VehicleSegmenter::VehicleSegmenter(SegmenterOptions options)
@@ -13,6 +16,8 @@ namespace {
 /// morphological cleanup, blob extraction.
 std::vector<Blob> RefineFrame(const Frame& frame, const Mask& subtraction,
                               double bg_mean, const SegmenterOptions& options) {
+  MIVID_TRACE_SPAN("segment/refine");
+  MIVID_SCOPED_TIMER("segment/frame_seconds");
   Mask mask = subtraction;
   if (options.use_spcpe) {
     // Refine the candidate foreground: SPCPE separates true vehicle pixels
@@ -24,7 +29,10 @@ std::vector<Blob> RefineFrame(const Frame& frame, const Mask& subtraction,
     mask = CleanMask(mask, frame.width(), frame.height(),
                      options.clean_iterations);
   }
-  return ExtractBlobs(mask, frame, options.blob);
+  std::vector<Blob> blobs = ExtractBlobs(mask, frame, options.blob);
+  MIVID_METRIC_COUNT("segment/frames", 1);
+  MIVID_METRIC_COUNT("segment/blobs", blobs.size());
+  return blobs;
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mivid {
 
@@ -26,6 +28,8 @@ struct SweepPartial {
 
 SpcpeResult RunSpcpe(const Frame& frame, const Mask* prior, double bg_hint,
                      const SpcpeOptions& options) {
+  MIVID_TRACE_SPAN("segment/spcpe");
+  MIVID_SCOPED_TIMER("segment/spcpe_seconds");
   SpcpeResult result;
   result.partition.assign(frame.size(), 0);
 
@@ -122,6 +126,7 @@ SpcpeResult RunSpcpe(const Frame& frame, const Mask* prior, double bg_hint,
   });
   result.class_mean[0] = std::min(mean0, mean1);
   result.class_mean[1] = std::max(mean0, mean1);
+  MIVID_METRIC_OBSERVE("segment/spcpe_iterations", result.iterations);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mivid {
 
@@ -74,6 +76,10 @@ std::vector<double> SquaredNorms(const std::vector<Vec>& points) {
 GramMatrix::GramMatrix(const KernelParams& params,
                        const std::vector<Vec>& points)
     : n_(points.size()), data_(points.size() * points.size()) {
+  MIVID_TRACE_SPAN("svm/gram");
+  MIVID_SCOPED_TIMER("gram/build_seconds");
+  MIVID_METRIC_COUNT("gram/builds", 1);
+  MIVID_METRIC_COUNT("gram/entries", n_ * n_);
   const PreparedKernel kernel(params);
   if (params.type == KernelType::kRbf) {
     // RBF fast path: K(i,j) = exp(-gamma (|u|^2 + |v|^2 - 2 u.v)) with the
@@ -108,6 +114,10 @@ GramMatrix::GramMatrix(const KernelParams& params,
                        const Matrix& squared_distances)
     : n_(squared_distances.rows()),
       data_(squared_distances.rows() * squared_distances.rows()) {
+  MIVID_TRACE_SPAN("svm/gram");
+  MIVID_SCOPED_TIMER("gram/build_seconds");
+  MIVID_METRIC_COUNT("gram/builds", 1);
+  MIVID_METRIC_COUNT("gram/entries", n_ * n_);
   // A squared-distance matrix only determines the Gram for RBF kernels.
   assert(params.type == KernelType::kRbf);
   const PreparedKernel kernel(params);

@@ -1,6 +1,8 @@
 #include "svm/kernel_cache.h"
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mivid {
 
@@ -22,9 +24,12 @@ uint32_t KernelCache::DenseIndex(InstanceKey key) {
 
 Matrix KernelCache::PairwiseSquaredDistances(
     const std::vector<Vec>& points, const std::vector<InstanceKey>& ids) {
+  MIVID_TRACE_SPAN("svm/kernel_cache");
   const size_t n = points.size();
   Matrix d2(n, n, 0.0);
   if (n == 0) return d2;
+  const uint64_t hits_before = hits_;
+  const uint64_t misses_before = misses_;
 
   // Phase 1 (serial): resolve ids, serve cached pairs, list the misses.
   std::vector<uint32_t> dense(n);
@@ -68,6 +73,8 @@ Matrix KernelCache::PairwiseSquaredDistances(
     d2.At(j, i) = computed[m];
     d2_.emplace(key, computed[m]);
   }
+  MIVID_METRIC_COUNT("kernel_cache/hits", hits_ - hits_before);
+  MIVID_METRIC_COUNT("kernel_cache/misses", misses_ - misses_before);
   return d2;
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mivid {
 
@@ -57,6 +59,8 @@ Result<OneClassSvmModel> OneClassSvmTrainer::Train(
 
 Result<OneClassSvmModel> OneClassSvmTrainer::Train(
     const std::vector<Vec>& points, const GramMatrix& gram) const {
+  MIVID_TRACE_SPAN("svm/smo");
+  MIVID_SCOPED_TIMER("svm/train_seconds");
   const size_t n = points.size();
   if (n == 0) {
     return Status::InvalidArgument("one-class SVM needs at least one point");
@@ -184,6 +188,9 @@ Result<OneClassSvmModel> OneClassSvmTrainer::Train(
   }
   model.training_outlier_fraction_ =
       static_cast<double>(rejected) / static_cast<double>(n);
+  MIVID_METRIC_OBSERVE("svm/smo_iterations", iterations);
+  MIVID_METRIC_OBSERVE("svm/support_vectors",
+                       model.support_vectors_.size());
   return model;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "track/assignment.h"
 
 namespace mivid {
@@ -16,6 +18,7 @@ Point2 Tracker::Predict(const LiveTrack& t, int frame) const {
 }
 
 void Tracker::Observe(int frame, const std::vector<Blob>& blobs) {
+  MIVID_TRACE_SPAN("track/observe");
   // Build the gating cost matrix: predicted-position distance.
   const size_t nt = live_.size(), nd = blobs.size();
   Assignment assignment(nt, -1);
@@ -33,10 +36,12 @@ void Tracker::Observe(int frame, const std::vector<Blob>& blobs) {
   }
 
   std::vector<uint8_t> detection_used(nd, 0);
+  size_t matched = 0;
   for (size_t r = 0; r < nt; ++r) {
     LiveTrack& t = live_[r];
     const int c = assignment[r];
     if (c >= 0) {
+      ++matched;
       detection_used[static_cast<size_t>(c)] = 1;
       const Blob& blob = blobs[static_cast<size_t>(c)];
       const TrackPoint& prev = t.track.points.back();
@@ -53,8 +58,10 @@ void Tracker::Observe(int frame, const std::vector<Blob>& blobs) {
   }
 
   // Retire stale tracks.
+  size_t retired = 0;
   for (size_t r = live_.size(); r-- > 0;) {
     if (live_[r].misses > options_.max_misses) {
+      ++retired;
       finished_.push_back(std::move(live_[r].track));
       live_.erase(live_.begin() + static_cast<long>(r));
     }
@@ -62,6 +69,7 @@ void Tracker::Observe(int frame, const std::vector<Blob>& blobs) {
 
   // Spawn tracks for unmatched detections, unless the detection sits on
   // top of an existing track (a split blob of an already-tracked vehicle).
+  size_t spawned = 0;
   for (size_t c = 0; c < nd; ++c) {
     if (detection_used[c]) continue;
     bool duplicate = false;
@@ -80,7 +88,13 @@ void Tracker::Observe(int frame, const std::vector<Blob>& blobs) {
     t.velocity = {0, 0};
     t.last_frame = frame;
     live_.push_back(std::move(t));
+    ++spawned;
   }
+
+  MIVID_METRIC_COUNT("track/frames", 1);
+  MIVID_METRIC_COUNT("track/matches", matched);
+  MIVID_METRIC_COUNT("track/retired", retired);
+  MIVID_METRIC_COUNT("track/spawned", spawned);
 }
 
 std::vector<Track> Tracker::Finish() {

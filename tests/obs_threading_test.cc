@@ -1,0 +1,178 @@
+// Concurrency tests for the observability subsystem: exact counting under
+// ParallelFor, snapshot-under-load, concurrent tracing, and log-line
+// atomicity. Lives in mivid_threading_tests so CI also runs it under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mivid {
+namespace {
+
+class ObsThreadingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    ResetTrace();
+    EnableMetrics(true);
+    EnableTracing(true);
+  }
+  void TearDown() override {
+    EnableMetrics(false);
+    EnableTracing(false);
+    MetricsRegistry::Global().Reset();
+    ResetTrace();
+  }
+};
+
+TEST_F(ObsThreadingTest, ConcurrentCounterIncrementsSumExactly) {
+  Counter& c = MetricsRegistry::Global().GetCounter("thr/counter");
+  constexpr size_t kItems = 100000;
+  ParallelFor(kItems, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) c.Increment();
+  });
+  EXPECT_EQ(c.Value(), kItems);
+}
+
+TEST_F(ObsThreadingTest, ConcurrentHistogramObservesCountExactly) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("thr/hist");
+  constexpr size_t kItems = 50000;
+  ParallelFor(kItems, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      h.Observe(1e-3 * static_cast<double>(i % 100 + 1));
+    }
+  });
+  const HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.count, kItems);
+  EXPECT_DOUBLE_EQ(stats.min, 1e-3);
+  EXPECT_DOUBLE_EQ(stats.max, 0.1);
+}
+
+TEST_F(ObsThreadingTest, SnapshotUnderLoadIsConsistent) {
+  Counter& c = MetricsRegistry::Global().GetCounter("thr/load_counter");
+  Histogram& h = MetricsRegistry::Global().GetHistogram("thr/load_hist");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      c.Increment();
+      h.Observe(0.01);
+    }
+  });
+  // Snapshots taken while a writer is running must stay internally sane:
+  // monotone counter reads, histogram count never exceeding a later read.
+  uint64_t last_count = 0;
+  for (int i = 0; i < 100; ++i) {
+    const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+    const uint64_t count = snapshot.counters.at("thr/load_counter");
+    EXPECT_GE(count, last_count);
+    last_count = count;
+    const HistogramStats stats = snapshot.histograms.at("thr/load_hist");
+    if (stats.count > 0) {
+      EXPECT_DOUBLE_EQ(stats.min, 0.01);
+      EXPECT_DOUBLE_EQ(stats.max, 0.01);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST_F(ObsThreadingTest, ConcurrentSpansAllRetained) {
+  constexpr size_t kItems = 2000;
+  ParallelFor(kItems, 8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      MIVID_TRACE_SPAN("thr/span");
+    }
+  });
+  const std::vector<TraceEventData> events = CollectTraceEvents();
+  size_t ours = 0;
+  for (const TraceEventData& e : events) {
+    if (std::string(e.name) == "thr/span") ++ours;
+  }
+  EXPECT_EQ(ours + TraceDroppedEvents(), kItems);
+}
+
+TEST_F(ObsThreadingTest, CollectWhileRecordingIsSafe) {
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MIVID_TRACE_SPAN("thr/live");
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<TraceEventData> events = CollectTraceEvents();
+    for (size_t j = 1; j < events.size(); ++j) {
+      if (events[j].tid != events[j - 1].tid) continue;
+      EXPECT_GE(events[j].begin_us + events[j].dur_us,
+                events[j - 1].begin_us + events[j - 1].dur_us);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(ThreadPoolIndexTest, WorkerIndexVisibleInsidePoolOnly) {
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
+  SetGlobalThreadCount(4);
+  std::atomic<int> seen_worker{0};
+  ParallelFor(1000, 1, [&](size_t begin, size_t end) {
+    (void)begin;
+    (void)end;
+    const int idx = ThreadPool::CurrentWorkerIndex();
+    // Chunks run either inline on the caller (-1) or on a pool worker.
+    EXPECT_GE(idx, -1);
+    if (idx >= 0) seen_worker.fetch_add(1, std::memory_order_relaxed);
+  });
+  SetGlobalThreadCount(0);
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
+}
+
+TEST(LogThreadingTest, ConcurrentLogLinesDoNotInterleave) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        MIVID_LOG(Warn) << "BEGIN t" << t << " line " << i << " END";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(saved);
+
+  // Every emitted line must be intact: exactly one BEGIN and one END, in
+  // that order. Interleaved writes would split or merge the markers.
+  size_t lines = 0;
+  size_t pos = 0;
+  while (pos < captured.size()) {
+    size_t eol = captured.find('\n', pos);
+    if (eol == std::string::npos) eol = captured.size();
+    const std::string line = captured.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    ++lines;
+    const size_t begin = line.find("BEGIN");
+    const size_t end = line.rfind("END");
+    ASSERT_NE(begin, std::string::npos) << line;
+    ASSERT_NE(end, std::string::npos) << line;
+    EXPECT_EQ(line.find("BEGIN", begin + 1), std::string::npos) << line;
+    EXPECT_EQ(line.find("END"), end) << line;
+  }
+  EXPECT_EQ(lines, static_cast<size_t>(kThreads * kLines));
+}
+
+}  // namespace
+}  // namespace mivid

@@ -20,6 +20,7 @@
 #include "db/query_engine.h"
 #include "db/video_db.h"
 #include "eval/metrics.h"
+#include "obs/export.h"
 #include "trafficsim/scenarios.h"
 
 using namespace mivid;
@@ -33,13 +34,14 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mivid_cli [--threads N] <command> ...\n"
+               "usage: mivid_cli [--threads N] %s <command> ...\n"
                "  mivid_cli init <db>\n"
                "  mivid_cli simulate <db> <tunnel|intersection> <camera-id> "
                "[frames]\n"
                "  mivid_cli list <db>\n"
                "  mivid_cli query <db> <camera-id> [rounds]\n"
-               "  mivid_cli models <db>\n");
+               "  mivid_cli models <db>\n",
+               ObsFlagsHelp());
   return 2;
 }
 
@@ -171,6 +173,13 @@ int CmdModels(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Observability flags first: they enable collection before any work.
+  Result<ObsOptions> obs = ExtractObsFlags(&argc, argv);
+  if (!obs.ok()) {
+    std::fprintf(stderr, "error: %s\n", obs.status().ToString().c_str());
+    return Usage();
+  }
+
   // Global flag: --threads N caps the worker pool (overrides the
   // MIVID_THREADS environment variable; 1 forces the serial path).
   std::vector<char*> args;
@@ -198,26 +207,40 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string cmd = argv[1];
   const std::string db_path = argv[2];
-  if (cmd == "init") return CmdInit(db_path);
-  if (cmd == "simulate" && argc >= 5) {
+
+  // Dispatch, then flush the requested observability outputs regardless
+  // of which command ran (but not on usage errors).
+  int rc = -1;
+  if (cmd == "init") {
+    rc = CmdInit(db_path);
+  } else if (cmd == "simulate" && argc >= 5) {
     int frames = 0;
     if (argc >= 6) {
       int64_t v = 0;
       if (!ParseInt64(argv[5], &v) || v <= 0) return Usage();
       frames = static_cast<int>(v);
     }
-    return CmdSimulate(db_path, argv[3], argv[4], frames);
-  }
-  if (cmd == "list") return CmdList(db_path);
-  if (cmd == "query" && argc >= 4) {
+    rc = CmdSimulate(db_path, argv[3], argv[4], frames);
+  } else if (cmd == "list") {
+    rc = CmdList(db_path);
+  } else if (cmd == "query" && argc >= 4) {
     int rounds = 3;
     if (argc >= 5) {
       int64_t v = 0;
       if (!ParseInt64(argv[4], &v)) return Usage();
       rounds = static_cast<int>(v);
     }
-    return CmdQuery(db_path, argv[3], rounds);
+    rc = CmdQuery(db_path, argv[3], rounds);
+  } else if (cmd == "models") {
+    rc = CmdModels(db_path);
+  } else {
+    return Usage();
   }
-  if (cmd == "models") return CmdModels(db_path);
-  return Usage();
+
+  const Status obs_status = WriteObsOutputs(obs.value());
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "error: %s\n", obs_status.ToString().c_str());
+    if (rc == 0) rc = 1;
+  }
+  return rc;
 }
