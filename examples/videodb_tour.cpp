@@ -12,6 +12,7 @@
 #include "db/query_engine.h"
 #include "db/video_db.h"
 #include "eval/metrics.h"
+#include "retrieval/mil_rf_engine.h"
 #include "trafficsim/scenarios.h"
 
 using namespace mivid;
@@ -121,9 +122,12 @@ int main() {
   }
 
   // --- Persist the user's learned query model for the next session. ---
-  if (session->engine().model() != nullptr) {
-    const Status s = db.value()->SaveModel("accidents_cam_tunnel_07",
-                                           *session->engine().model());
+  // Only the MIL-RF engine has a one-class SVM worth saving.
+  const auto* mil =
+      dynamic_cast<const MilRfEngine*>(&session->engine());
+  if (mil != nullptr && mil->model() != nullptr) {
+    const Status s =
+        db.value()->SaveModel("accidents_cam_tunnel_07", *mil->model());
     std::printf("\nsaved learned model '%s': %s\n", "accidents_cam_tunnel_07",
                 s.ToString().c_str());
     Result<OneClassSvmModel> loaded =

@@ -27,9 +27,8 @@ Vec InstanceMean(const std::vector<const MilBag*>& bags) {
 
 }  // namespace
 
-RocchioEngine::RocchioEngine(const MilDataset* dataset,
-                             RocchioOptions options)
-    : dataset_(dataset), options_(options) {}
+RocchioEngine::RocchioEngine(MilDataset* dataset, RocchioOptions options)
+    : RetrievalEngine(dataset), options_(options) {}
 
 Status RocchioEngine::Learn() {
   const auto relevant = dataset_->BagsWithLabel(BagLabel::kRelevant);

@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "mil/dataset.h"
+#include "retrieval/engine.h"
 #include "retrieval/heuristic.h"
 
 namespace mivid {
@@ -28,27 +29,30 @@ struct RocchioOptions {
 };
 
 /// Query-point-movement ranker over a labeled MilDataset (normalized
-/// feature space).
-class RocchioEngine {
+/// feature space; registry key "rocchio").
+class RocchioEngine : public RetrievalEngine {
  public:
   /// `dataset` must outlive the engine.
-  RocchioEngine(const MilDataset* dataset, RocchioOptions options);
+  RocchioEngine(MilDataset* dataset, RocchioOptions options);
+
+  std::string_view name() const override { return "rocchio"; }
 
   /// Moves the query point per the current labels. The first successful
   /// call seeds the point at the relevant mean; later calls apply the
   /// full Rocchio update. Without relevant labels the point is unchanged.
   Status Learn();
 
-  bool trained() const { return query_.has_value(); }
+  Status Retrain() override { return Learn(); }
+
+  bool trained() const override { return query_.has_value(); }
 
   /// Ranks all bags by -min distance of any instance to the query point.
-  std::vector<ScoredBag> Rank() const;
+  std::vector<ScoredBag> Rank() const override;
 
   /// The current query point (valid when trained()).
   const Vec& query_point() const { return *query_; }
 
  private:
-  const MilDataset* dataset_;
   RocchioOptions options_;
   std::optional<Vec> query_;
 };

@@ -19,9 +19,9 @@ const char* WeightNormalizationName(WeightNormalization normalization) {
   return "?";
 }
 
-WeightedRfEngine::WeightedRfEngine(const MilDataset* dataset,
+WeightedRfEngine::WeightedRfEngine(MilDataset* dataset,
                                    WeightedRfOptions options)
-    : dataset_(dataset), options_(options) {
+    : RetrievalEngine(dataset), options_(options) {
   weights_.assign(options_.base_dim, 1.0);
 }
 

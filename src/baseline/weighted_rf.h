@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "mil/dataset.h"
+#include "retrieval/engine.h"
 #include "retrieval/heuristic.h"
 
 namespace mivid {
@@ -34,26 +35,35 @@ struct WeightedRfOptions {
   double epsilon = 1e-6;   ///< guards 1/stddev for constant features
 };
 
-/// The weighted-RF ranker over a labeled MilDataset.
-class WeightedRfEngine {
+/// The weighted-RF ranker over a labeled MilDataset (registry key
+/// "weighted").
+class WeightedRfEngine : public RetrievalEngine {
  public:
   /// `dataset` must outlive the engine. Weights start at all-ones.
-  WeightedRfEngine(const MilDataset* dataset, WeightedRfOptions options);
+  WeightedRfEngine(MilDataset* dataset, WeightedRfOptions options);
+
+  std::string_view name() const override { return "weighted"; }
 
   /// Re-estimates weights from the bags currently labeled relevant.
   /// With no relevant bag the weights stay unchanged.
   Status Learn();
 
+  Status Retrain() override { return Learn(); }
+
+  /// Always true: the all-ones starting weights already define a valid
+  /// ranking (the paper's round-0 square-sum heuristic), so this engine
+  /// never falls back to the caller's heuristic.
+  bool trained() const override { return true; }
+
   /// Ranks all bags: per-checkpoint weighted square sum, maximized over
   /// checkpoints and instances.
-  std::vector<ScoredBag> Rank() const;
+  std::vector<ScoredBag> Rank() const override;
 
   const Vec& weights() const { return weights_; }
 
  private:
   double InstanceScore(const Vec& flattened) const;
 
-  const MilDataset* dataset_;
   WeightedRfOptions options_;
   Vec weights_;
 };

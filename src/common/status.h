@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kOutOfRange = 7,
   kFailedPrecondition = 8,
   kInternal = 9,
+  kResourceExhausted = 10,
+  kDataLoss = 11,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -79,6 +81,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return rep_ == nullptr; }
@@ -104,6 +112,10 @@ class Status {
     return code() == StatusCode::kFailedPrecondition;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

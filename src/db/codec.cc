@@ -96,6 +96,12 @@ Status Decoder::GetVec(Vec* value) {
   return Status::OK();
 }
 
+Status Decoder::ExpectDone() const {
+  if (pos_ >= data_.size()) return Status::OK();
+  return Status::DataLoss("record has " + std::to_string(remaining()) +
+                          " trailing byte(s) past the last field");
+}
+
 namespace {
 
 const uint32_t* Crc32cTable() {

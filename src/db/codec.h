@@ -47,6 +47,12 @@ class Decoder {
   size_t remaining() const { return data_.size() - pos_; }
   bool Done() const { return pos_ >= data_.size(); }
 
+  /// Verifies the buffer was consumed exactly. Trailing bytes mean the
+  /// record was padded or the reader and writer disagree on the layout —
+  /// either way the decode cannot be trusted, so this is DataLoss, not a
+  /// benign leftover. Deserializers should end with this, not Done().
+  Status ExpectDone() const;
+
  private:
   std::string_view data_;
   size_t pos_ = 0;

@@ -81,6 +81,7 @@ Result<std::vector<Track>> DeserializeTracks(const std::string& bytes) {
       MIVID_RETURN_IF_ERROR(dec.GetDouble(&p.bbox.max_y));
     }
   }
+  MIVID_RETURN_IF_ERROR(dec.ExpectDone());
   return tracks;
 }
 
@@ -129,6 +130,7 @@ Result<std::vector<IncidentRecord>> DeserializeIncidents(
       incidents[i].vehicle_ids[j] = static_cast<int>(id);
     }
   }
+  MIVID_RETURN_IF_ERROR(dec.ExpectDone());
   return incidents;
 }
 

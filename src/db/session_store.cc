@@ -6,13 +6,16 @@ namespace mivid {
 
 namespace {
 constexpr uint32_t kSessionMagic = 0x53534553u;  // "SESS"
-constexpr uint32_t kVersion = 1;
+// v2 added the engine name after camera_id; v1 records (no engine field)
+// still parse and default to the MIL one-class-SVM engine.
+constexpr uint32_t kVersion = 2;
 }  // namespace
 
 std::string SerializeSessionState(const SessionState& state) {
   std::string body;
   PutFixed32(&body, kVersion);
   PutLengthPrefixed(&body, state.camera_id);
+  PutLengthPrefixed(&body, state.engine);
   PutFixed32(&body, static_cast<uint32_t>(state.round));
   PutFixed32(&body, static_cast<uint32_t>(state.labels.size()));
   for (const auto& [bag_id, label] : state.labels) {
@@ -41,8 +44,13 @@ Result<SessionState> DeserializeSessionState(const std::string& bytes) {
   uint32_t version, round, count;
   SessionState state;
   MIVID_RETURN_IF_ERROR(dec.GetFixed32(&version));
-  if (version != kVersion) return Status::NotSupported("unknown version");
+  if (version < 1 || version > kVersion) {
+    return Status::NotSupported("unknown version");
+  }
   MIVID_RETURN_IF_ERROR(dec.GetLengthPrefixed(&state.camera_id));
+  if (version >= 2) {
+    MIVID_RETURN_IF_ERROR(dec.GetLengthPrefixed(&state.engine));
+  }
   MIVID_RETURN_IF_ERROR(dec.GetFixed32(&round));
   state.round = static_cast<int>(round);
   MIVID_RETURN_IF_ERROR(dec.GetFixed32(&count));
@@ -58,6 +66,7 @@ Result<SessionState> DeserializeSessionState(const std::string& bytes) {
     state.labels.emplace_back(static_cast<int>(bag_id),
                               static_cast<BagLabel>(label));
   }
+  MIVID_RETURN_IF_ERROR(dec.ExpectDone());
   return state;
 }
 

@@ -21,6 +21,7 @@ namespace mivid {
 /// A resumable snapshot of one retrieval session.
 struct SessionState {
   std::string camera_id;
+  std::string engine = "milrf";  ///< retrieval-engine registry key
   int round = 0;
   std::vector<std::pair<int, BagLabel>> labels;  ///< bag id -> feedback
 };

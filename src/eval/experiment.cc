@@ -149,45 +149,40 @@ Result<ExperimentResult> RunRfExperimentOnAnalysis(
   const size_t base_dim = analysis.scaler.dimension();
   const EventModel heuristic = EventModel::Accident(base_dim);
 
-  // --- Proposed method: One-class SVM MIL over relevance feedback. ---
-  {
-    MilDataset dataset = analysis.dataset;  // session-local labels
-    MilRfOptions mil = options.mil;
-    mil.base_dim = base_dim;
-    MilRfEngine engine(&dataset, mil);
-    auto rank = [&]() {
-      return engine.trained() ? engine.Rank()
-                              : HeuristicRanking(dataset, heuristic, base_dim);
-    };
-    auto learn = [&](const std::map<int, BagLabel>& given) {
-      for (const auto& [id, label] : given) {
-        (void)dataset.SetLabel(id, label);
-      }
-      if (dataset.CountLabel(BagLabel::kRelevant) > 0) {
-        const Status s = engine.Learn();
-        (void)s;  // cold rounds fall back to the heuristic ranking
-      }
-    };
-    result.curves.push_back(
-        RunProtocol("MIL_OneClassSVM", analysis, options, rank, learn));
-    result.mil_summary = engine.run_summary();
-  }
+  EngineConfig config;
+  config.mil = options.mil;
+  config.mil.base_dim = base_dim;
+  config.weighted = options.weighted;
+  config.weighted.base_dim = base_dim;
 
-  // --- Baseline: weighted relevance feedback. ---
-  {
-    MilDataset dataset = analysis.dataset;
-    WeightedRfOptions wopts = options.weighted;
-    wopts.base_dim = base_dim;
-    WeightedRfEngine engine(&dataset, wopts);
-    auto rank = [&]() { return engine.Rank(); };
+  // The paper's two curves, both driven through the RetrievalEngine
+  // interface; adding a registry key here adds a curve.
+  const std::pair<const char*, const char*> methods[] = {
+      {"MIL_OneClassSVM", "milrf"},
+      {"Weighted_RF", "weighted"},
+  };
+  for (const auto& [curve_name, engine_name] : methods) {
+    MilDataset dataset = analysis.dataset;  // session-local labels
+    Result<std::unique_ptr<RetrievalEngine>> made =
+        MakeRetrievalEngine(engine_name, &dataset, config);
+    RetrievalEngine& engine = *made.value();
+    auto rank = [&]() {
+      // Engines rank once trained; before that the paper's square-sum
+      // heuristic orders the initial screen.
+      return engine.trained()
+                 ? engine.Rank()
+                 : HeuristicRanking(dataset, heuristic, base_dim);
+    };
     auto learn = [&](const std::map<int, BagLabel>& given) {
-      for (const auto& [id, label] : given) {
-        (void)dataset.SetLabel(id, label);
-      }
-      (void)engine.Learn();
+      std::vector<std::pair<int, BagLabel>> labels(given.begin(), given.end());
+      (void)engine.SetLabels(labels);
+      (void)engine.Retrain();  // cold rounds stay on the heuristic ranking
     };
     result.curves.push_back(
-        RunProtocol("Weighted_RF", analysis, options, rank, learn));
+        RunProtocol(curve_name, analysis, options, rank, learn));
+    if (std::string_view(engine_name) == "milrf") {
+      result.mil_summary = engine.run_summary();
+    }
   }
 
   return result;

@@ -14,6 +14,7 @@
 #include "eval/oracle.h"
 #include "event/sliding_window.h"
 #include "mil/dataset.h"
+#include "retrieval/engine_registry.h"
 #include "retrieval/mil_rf_engine.h"
 #include "retrieval/session.h"
 #include "trafficsim/scenarios.h"

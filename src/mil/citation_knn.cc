@@ -32,9 +32,14 @@ double BagToBagDistance(const MilBag& a, const MilBag& b,
                             directed_min(b, a, /*take_max=*/true)));
 }
 
-CitationKnnEngine::CitationKnnEngine(const MilDataset* dataset,
+CitationKnnEngine::CitationKnnEngine(MilDataset* dataset,
                                      CitationKnnOptions options)
-    : dataset_(dataset), options_(options) {}
+    : RetrievalEngine(dataset), options_(options) {}
+
+Status CitationKnnEngine::Retrain() {
+  if (dataset_->CountLabel(BagLabel::kRelevant) == 0) return Status::OK();
+  return Learn();
+}
 
 Status CitationKnnEngine::Learn() {
   labeled_.clear();

@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "mil/dataset.h"
+#include "retrieval/engine.h"
 #include "retrieval/heuristic.h"
 
 namespace mivid {
@@ -38,22 +39,27 @@ struct CitationKnnOptions {
 double BagToBagDistance(const MilBag& a, const MilBag& b,
                         BagDistance distance);
 
-/// Lazy MIL ranker: no training phase beyond caching the labeled bags.
-class CitationKnnEngine {
+/// Lazy MIL ranker: no training phase beyond caching the labeled bags
+/// (registry key "cknn").
+class CitationKnnEngine : public RetrievalEngine {
  public:
   /// `dataset` must outlive the engine.
-  CitationKnnEngine(const MilDataset* dataset, CitationKnnOptions options);
+  CitationKnnEngine(MilDataset* dataset, CitationKnnOptions options);
+
+  std::string_view name() const override { return "cknn"; }
 
   /// Caches the current labeled bags. Needs >= 1 relevant labeled bag.
   Status Learn();
 
-  bool trained() const { return !labeled_.empty(); }
+  /// Cold-start-aware Learn(): a no-op until a relevant label exists.
+  Status Retrain() override;
+
+  bool trained() const override { return !labeled_.empty(); }
 
   /// Ranks all bags by the relevant fraction among references + citers.
-  std::vector<ScoredBag> Rank() const;
+  std::vector<ScoredBag> Rank() const override;
 
  private:
-  const MilDataset* dataset_;
   CitationKnnOptions options_;
   std::vector<const MilBag*> labeled_;
 };

@@ -5,8 +5,16 @@
 
 namespace mivid {
 
-MiSvmEngine::MiSvmEngine(const MilDataset* dataset, MiSvmOptions options)
-    : dataset_(dataset), options_(options) {}
+MiSvmEngine::MiSvmEngine(MilDataset* dataset, MiSvmOptions options)
+    : RetrievalEngine(dataset), options_(options) {}
+
+Status MiSvmEngine::Retrain() {
+  if (dataset_->CountLabel(BagLabel::kRelevant) == 0 ||
+      dataset_->CountLabel(BagLabel::kIrrelevant) == 0) {
+    return Status::OK();
+  }
+  return Learn();
+}
 
 Status MiSvmEngine::Learn() {
   const auto positive = dataset_->BagsWithLabel(BagLabel::kRelevant);

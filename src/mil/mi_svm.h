@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "mil/dataset.h"
+#include "retrieval/engine.h"
 #include "retrieval/heuristic.h"
 #include "svm/binary_svm.h"
 
@@ -28,26 +29,32 @@ struct MiSvmOptions {
 };
 
 /// MI-SVM ranker over a labeled MilDataset (uses both relevant and
-/// irrelevant bag labels, unlike the one-class engine).
-class MiSvmEngine {
+/// irrelevant bag labels, unlike the one-class engine; registry key
+/// "misvm").
+class MiSvmEngine : public RetrievalEngine {
  public:
   /// `dataset` must outlive the engine.
-  MiSvmEngine(const MilDataset* dataset, MiSvmOptions options);
+  MiSvmEngine(MilDataset* dataset, MiSvmOptions options);
+
+  std::string_view name() const override { return "misvm"; }
 
   /// Trains from the current labels. Needs >= 1 relevant and >= 1
   /// irrelevant labeled bag (the binary formulation requires negatives).
   Status Learn();
 
-  bool trained() const { return model_.has_value(); }
+  /// Cold-start-aware Learn(): a no-op until both a relevant and an
+  /// irrelevant labeled bag exist.
+  Status Retrain() override;
+
+  bool trained() const override { return model_.has_value(); }
 
   /// Ranks all bags by the maximum instance decision value.
-  std::vector<ScoredBag> Rank() const;
+  std::vector<ScoredBag> Rank() const override;
 
   int last_outer_iterations() const { return last_outer_iterations_; }
   const BinarySvmModel* model() const { return model_ ? &*model_ : nullptr; }
 
  private:
-  const MilDataset* dataset_;
   MiSvmOptions options_;
   std::optional<BinarySvmModel> model_;
   int last_outer_iterations_ = 0;

@@ -1,0 +1,18 @@
+#include "retrieval/engine.h"
+
+namespace mivid {
+
+Status RetrievalEngine::SetLabels(
+    const std::vector<std::pair<int, BagLabel>>& labels) {
+  for (const auto& [bag_id, label] : labels) {
+    MIVID_RETURN_IF_ERROR(dataset_->SetLabel(bag_id, label));
+  }
+  return Status::OK();
+}
+
+const RunSummary& RetrievalEngine::run_summary() const {
+  static const RunSummary kEmpty;
+  return kEmpty;
+}
+
+}  // namespace mivid

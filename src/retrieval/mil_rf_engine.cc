@@ -32,11 +32,16 @@ struct TrainingCandidate {
 
 }  // namespace
 
-MilRfEngine::MilRfEngine(const MilDataset* dataset, MilRfOptions options)
-    : dataset_(dataset), options_(options) {
+MilRfEngine::MilRfEngine(MilDataset* dataset, MilRfOptions options)
+    : RetrievalEngine(dataset), options_(options) {
   if (options_.tie_break_model.weights.empty()) {
     options_.tie_break_model = EventModel::Accident(options_.base_dim);
   }
+}
+
+Status MilRfEngine::Retrain() {
+  if (dataset_->CountLabel(BagLabel::kRelevant) == 0) return Status::OK();
+  return Learn();
 }
 
 Status MilRfEngine::Learn() {

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "event/event_model.h"
 #include "mil/dataset.h"
+#include "retrieval/engine.h"
 #include "retrieval/heuristic.h"
 #include "svm/kernel_cache.h"
 #include "svm/one_class_svm.h"
@@ -62,46 +63,27 @@ struct MilRfOptions {
   EventModel tie_break_model; ///< heuristic used by kTopInstancePerBag
 };
 
-/// Training statistics for one relevance-feedback round, recorded by
-/// Learn() so library users get the numbers without scraping logs.
-struct MilRoundStats {
-  int round = 0;               ///< 1-based feedback round (Learn() call)
-  double nu = 0.0;             ///< Eq. 9 delta actually used
-  double sigma = 0.0;          ///< RBF bandwidth after auto-tuning
-  size_t relevant_bags = 0;    ///< h: bags labeled relevant
-  size_t training_size = 0;    ///< H: flattened training instances
-  size_t support_vectors = 0;
-  int smo_iterations = 0;
-  /// Fraction of training instances the trained model rejects; Eq. 9
-  /// targets this at delta, so the gap measures how well nu was realized.
-  double achieved_outlier_fraction = 0.0;
-  uint64_t cache_hits = 0;     ///< kernel-cache hits this round
-  uint64_t cache_misses = 0;
-  double learn_seconds = 0.0;
-};
-
-/// Aggregated per-session statistics returned by MilRfEngine.
-struct RunSummary {
-  std::vector<MilRoundStats> rounds;
-  size_t rank_calls = 0;
-  double total_rank_seconds = 0.0;
-};
-
-/// One-class-SVM MIL ranker over a labeled MilDataset.
-class MilRfEngine {
+/// One-class-SVM MIL ranker over a labeled MilDataset (the proposed
+/// method; registry key "milrf").
+class MilRfEngine : public RetrievalEngine {
  public:
   /// `dataset` must outlive the engine.
-  MilRfEngine(const MilDataset* dataset, MilRfOptions options);
+  MilRfEngine(MilDataset* dataset, MilRfOptions options);
+
+  std::string_view name() const override { return "milrf"; }
 
   /// (Re)trains from the bags currently labeled relevant in the dataset.
   /// Fails with FailedPrecondition when no relevant bag exists yet.
   Status Learn();
 
+  /// Cold-start-aware Learn(): a no-op until a relevant label exists.
+  Status Retrain() override;
+
   /// True once Learn() has succeeded at least once.
-  bool trained() const { return model_.has_value(); }
+  bool trained() const override { return model_.has_value(); }
 
   /// Ranks all bags by max-instance decision value (requires trained()).
-  std::vector<ScoredBag> Rank() const;
+  std::vector<ScoredBag> Rank() const override;
 
   /// Decision value of a single bag under the current model.
   double BagScore(const MilBag& bag) const;
@@ -117,10 +99,9 @@ class MilRfEngine {
   const KernelCache& kernel_cache() const { return kernel_cache_; }
 
   /// Per-round training stats plus ranking totals for this session.
-  const RunSummary& run_summary() const { return summary_; }
+  const RunSummary& run_summary() const override { return summary_; }
 
  private:
-  const MilDataset* dataset_;
   MilRfOptions options_;
   std::optional<OneClassSvmModel> model_;
   /// Pairwise-distance cache keyed by (bag_id, instance_id): feedback

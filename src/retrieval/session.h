@@ -1,36 +1,69 @@
 // RetrievalSession: the interactive loop of Fig. 6/7.
 //
 // Round 0 ranks by the event-model heuristic. Each SubmitFeedback call
-// records bag labels (cumulative across rounds), retrains the MIL engine,
-// and advances to the next round, whose ranking comes from the One-class
-// SVM. This is the object a UI (or the evaluation oracle) drives.
+// records bag labels (cumulative across rounds), retrains the session's
+// RetrievalEngine, and advances to the next round, whose ranking comes
+// from the engine once it has trained. The engine is selected by name
+// from the registry ("milrf" by default) or injected via a factory, so
+// the session drives any learner through the same protocol. This is the
+// object a UI (or the evaluation oracle, or the mivid_serve daemon)
+// drives.
 
 #ifndef MIVID_RETRIEVAL_SESSION_H_
 #define MIVID_RETRIEVAL_SESSION_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
-#include "retrieval/mil_rf_engine.h"
+#include "retrieval/engine_registry.h"
 
 namespace mivid {
 
 /// Session configuration.
 struct SessionOptions {
   size_t top_n = 20;     ///< results shown per round (paper: 20)
-  MilRfOptions mil;
+  std::string engine = "milrf";  ///< registry key of the learner
+  MilRfOptions mil;      ///< "milrf" config; mil.base_dim is also the
+                         ///< corpus feature dimension the heuristic and
+                         ///< the weighted engine use
+  WeightedRfOptions weighted;
+  RocchioOptions rocchio;
+  MiSvmOptions misvm;
+  CitationKnnOptions cknn;
   EventModel query_model;  ///< initial-query heuristic (default: accident)
+
+  /// The per-engine bundle the registry consumes, with the corpus
+  /// dimension propagated into every engine that needs it.
+  EngineConfig engine_config() const;
 };
+
+/// Builds an engine over the session's dataset; used to inject a custom
+/// (e.g. unregistered) engine into RetrievalSession.
+using EngineFactory =
+    std::function<std::unique_ptr<RetrievalEngine>(MilDataset*)>;
 
 /// One user's interactive retrieval session over a corpus.
 class RetrievalSession {
  public:
-  /// The session owns a copy of the dataset (labels are per-session state).
+  /// The session owns a copy of the dataset (labels are per-session
+  /// state) and builds its engine from options.engine; an unknown name
+  /// falls back to "milrf" (use Create() to surface the error instead).
   RetrievalSession(MilDataset dataset, SessionOptions options);
 
-  /// Full ranking for the current round (heuristic at round 0, SVM after).
+  /// Same, but the engine comes from `factory` (options.engine ignored).
+  RetrievalSession(MilDataset dataset, SessionOptions options,
+                   const EngineFactory& factory);
+
+  /// Validating constructor: InvalidArgument on an unknown engine name.
+  static Result<RetrievalSession> Create(MilDataset dataset,
+                                         SessionOptions options);
+
+  /// Full ranking for the current round (heuristic at round 0, the
+  /// engine once it has trained).
   std::vector<ScoredBag> CurrentRanking() const;
 
   /// The top-n bag ids presented to the user this round.
@@ -38,8 +71,9 @@ class RetrievalSession {
 
   /// Applies the user's labels for this round's results and retrains.
   /// Labels accumulate; re-labeling a bag overwrites its previous label.
-  /// If no bag has ever been labeled relevant, the session stays on the
-  /// heuristic ranking (matching the paper's cold-start behavior).
+  /// Until the engine's cold-start preconditions are met (e.g. no bag
+  /// labeled relevant yet), the session stays on the heuristic ranking
+  /// (matching the paper's cold-start behavior).
   Status SubmitFeedback(const std::vector<std::pair<int, BagLabel>>& labels);
 
   /// Exports the session's accumulated feedback (for persistence).
@@ -51,15 +85,16 @@ class RetrievalSession {
                  int round);
 
   int round() const { return round_; }
+  size_t top_n() const { return options_.top_n; }
   const MilDataset& dataset() const { return *dataset_; }
-  const MilRfEngine& engine() const { return *engine_; }
+  const RetrievalEngine& engine() const { return *engine_; }
 
  private:
   // Held behind stable pointers so the session stays movable: the engine
   // references the dataset by address.
   std::unique_ptr<MilDataset> dataset_;
   SessionOptions options_;
-  std::unique_ptr<MilRfEngine> engine_;
+  std::unique_ptr<RetrievalEngine> engine_;
   int round_ = 0;
 };
 

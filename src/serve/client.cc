@@ -1,0 +1,84 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mivid {
+
+Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: '" + socket_path + "'");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IOError("connect " + socket_path + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return ServeClient(fd);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::string> ServeClient::Call(std::string_view request_line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  std::string out(request_line);
+  out += '\n';
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t w =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (w <= 0) {
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  for (;;) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("daemon closed the connection");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<JsonValue> ServeClient::CallJson(std::string_view request_line) {
+  MIVID_ASSIGN_OR_RETURN(std::string line, Call(request_line));
+  return ParseJson(line);
+}
+
+}  // namespace mivid

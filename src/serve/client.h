@@ -1,0 +1,48 @@
+// ServeClient: blocking Unix-domain-socket client for mivid_serve.
+//
+// Speaks the newline-delimited JSON protocol (serve/protocol.h): Call()
+// writes one request line and blocks for the matching response line.
+// Shared by the mivid_client tool, the CLI's remote mode, and the serve
+// tests, so they all exercise the same wire path.
+
+#ifndef MIVID_SERVE_CLIENT_H_
+#define MIVID_SERVE_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace mivid {
+
+class ServeClient {
+ public:
+  /// Connects to the daemon's socket.
+  static Result<ServeClient> Connect(const std::string& socket_path);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// Sends one request line (newline appended) and returns the response
+  /// line (newline stripped). IOError when the daemon hangs up.
+  Result<std::string> Call(std::string_view request_line);
+
+  /// Call() + JSON parse of the response.
+  Result<JsonValue> CallJson(std::string_view request_line);
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes past the last returned response line
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_SERVE_CLIENT_H_

@@ -1,0 +1,77 @@
+#include "serve/corpus_manager.h"
+
+#include "obs/metrics.h"
+
+namespace mivid {
+
+Result<std::shared_ptr<const CameraCorpus>> CorpusManager::Get(
+    const std::string& camera_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = cache_.find(camera_id);
+    if (it == cache_.end()) break;  // nobody loading: this thread loads
+    if (it->second.corpus != nullptr) {
+      ++hits_;
+      MIVID_METRIC_COUNT("serve/corpus_cache_hits", 1);
+      return it->second.corpus;
+    }
+    // Another thread is extracting this camera; wait for it to finish
+    // (or fail — the slot disappears and the loop retries as loader).
+    loaded_.wait(lock);
+  }
+
+  cache_.emplace(camera_id, Slot{});  // claim the load
+  ++misses_;
+  MIVID_METRIC_COUNT("serve/corpus_cache_misses", 1);
+  lock.unlock();
+
+  Result<CameraCorpus> built = [&]() -> Result<CameraCorpus> {
+    MIVID_SCOPED_TIMER("serve/corpus_load_seconds");
+    QueryEngine engine(db_);
+    return engine.BuildCorpus(camera_id, query_);
+  }();
+
+  lock.lock();
+  if (!built.ok()) {
+    cache_.erase(camera_id);
+    loaded_.notify_all();
+    return built.status();
+  }
+  auto corpus =
+      std::make_shared<const CameraCorpus>(std::move(built).value());
+  cache_[camera_id].corpus = corpus;
+  MIVID_METRIC_GAUGE_SET("serve/corpus_cached", cache_.size());
+  loaded_.notify_all();
+  return corpus;
+}
+
+void CorpusManager::Invalidate(const std::string& camera_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(camera_id);
+  // Never erase an in-flight slot: the loader expects to find it.
+  if (it != cache_.end() && it->second.corpus != nullptr) {
+    cache_.erase(it);
+    MIVID_METRIC_GAUGE_SET("serve/corpus_cached", cache_.size());
+  }
+}
+
+CorpusManager::Stats CorpusManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.cached = cache_.size();
+  return s;
+}
+
+std::vector<std::string> CorpusManager::cached_cameras() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(cache_.size());
+  for (const auto& [camera, slot] : cache_) {
+    if (slot.corpus != nullptr) out.push_back(camera);
+  }
+  return out;
+}
+
+}  // namespace mivid

@@ -1,0 +1,76 @@
+// CorpusManager: shared-ownership cache of per-camera retrieval corpora.
+//
+// Corpus extraction (QueryEngine::BuildCorpus) is by far the most
+// expensive part of opening a session — decoding every clip of a camera,
+// extracting features and windows, merging bags. The manager loads each
+// camera at most once and hands out shared_ptr<const CameraCorpus>, so N
+// concurrent sessions over the same camera share one immutable corpus.
+//
+// Loading is single-flight: when several threads request an uncached
+// camera at once, exactly one performs the extraction while the others
+// block on a condition variable and then reuse the result. A failed load
+// is not cached — the next request retries.
+
+#ifndef MIVID_SERVE_CORPUS_MANAGER_H_
+#define MIVID_SERVE_CORPUS_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/query_engine.h"
+
+namespace mivid {
+
+class CorpusManager {
+ public:
+  /// `db` must outlive the manager. `query` fixes the extraction
+  /// parameters for every cached corpus (one cache = one feature space).
+  CorpusManager(const VideoDb* db, QueryOptions query)
+      : db_(db), query_(std::move(query)) {}
+
+  CorpusManager(const CorpusManager&) = delete;
+  CorpusManager& operator=(const CorpusManager&) = delete;
+
+  /// Returns the corpus for `camera_id`, loading it on first use.
+  /// Blocks if another thread is already loading the same camera.
+  Result<std::shared_ptr<const CameraCorpus>> Get(const std::string& camera_id);
+
+  /// Drops the cache entry (sessions holding the shared_ptr keep theirs).
+  void Invalidate(const std::string& camera_id);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t cached = 0;  ///< cameras resident right now
+  };
+  Stats stats() const;
+
+  /// Camera ids resident in the cache.
+  std::vector<std::string> cached_cameras() const;
+
+  const QueryOptions& query() const { return query_; }
+
+ private:
+  /// A cache slot. `corpus == nullptr` means a load is in flight; the
+  /// slot is erased (not populated) when the load fails.
+  struct Slot {
+    std::shared_ptr<const CameraCorpus> corpus;
+  };
+
+  const VideoDb* db_;
+  const QueryOptions query_;
+  mutable std::mutex mu_;
+  std::condition_variable loaded_;
+  std::map<std::string, Slot> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_SERVE_CORPUS_MANAGER_H_

@@ -1,0 +1,238 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace mivid {
+
+namespace {
+
+Status FieldError(std::string_view field, std::string_view why) {
+  return Status::InvalidArgument("request field '" + std::string(field) +
+                                 "' " + std::string(why));
+}
+
+/// Fetches an optional string member; InvalidArgument if present but not
+/// a string.
+Result<std::string> GetString(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return std::string();
+  if (!v->is_string()) return FieldError(key, "must be a string");
+  return v->string;
+}
+
+Result<int> GetInt(const JsonValue& obj, std::string_view key, int fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number() || v->number != std::floor(v->number)) {
+    return FieldError(key, "must be an integer");
+  }
+  return static_cast<int>(v->number);
+}
+
+Result<bool> GetBool(const JsonValue& obj, std::string_view key,
+                     bool fallback) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != JsonValue::Type::kBool) {
+    return FieldError(key, "must be a boolean");
+  }
+  return v->bool_value;
+}
+
+Result<BagLabel> ParseWireLabel(std::string_view name) {
+  if (name == "relevant") return BagLabel::kRelevant;
+  if (name == "irrelevant") return BagLabel::kIrrelevant;
+  if (name == "unlabeled") return BagLabel::kUnlabeled;
+  return Status::InvalidArgument(
+      "unknown label '" + std::string(name) +
+      "' (expected relevant|irrelevant|unlabeled)");
+}
+
+struct CmdName {
+  const char* name;
+  ServeCmd cmd;
+  bool needs_session;
+};
+
+constexpr CmdName kCommands[] = {
+    {"open", ServeCmd::kOpen, true},
+    {"rank", ServeCmd::kRank, true},
+    {"feedback", ServeCmd::kFeedback, true},
+    {"save", ServeCmd::kSave, true},
+    {"close", ServeCmd::kClose, true},
+    {"stats", ServeCmd::kStats, false},
+    {"shutdown", ServeCmd::kShutdown, false},
+};
+
+}  // namespace
+
+bool ValidSessionId(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<ServeRequest> ParseServeRequest(std::string_view line) {
+  MIVID_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  MIVID_ASSIGN_OR_RETURN(std::string cmd_name, GetString(doc, "cmd"));
+  if (cmd_name.empty()) return FieldError("cmd", "is required");
+
+  ServeRequest req;
+  const CmdName* found = nullptr;
+  for (const CmdName& c : kCommands) {
+    if (cmd_name == c.name) {
+      found = &c;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    return Status::InvalidArgument("unknown command '" + cmd_name + "'");
+  }
+  req.cmd = found->cmd;
+
+  MIVID_ASSIGN_OR_RETURN(req.session_id, GetString(doc, "session"));
+  if (found->needs_session) {
+    if (req.session_id.empty()) return FieldError("session", "is required");
+    if (!ValidSessionId(req.session_id)) {
+      return FieldError("session",
+                        "must be 1..64 chars of [A-Za-z0-9._-]");
+    }
+  }
+  MIVID_ASSIGN_OR_RETURN(req.camera_id, GetString(doc, "camera"));
+  MIVID_ASSIGN_OR_RETURN(req.engine, GetString(doc, "engine"));
+  MIVID_ASSIGN_OR_RETURN(req.top, GetInt(doc, "top", 0));
+  MIVID_ASSIGN_OR_RETURN(req.discard, GetBool(doc, "discard", false));
+
+  if (req.cmd == ServeCmd::kFeedback) {
+    const JsonValue* labels = doc.Find("labels");
+    if (labels == nullptr || !labels->is_array()) {
+      return FieldError("labels", "must be an array");
+    }
+    if (labels->array.empty()) return FieldError("labels", "must be non-empty");
+    req.labels.reserve(labels->array.size());
+    for (const JsonValue& entry : labels->array) {
+      if (!entry.is_object()) {
+        return FieldError("labels", "entries must be objects");
+      }
+      MIVID_ASSIGN_OR_RETURN(int bag, GetInt(entry, "bag", -1));
+      if (bag < 0) return FieldError("labels[].bag", "is required");
+      MIVID_ASSIGN_OR_RETURN(std::string name, GetString(entry, "label"));
+      if (name.empty()) return FieldError("labels[].label", "is required");
+      MIVID_ASSIGN_OR_RETURN(BagLabel label, ParseWireLabel(name));
+      req.labels.emplace_back(bag, label);
+    }
+  }
+  return req;
+}
+
+const char* BagLabelWireName(BagLabel label) {
+  switch (label) {
+    case BagLabel::kRelevant:
+      return "relevant";
+    case BagLabel::kIrrelevant:
+      return "irrelevant";
+    case BagLabel::kUnlabeled:
+      return "unlabeled";
+  }
+  return "unlabeled";
+}
+
+const char* StatusCodeWireName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kIOError:
+      return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kNotSupported:
+      return "NOT_SUPPORTED";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+  }
+  return "INTERNAL";
+}
+
+std::string ErrorResponse(const Status& status) {
+  JsonLineBuilder out;
+  out.Bool("ok", false)
+      .Str("code", StatusCodeWireName(status.code()))
+      .Str("error", status.message());
+  return std::move(out).Build();
+}
+
+void JsonLineBuilder::Key(std::string_view key) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+}
+
+JsonLineBuilder& JsonLineBuilder::Str(std::string_view key,
+                                      std::string_view value) {
+  Key(key);
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonLineBuilder& JsonLineBuilder::Int(std::string_view key, int64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonLineBuilder& JsonLineBuilder::Num(std::string_view key, double value) {
+  Key(key);
+  // %.17g round-trips IEEE doubles exactly, so client-side scores compare
+  // bit-identical to in-process rankings.
+  out_ += StrFormat("%.17g", value);
+  return *this;
+}
+
+JsonLineBuilder& JsonLineBuilder::Bool(std::string_view key, bool value) {
+  Key(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonLineBuilder& JsonLineBuilder::Raw(std::string_view key,
+                                      std::string_view json) {
+  Key(key);
+  out_ += json;
+  return *this;
+}
+
+std::string JsonLineBuilder::Build() && {
+  out_ += '}';
+  return std::move(out_);
+}
+
+}  // namespace mivid

@@ -1,0 +1,90 @@
+// Wire protocol of the mivid_serve daemon: newline-delimited JSON over a
+// Unix-domain stream socket. One request line in, one response line out,
+// in order, per connection.
+//
+// Requests:
+//   {"cmd":"open","session":"s1","camera":"cam0","engine":"milrf"}
+//   {"cmd":"rank","session":"s1","top":20}
+//   {"cmd":"feedback","session":"s1",
+//    "labels":[{"bag":3,"label":"relevant"},{"bag":9,"label":"irrelevant"}]}
+//   {"cmd":"save","session":"s1"}
+//   {"cmd":"close","session":"s1","discard":false}
+//   {"cmd":"stats"}
+//   {"cmd":"shutdown"}
+//
+// Responses always carry "ok"; failures add "code" (UPPER_SNAKE status
+// code, e.g. "RESOURCE_EXHAUSTED") and "error" (message). See
+// docs/serving.md for the full specification.
+
+#ifndef MIVID_SERVE_PROTOCOL_H_
+#define MIVID_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "mil/bag.h"
+
+namespace mivid {
+
+/// Protocol commands.
+enum class ServeCmd : uint8_t {
+  kOpen = 0,
+  kRank = 1,
+  kFeedback = 2,
+  kSave = 3,
+  kClose = 4,
+  kStats = 5,
+  kShutdown = 6,
+};
+
+/// One parsed request line.
+struct ServeRequest {
+  ServeCmd cmd = ServeCmd::kStats;
+  std::string session_id;
+  std::string camera_id;
+  std::string engine;  ///< empty = server default (open only)
+  int top = 0;         ///< rank: 0 = session top_n, -1 = full ranking
+  bool discard = false;  ///< close: drop unsaved feedback
+  std::vector<std::pair<int, BagLabel>> labels;  ///< feedback
+};
+
+/// Parses one request line. InvalidArgument on malformed JSON, unknown
+/// commands, unknown labels, or missing required fields.
+Result<ServeRequest> ParseServeRequest(std::string_view line);
+
+/// Canonical label spelling on the wire ("relevant", ...).
+const char* BagLabelWireName(BagLabel label);
+
+/// UPPER_SNAKE wire spelling of a status code ("RESOURCE_EXHAUSTED", ...).
+const char* StatusCodeWireName(StatusCode code);
+
+/// {"ok":false,"code":...,"error":...} for a failed request.
+std::string ErrorResponse(const Status& status);
+
+/// Incremental single-line JSON object writer for responses. Values are
+/// escaped; Raw trusts the caller (nested arrays/objects).
+class JsonLineBuilder {
+ public:
+  JsonLineBuilder& Str(std::string_view key, std::string_view value);
+  JsonLineBuilder& Int(std::string_view key, int64_t value);
+  JsonLineBuilder& Num(std::string_view key, double value);
+  JsonLineBuilder& Bool(std::string_view key, bool value);
+  JsonLineBuilder& Raw(std::string_view key, std::string_view json);
+  std::string Build() &&;
+
+ private:
+  void Key(std::string_view key);
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+/// True when `id` is a safe session identifier: 1..64 chars drawn from
+/// [A-Za-z0-9._-] (session ids become journal file names).
+bool ValidSessionId(std::string_view id);
+
+}  // namespace mivid
+
+#endif  // MIVID_SERVE_PROTOCOL_H_

@@ -1,0 +1,409 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace mivid {
+
+namespace {
+
+/// Milliseconds between poll() wakeups in the accept loop; bounds both
+/// shutdown latency and the idle-eviction sweep interval.
+constexpr int kAcceptPollMs = 100;
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Releases one admission slot on scope exit.
+struct AdmissionSlot {
+  std::atomic<int>* in_flight;
+  ~AdmissionSlot() {
+    const int depth =
+        in_flight->fetch_sub(1, std::memory_order_acq_rel) - 1;
+    MIVID_METRIC_GAUGE_SET("serve/queue_depth", depth);
+  }
+};
+
+}  // namespace
+
+RetrievalServer::RetrievalServer(VideoDb* db, ServeOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      corpora_(db, options_.query),
+      sessions_(db, &corpora_,
+                SessionManagerOptions{options_.default_engine,
+                                      options_.max_sessions,
+                                      options_.idle_timeout_ms,
+                                      options_.top_n}) {}
+
+RetrievalServer::~RetrievalServer() { Stop(); }
+
+std::string RetrievalServer::HandleLine(const std::string& line) {
+  MIVID_SCOPED_TIMER("serve/request_seconds");
+  MIVID_METRIC_COUNT("serve/requests", 1);
+
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  if (!parsed.ok()) {
+    MIVID_METRIC_COUNT("serve/errors", 1);
+    return ErrorResponse(parsed.status());
+  }
+  const ServeRequest& req = parsed.value();
+
+  // Bounded admission: hold one in-flight slot for the request lifetime,
+  // or reject right away so callers see backpressure instead of latency.
+  const int depth = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  AdmissionSlot slot{&in_flight_};
+  MIVID_METRIC_GAUGE_SET("serve/queue_depth", depth);
+  if (options_.max_pending > 0 &&
+      depth > static_cast<int>(options_.max_pending)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    MIVID_METRIC_COUNT("serve/requests_rejected", 1);
+    return ErrorResponse(Status::ResourceExhausted(
+        "request queue full (" + std::to_string(options_.max_pending) +
+        " in flight); retry later"));
+  }
+  if (options_.admission_hook) options_.admission_hook(req);
+
+  std::string response = Dispatch(req);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+std::string RetrievalServer::Dispatch(const ServeRequest& req) {
+  ThreadPool* pool = GlobalPool();
+  if (pool == nullptr || ThreadPool::InWorkerThread()) {
+    // Serial build (MIVID_THREADS=1) or already on a worker: run inline.
+    return Execute(req);
+  }
+  // Hand the work to the shared pool; the connection thread blocks until
+  // its request's turn comes and finishes, which keeps responses on one
+  // connection strictly ordered.
+  std::packaged_task<std::string()> task([this, &req] { return Execute(req); });
+  std::future<std::string> done = task.get_future();
+  pool->Submit([&task] { task(); });
+  return done.get();
+}
+
+std::string RetrievalServer::Execute(const ServeRequest& req) {
+  switch (req.cmd) {
+    case ServeCmd::kOpen:
+      return CmdOpen(req);
+    case ServeCmd::kRank:
+      return CmdRank(req);
+    case ServeCmd::kFeedback:
+      return CmdFeedback(req);
+    case ServeCmd::kSave:
+      return CmdSave(req);
+    case ServeCmd::kClose:
+      return CmdClose(req);
+    case ServeCmd::kStats:
+      return CmdStats(req);
+    case ServeCmd::kShutdown:
+      return CmdShutdown(req);
+  }
+  return ErrorResponse(Status::Internal("unhandled command"));
+}
+
+std::string RetrievalServer::CmdOpen(const ServeRequest& req) {
+  if (!req.engine.empty() && !EngineRegistered(req.engine)) {
+    return ErrorResponse(Status::InvalidArgument(
+        "unknown engine '" + req.engine + "' (registered: " +
+        Join(RegisteredEngineNames(), ", ") + ")"));
+  }
+  Result<SessionManager::OpenResult> opened =
+      sessions_.Open(req.session_id, req.camera_id, req.engine);
+  if (!opened.ok()) return ErrorResponse(opened.status());
+  const SessionManager::OpenResult& result = opened.value();
+  ServeSession& s = *result.session;
+  std::lock_guard<std::mutex> lock(s.mu);
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "open")
+      .Str("session", s.id)
+      .Str("camera", s.camera_id)
+      .Str("engine", s.engine)
+      .Int("round", s.session->round())
+      .Int("bags", static_cast<int64_t>(s.session->dataset().bags().size()))
+      .Bool("resumed", result.resumed)
+      .Bool("already_open", result.already_open);
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdRank(const ServeRequest& req) {
+  Result<std::shared_ptr<ServeSession>> got = sessions_.Get(req.session_id);
+  if (!got.ok()) return ErrorResponse(got.status());
+  ServeSession& s = *got.value();
+  std::lock_guard<std::mutex> lock(s.mu);
+
+  const std::vector<ScoredBag> ranking = s.session->CurrentRanking();
+  size_t limit = ranking.size();
+  if (req.top == 0) {
+    limit = s.session->top_n();
+  } else if (req.top > 0) {
+    limit = static_cast<size_t>(req.top);
+  }
+  limit = std::min(limit, ranking.size());
+
+  std::string items = "[";
+  for (size_t i = 0; i < limit; ++i) {
+    if (i > 0) items += ',';
+    items += StrFormat("{\"bag\":%d,\"score\":%.17g}", ranking[i].bag_id,
+                       ranking[i].score);
+  }
+  items += ']';
+
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "rank")
+      .Str("session", s.id)
+      .Int("round", s.session->round())
+      .Bool("trained", s.session->engine().trained())
+      .Int("total", static_cast<int64_t>(ranking.size()))
+      .Raw("ranking", items);
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdFeedback(const ServeRequest& req) {
+  Result<std::shared_ptr<ServeSession>> got = sessions_.Get(req.session_id);
+  if (!got.ok()) return ErrorResponse(got.status());
+  ServeSession& s = *got.value();
+  std::lock_guard<std::mutex> lock(s.mu);
+
+  Status applied = s.session->SubmitFeedback(req.labels);
+  if (!applied.ok()) {
+    MIVID_METRIC_COUNT("serve/errors", 1);
+    return ErrorResponse(applied);
+  }
+  // Journal every feedback round: a crash (or eviction) after this point
+  // resumes the session at exactly this state.
+  Status journaled = sessions_.Save(s);
+  if (!journaled.ok()) {
+    MIVID_METRIC_COUNT("serve/errors", 1);
+    return ErrorResponse(journaled);
+  }
+  MIVID_METRIC_COUNT("serve/feedback_rounds", 1);
+
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "feedback")
+      .Str("session", s.id)
+      .Int("round", s.session->round())
+      .Bool("trained", s.session->engine().trained())
+      .Int("labeled", static_cast<int64_t>(s.session->LabeledBags().size()))
+      .Bool("journaled", true);
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdSave(const ServeRequest& req) {
+  Result<std::shared_ptr<ServeSession>> got = sessions_.Get(req.session_id);
+  if (!got.ok()) return ErrorResponse(got.status());
+  ServeSession& s = *got.value();
+  std::lock_guard<std::mutex> lock(s.mu);
+  Status saved = sessions_.Save(s);
+  if (!saved.ok()) return ErrorResponse(saved);
+  JsonLineBuilder out;
+  out.Bool("ok", true).Str("cmd", "save").Str("session", s.id).Int(
+      "round", s.session->round());
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdClose(const ServeRequest& req) {
+  Status closed = sessions_.Close(req.session_id, req.discard);
+  if (!closed.ok()) return ErrorResponse(closed);
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "close")
+      .Str("session", req.session_id)
+      .Bool("journaled", !req.discard);
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdStats(const ServeRequest&) {
+  const CorpusManager::Stats corpus = corpora_.stats();
+  std::string ids = "[";
+  bool first = true;
+  for (const std::string& id : sessions_.open_ids()) {
+    if (!first) ids += ',';
+    first = false;
+    ids += '"';
+    ids += JsonEscape(id);
+    ids += '"';
+  }
+  ids += ']';
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "stats")
+      .Int("sessions_open", static_cast<int64_t>(sessions_.open_count()))
+      .Raw("sessions", ids)
+      .Int("corpora_cached", static_cast<int64_t>(corpus.cached))
+      .Int("corpus_cache_hits", static_cast<int64_t>(corpus.hits))
+      .Int("corpus_cache_misses", static_cast<int64_t>(corpus.misses))
+      .Int("requests_served", static_cast<int64_t>(served_.load()))
+      .Int("requests_rejected", static_cast<int64_t>(rejected_.load()))
+      .Int("in_flight", in_flight_.load());
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdShutdown(const ServeRequest&) {
+  RequestShutdown();
+  JsonLineBuilder out;
+  out.Bool("ok", true).Str("cmd", "shutdown").Bool("shutting_down", true);
+  return std::move(out).Build();
+}
+
+void RetrievalServer::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+void RetrievalServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] {
+    return shutdown_requested_ || stopping_.load(std::memory_order_acquire);
+  });
+}
+
+bool RetrievalServer::WaitForShutdownFor(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [this] {
+                                 return shutdown_requested_ ||
+                                        stopping_.load(
+                                            std::memory_order_acquire);
+                               });
+}
+
+Status RetrievalServer::Start() {
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("socket_path is required");
+  }
+  sockaddr_un addr{};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " +
+                                   options_.socket_path);
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  ::unlink(options_.socket_path.c_str());  // stale socket from a crash
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("bind " + options_.socket_path);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status s = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  accept_thread_ = std::thread(&RetrievalServer::AcceptLoop, this);
+  MIVID_LOG(Info) << "mivid_serve listening on " << options_.socket_path;
+  return Status::OK();
+}
+
+void RetrievalServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    sessions_.EvictIdle();
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&RetrievalServer::ConnectionLoop, this, fd);
+  }
+}
+
+void RetrievalServer::ConnectionLoop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (Trim(line).empty()) continue;
+      std::string response = HandleLine(line);
+      response += '\n';
+      size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t w = ::send(fd, response.data() + sent,
+                                 response.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0) {
+          open = false;
+          break;
+        }
+        sent += static_cast<size_t>(w);
+      }
+    }
+  }
+  // Deregister before closing so Stop() never shuts down a recycled fd.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+      if (*it == fd) {
+        conn_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void RetrievalServer::Stop() {
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+  RequestShutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // The accept thread is joined, so conn_threads_ is stable now.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  Status saved = sessions_.SaveAll();
+  if (!saved.ok()) {
+    MIVID_LOG(Warn) << "failed to journal sessions on shutdown: "
+                    << saved.message();
+  }
+  stopped_ = true;
+}
+
+}  // namespace mivid

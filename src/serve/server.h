@@ -1,0 +1,130 @@
+// RetrievalServer: the mivid_serve daemon core.
+//
+// A long-lived process hosting many concurrent interactive retrieval
+// sessions over one database. Clients speak newline-delimited JSON over a
+// Unix-domain stream socket (see serve/protocol.h); every request
+// dispatches through the RetrievalEngine interface, so each session can
+// run any registered learner.
+//
+// Concurrency model:
+//  * One accept thread; one thread per connection reading lines.
+//  * Request execution runs on the process-wide ThreadPool (inline when
+//    the pool is disabled, i.e. MIVID_THREADS=1). Admission is bounded:
+//    when `max_pending` requests are already in flight the server answers
+//    RESOURCE_EXHAUSTED immediately instead of queueing without bound —
+//    explicit backpressure the client can see and retry on.
+//  * Per-session mutexes serialize commands against one session; requests
+//    on different sessions run in parallel over shared immutable corpora.
+//
+// HandleLine() is the transport-independent core (parse -> admit ->
+// execute -> format); tests drive it in-process without a socket.
+
+#ifndef MIVID_SERVE_SERVER_H_
+#define MIVID_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/corpus_manager.h"
+#include "serve/protocol.h"
+#include "serve/session_manager.h"
+
+namespace mivid {
+
+/// Daemon configuration.
+struct ServeOptions {
+  std::string socket_path;  ///< Unix-domain socket to listen on
+  std::string default_engine = "milrf";
+  size_t max_pending = 64;   ///< in-flight request bound; 0 = unbounded
+  size_t max_sessions = 64;  ///< live session bound; 0 = unbounded
+  int64_t idle_timeout_ms = 0;  ///< journal+evict idle sessions; 0 = never
+  size_t top_n = 20;            ///< results per round
+  QueryOptions query;           ///< corpus extraction parameters
+
+  /// Test-only: runs after a request is admitted (slot held) and before
+  /// it executes. Blocking here holds the slot, which lets tests fill the
+  /// admission window deterministically.
+  std::function<void(const ServeRequest&)> admission_hook;
+};
+
+class RetrievalServer {
+ public:
+  /// `db` must outlive the server.
+  RetrievalServer(VideoDb* db, ServeOptions options);
+  ~RetrievalServer();
+
+  RetrievalServer(const RetrievalServer&) = delete;
+  RetrievalServer& operator=(const RetrievalServer&) = delete;
+
+  /// Handles one request line and returns one response line (no trailing
+  /// newline). Thread-safe; this is the full server path minus the
+  /// socket, shared by connection threads and in-process tests.
+  std::string HandleLine(const std::string& line);
+
+  /// Binds the socket and starts accepting connections.
+  Status Start();
+
+  /// Blocks until a shutdown command arrives or Stop() is called.
+  void WaitForShutdown();
+
+  /// Like WaitForShutdown, but returns after `timeout_ms` at the latest.
+  /// True when shutdown was requested — lets a main loop interleave its
+  /// own checks (e.g. a signal flag) with the wait.
+  bool WaitForShutdownFor(int timeout_ms);
+
+  /// Graceful stop: closes the listener and every connection, joins all
+  /// threads, journals every live session. Idempotent.
+  void Stop();
+
+  SessionManager& sessions() { return sessions_; }
+  CorpusManager& corpora() { return corpora_; }
+  const ServeOptions& options() const { return options_; }
+  uint64_t requests_served() const { return served_.load(); }
+  uint64_t requests_rejected() const { return rejected_.load(); }
+
+ private:
+  std::string Dispatch(const ServeRequest& req);
+  std::string Execute(const ServeRequest& req);
+  std::string CmdOpen(const ServeRequest& req);
+  std::string CmdRank(const ServeRequest& req);
+  std::string CmdFeedback(const ServeRequest& req);
+  std::string CmdSave(const ServeRequest& req);
+  std::string CmdClose(const ServeRequest& req);
+  std::string CmdStats(const ServeRequest& req);
+  std::string CmdShutdown(const ServeRequest& req);
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  void RequestShutdown();
+
+  VideoDb* db_;
+  const ServeOptions options_;
+  CorpusManager corpora_;
+  SessionManager sessions_;
+
+  std::atomic<int> in_flight_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> rejected_{0};
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;  ///< guards conn_fds_ and conn_threads_
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  ///< Stop() ran to completion (main thread only)
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_SERVE_SERVER_H_

@@ -1,15 +1,11 @@
-// mivid command-line tool: manage a surveillance video database and run
-// retrieval sessions from the terminal.
+// mivid command-line tool: manage a surveillance video database, run
+// retrieval sessions from the terminal, and host the mivid_serve daemon.
 //
-//   mivid_cli init <db>                       create an empty database
-//   mivid_cli simulate <db> <tunnel|intersection> <camera-id> [frames]
-//                                             simulate + ingest a clip
-//   mivid_cli list <db>                       show catalog and cameras
-//   mivid_cli query <db> <camera-id> [rounds] run an accident query with
-//                                             oracle feedback (stored
-//                                             incident annotations)
-//   mivid_cli models <db>                     list saved query models
+// Subcommands are table-driven (name, arg spec, help line, handler); run
+// `mivid_cli help` for the list and `mivid_cli <command> --help` (or
+// `mivid_cli help <command>`) for per-command details.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +17,9 @@
 #include "db/video_db.h"
 #include "eval/metrics.h"
 #include "obs/export.h"
+#include "retrieval/engine_registry.h"
+#include "retrieval/mil_rf_engine.h"
+#include "serve/server.h"
 #include "trafficsim/scenarios.h"
 
 using namespace mivid;
@@ -32,35 +31,133 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: mivid_cli [--threads N] %s <command> ...\n"
-               "  mivid_cli init <db>\n"
-               "  mivid_cli simulate <db> <tunnel|intersection> <camera-id> "
-               "[frames]\n"
-               "  mivid_cli list <db>\n"
-               "  mivid_cli query <db> <camera-id> [rounds]\n"
-               "  mivid_cli models <db>\n",
-               ObsFlagsHelp());
-  return 2;
+// ---------------------------------------------------------------------------
+// Argument helpers: positional args plus --flag / --flag=value parsing
+// over the per-subcommand argument vector.
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;  // name -> value
+  bool help = false;
+
+  const std::string* Flag(std::string_view name) const {
+    for (const auto& [flag, value] : flags) {
+      if (flag == name) return &value;
+    }
+    return nullptr;
+  }
+
+  bool FlagInt(std::string_view name, int64_t* out) const {
+    const std::string* value = Flag(name);
+    if (value == nullptr) return true;  // absent: keep default
+    return ParseInt64(*value, out);
+  }
+};
+
+/// Splits raw argv words into positionals and --flag[=value] pairs.
+/// Flags listed in `value_flags` consume the next word when written
+/// without '='.
+Args ParseArgs(const std::vector<std::string>& words,
+               const std::vector<std::string>& value_flags) {
+  Args args;
+  for (size_t i = 0; i < words.size(); ++i) {
+    const std::string& w = words[i];
+    if (w == "--help" || w == "-h") {
+      args.help = true;
+    } else if (StartsWith(w, "--")) {
+      const size_t eq = w.find('=');
+      if (eq != std::string::npos) {
+        args.flags.emplace_back(w.substr(2, eq - 2), w.substr(eq + 1));
+      } else {
+        std::string name = w.substr(2);
+        bool wants_value = false;
+        for (const std::string& vf : value_flags) {
+          if (vf == name) wants_value = true;
+        }
+        if (wants_value && i + 1 < words.size()) {
+          args.flags.emplace_back(std::move(name), words[++i]);
+        } else {
+          args.flags.emplace_back(std::move(name), "");
+        }
+      }
+    } else {
+      args.positional.push_back(w);
+    }
+  }
+  return args;
 }
 
-Result<std::unique_ptr<VideoDb>> OpenDb(const std::string& path,
-                                        bool create) {
+Result<std::unique_ptr<VideoDb>> OpenDb(const std::string& path, bool create) {
   VideoDbOptions options;
   options.create_if_missing = create;
   return VideoDb::Open(path, options);
 }
 
-int CmdInit(const std::string& path) {
-  Result<std::unique_ptr<VideoDb>> db = OpenDb(path, true);
-  if (!db.ok()) return Fail(db.status());
-  std::printf("created database at %s\n", path.c_str());
+// ---------------------------------------------------------------------------
+// Subcommand table.
+
+struct Subcommand {
+  const char* name;
+  const char* arg_spec;  ///< e.g. "<db> <camera-id> [rounds]"
+  const char* help;      ///< one-line summary for the command list
+  const char* details;   ///< extra lines for per-command --help ("" = none)
+  int (*run)(const Args& args);
+};
+
+const Subcommand* FindSubcommand(std::string_view name);
+const std::vector<Subcommand>& Subcommands();
+
+int PrintCommandHelp(const Subcommand& cmd) {
+  std::printf("usage: mivid_cli %s %s\n  %s\n", cmd.name, cmd.arg_spec,
+              cmd.help);
+  if (cmd.details[0] != '\0') std::printf("%s", cmd.details);
   return 0;
 }
 
-int CmdSimulate(const std::string& path, const std::string& kind,
-                const std::string& camera, int frames) {
+int Usage() {
+  std::fprintf(stderr, "usage: mivid_cli [--threads N] %s <command> ...\n",
+               ObsFlagsHelp());
+  for (const Subcommand& cmd : Subcommands()) {
+    std::fprintf(stderr, "  mivid_cli %-8s %s\n      %s\n", cmd.name,
+                 cmd.arg_spec, cmd.help);
+  }
+  std::fprintf(stderr,
+               "run 'mivid_cli <command> --help' for command details\n");
+  return 2;
+}
+
+int BadArgs(const Subcommand& cmd) {
+  std::fprintf(stderr, "usage: mivid_cli %s %s\n", cmd.name, cmd.arg_spec);
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+// Command implementations.
+
+int CmdInit(const Args& args) {
+  if (args.positional.size() != 1) return BadArgs(*FindSubcommand("init"));
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(args.positional[0], true);
+  if (!db.ok()) return Fail(db.status());
+  std::printf("created database at %s\n", args.positional[0].c_str());
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  if (args.positional.size() < 3 || args.positional.size() > 4) {
+    return BadArgs(*FindSubcommand("simulate"));
+  }
+  const std::string& path = args.positional[0];
+  const std::string& kind = args.positional[1];
+  const std::string& camera = args.positional[2];
+  int frames = 0;
+  if (args.positional.size() == 4) {
+    int64_t v = 0;
+    if (!ParseInt64(args.positional[3], &v) || v <= 0) {
+      return BadArgs(*FindSubcommand("simulate"));
+    }
+    frames = static_cast<int>(v);
+  }
+
   Result<std::unique_ptr<VideoDb>> db = OpenDb(path, true);
   if (!db.ok()) return Fail(db.status());
 
@@ -74,7 +171,7 @@ int CmdSimulate(const std::string& path, const std::string& kind,
     if (frames > 0) options.total_frames = frames;
     scenario = MakeIntersectionScenario(options);
   } else {
-    return Usage();
+    return BadArgs(*FindSubcommand("simulate"));
   }
 
   TrafficWorld world(scenario);
@@ -86,22 +183,23 @@ int CmdSimulate(const std::string& path, const std::string& kind,
   info.scenario = scenario.name;
   Result<int> id = db.value()->IngestClip(info, gt.tracks, gt.incidents);
   if (!id.ok()) return Fail(id.status());
-  std::printf("ingested clip %d: %s scenario, %d frames, %zu tracks, "
-              "%zu incidents\n",
-              id.value(), scenario.name.c_str(), scenario.total_frames,
-              gt.tracks.size(), gt.incidents.size());
+  std::printf(
+      "ingested clip %d: %s scenario, %d frames, %zu tracks, %zu incidents\n",
+      id.value(), scenario.name.c_str(), scenario.total_frames,
+      gt.tracks.size(), gt.incidents.size());
   return 0;
 }
 
-int CmdList(const std::string& path) {
-  Result<std::unique_ptr<VideoDb>> db = OpenDb(path, false);
+int CmdList(const Args& args) {
+  if (args.positional.size() != 1) return BadArgs(*FindSubcommand("list"));
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(args.positional[0], false);
   if (!db.ok()) return Fail(db.status());
   std::printf("%zu clip(s):\n", db.value()->clip_count());
   for (const ClipInfo& info : db.value()->ListClips()) {
-    std::printf("  clip %-3d camera=%-16s location=%-14s frames=%-6d "
-                "scenario=%s\n",
-                info.clip_id, info.camera_id.c_str(), info.location.c_str(),
-                info.total_frames, info.scenario.c_str());
+    std::printf(
+        "  clip %-3d camera=%-16s location=%-14s frames=%-6d scenario=%s\n",
+        info.clip_id, info.camera_id.c_str(), info.location.c_str(),
+        info.total_frames, info.scenario.c_str());
   }
   std::printf("cameras:\n");
   for (const std::string& cam : db.value()->Cameras()) {
@@ -111,12 +209,35 @@ int CmdList(const std::string& path) {
   return 0;
 }
 
-int CmdQuery(const std::string& path, const std::string& camera, int rounds) {
+int CmdQuery(const Args& args) {
+  if (args.positional.size() < 2 || args.positional.size() > 3) {
+    return BadArgs(*FindSubcommand("query"));
+  }
+  const std::string& path = args.positional[0];
+  const std::string& camera = args.positional[1];
+  int rounds = 3;
+  if (args.positional.size() == 3) {
+    int64_t v = 0;
+    if (!ParseInt64(args.positional[2], &v)) {
+      return BadArgs(*FindSubcommand("query"));
+    }
+    rounds = static_cast<int>(v);
+  }
+
   Result<std::unique_ptr<VideoDb>> db = OpenDb(path, false);
   if (!db.ok()) return Fail(db.status());
 
-  QueryEngine engine(db.value().get());
   QueryOptions query;
+  if (const std::string* engine_name = args.Flag("engine")) {
+    if (!EngineRegistered(*engine_name)) {
+      return Fail(Status::InvalidArgument(
+          "unknown engine '" + *engine_name + "' (registered: " +
+          Join(RegisteredEngineNames(), ", ") + ")"));
+    }
+    query.session.engine = *engine_name;
+  }
+
+  QueryEngine engine(db.value().get());
   Result<CameraCorpus> corpus = engine.BuildCorpus(camera, query);
   if (!corpus.ok()) return Fail(corpus.status());
   Result<RetrievalSession> session = engine.StartSession(camera, query);
@@ -127,19 +248,21 @@ int CmdQuery(const std::string& path, const std::string& camera, int rounds) {
     (void)id;
     relevant += label == BagLabel::kRelevant ? 1 : 0;
   }
-  std::printf("accident query on %s: %zu windows, %zu relevant\n",
-              camera.c_str(), corpus->dataset.size(), relevant);
+  std::printf("accident query on %s (engine=%s): %zu windows, %zu relevant\n",
+              camera.c_str(), std::string(session->engine().name()).c_str(),
+              corpus->dataset.size(), relevant);
 
+  const std::string engine_label(session->engine().name());
   for (int round = 0; round <= rounds; ++round) {
     const auto top = session->TopBags();
     const double acc = AccuracyAtN(top, corpus->truth, query.session.top_n);
     std::printf("round %d (%s): accuracy@%zu = %.0f%%  [", round,
-                session->engine().trained() ? "one-class SVM" : "heuristic",
+                session->engine().trained() ? engine_label.c_str()
+                                            : "heuristic",
                 query.session.top_n, 100 * acc);
     for (size_t i = 0; i < top.size() && i < 10; ++i) {
       const auto& ref = corpus->bag_refs.at(top[i]);
-      std::printf("%sclip%d@%d%s", i ? " " : "", ref.clip_id,
-                  ref.begin_frame,
+      std::printf("%sclip%d@%d%s", i ? " " : "", ref.clip_id, ref.begin_frame,
                   corpus->truth.at(top[i]) == BagLabel::kRelevant ? "*" : "");
     }
     std::printf("%s]\n", top.size() > 10 ? " ..." : "");
@@ -149,16 +272,21 @@ int CmdQuery(const std::string& path, const std::string& camera, int rounds) {
     const Status s = session->SubmitFeedback(feedback);
     if (!s.ok()) return Fail(s);
   }
-  if (session->engine().model() != nullptr) {
+
+  // Only the paper's one-class-SVM engine produces a reusable query model.
+  const auto* milrf =
+      dynamic_cast<const MilRfEngine*>(&session->engine());
+  if (milrf != nullptr && milrf->model() != nullptr) {
     const std::string name = "accidents_" + camera;
-    const Status s = db.value()->SaveModel(name, *session->engine().model());
+    const Status s = db.value()->SaveModel(name, *milrf->model());
     if (s.ok()) std::printf("saved query model '%s'\n", name.c_str());
   }
   return 0;
 }
 
-int CmdModels(const std::string& path) {
-  Result<std::unique_ptr<VideoDb>> db = OpenDb(path, false);
+int CmdModels(const Args& args) {
+  if (args.positional.size() != 1) return BadArgs(*FindSubcommand("models"));
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(args.positional[0], false);
   if (!db.ok()) return Fail(db.status());
   for (const std::string& name : db.value()->ListModels()) {
     Result<OneClassSvmModel> model = db.value()->LoadModel(name);
@@ -168,6 +296,125 @@ int CmdModels(const std::string& path) {
     }
   }
   return 0;
+}
+
+int CmdEngines(const Args&) {
+  for (const EngineRegistryEntry& entry : EngineRegistry()) {
+    std::printf("  %-10s %s\n", entry.name, entry.description);
+  }
+  return 0;
+}
+
+int CmdSessions(const Args& args) {
+  if (args.positional.size() != 1) return BadArgs(*FindSubcommand("sessions"));
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(args.positional[0], false);
+  if (!db.ok()) return Fail(db.status());
+  for (const std::string& name : db.value()->ListSessions()) {
+    Result<SessionState> state = db.value()->LoadSession(name);
+    if (state.ok()) {
+      std::printf("  %-24s camera=%-16s engine=%-8s round=%d labels=%zu\n",
+                  name.c_str(), state->camera_id.c_str(),
+                  state->engine.c_str(), state->round, state->labels.size());
+    } else {
+      std::printf("  %-24s (unreadable: %s)\n", name.c_str(),
+                  state.status().ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+volatile std::sig_atomic_t g_signal = 0;
+void OnSignal(int) { g_signal = 1; }
+
+int CmdServe(const Args& args) {
+  if (args.positional.size() != 2) return BadArgs(*FindSubcommand("serve"));
+  Result<std::unique_ptr<VideoDb>> db = OpenDb(args.positional[0], false);
+  if (!db.ok()) return Fail(db.status());
+
+  ServeOptions options;
+  options.socket_path = args.positional[1];
+  if (const std::string* engine_name = args.Flag("engine")) {
+    if (!EngineRegistered(*engine_name)) {
+      return Fail(Status::InvalidArgument(
+          "unknown engine '" + *engine_name + "' (registered: " +
+          Join(RegisteredEngineNames(), ", ") + ")"));
+    }
+    options.default_engine = *engine_name;
+  }
+  int64_t v = 0;
+  if (!args.FlagInt("max-pending", &v)) return BadArgs(*FindSubcommand("serve"));
+  if (v > 0) options.max_pending = static_cast<size_t>(v);
+  v = 0;
+  if (!args.FlagInt("max-sessions", &v)) {
+    return BadArgs(*FindSubcommand("serve"));
+  }
+  if (v > 0) options.max_sessions = static_cast<size_t>(v);
+  v = 0;
+  if (!args.FlagInt("idle-timeout-ms", &v)) {
+    return BadArgs(*FindSubcommand("serve"));
+  }
+  if (v > 0) options.idle_timeout_ms = v;
+  v = 0;
+  if (!args.FlagInt("top", &v)) return BadArgs(*FindSubcommand("serve"));
+  if (v > 0) options.top_n = static_cast<size_t>(v);
+
+  RetrievalServer server(db.value().get(), options);
+  const Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("mivid_serve on %s (engine=%s, max_pending=%zu, "
+              "max_sessions=%zu)\n",
+              options.socket_path.c_str(), options.default_engine.c_str(),
+              options.max_pending, options.max_sessions);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_signal == 0 && !server.WaitForShutdownFor(200)) {
+  }
+  std::printf("mivid_serve: shutting down (%s)\n",
+              g_signal != 0 ? "signal" : "shutdown command");
+  server.Stop();
+  return 0;
+}
+
+const std::vector<Subcommand>& Subcommands() {
+  static const std::vector<Subcommand> kCommands = {
+      {"init", "<db>", "create an empty database", "", CmdInit},
+      {"simulate", "<db> <tunnel|intersection> <camera-id> [frames]",
+       "simulate a traffic scenario and ingest it as a clip",
+       "  tunnel        straight road, stalled-vehicle incidents\n"
+       "  intersection  crossing roads, accident incidents\n",
+       CmdSimulate},
+      {"list", "<db>", "show catalog and cameras", "", CmdList},
+      {"query", "<db> <camera-id> [rounds] [--engine=<name>]",
+       "run an accident query with oracle feedback",
+       "  --engine=<name>  retrieval engine for the session\n"
+       "                   (see 'mivid_cli engines'; default milrf)\n",
+       CmdQuery},
+      {"models", "<db>", "list saved query models", "", CmdModels},
+      {"sessions", "<db>", "list journaled retrieval sessions", "",
+       CmdSessions},
+      {"engines", "", "list registered retrieval engines", "", CmdEngines},
+      {"serve", "<db> <socket-path> [flags]",
+       "host the retrieval daemon on a Unix socket",
+       "  --engine=<name>       default engine for new sessions (milrf)\n"
+       "  --max-pending=N       in-flight request bound before\n"
+       "                        RESOURCE_EXHAUSTED backpressure (64)\n"
+       "  --max-sessions=N      live session bound (64)\n"
+       "  --idle-timeout-ms=N   journal + evict idle sessions (off)\n"
+       "  --top=N               results per round (20)\n"
+       "  stops on SIGINT/SIGTERM or a {\"cmd\":\"shutdown\"} request;\n"
+       "  sessions are journaled to the database either way\n",
+       CmdServe},
+  };
+  return kCommands;
+}
+
+const Subcommand* FindSubcommand(std::string_view name) {
+  for (const Subcommand& cmd : Subcommands()) {
+    if (name == cmd.name) return &cmd;
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -182,8 +429,8 @@ int main(int argc, char** argv) {
 
   // Global flag: --threads N caps the worker pool (overrides the
   // MIVID_THREADS environment variable; 1 forces the serial path).
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
+  std::vector<std::string> words;
+  for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       int64_t v = 0;
       if (!ParseInt64(argv[i] + 10, &v) || v < 1) return Usage();
@@ -199,48 +446,38 @@ int main(int argc, char** argv) {
       ++i;
       continue;
     }
-    args.push_back(argv[i]);
+    words.emplace_back(argv[i]);
   }
-  argc = static_cast<int>(args.size());
-  argv = args.data();
 
-  if (argc < 3) return Usage();
-  const std::string cmd = argv[1];
-  const std::string db_path = argv[2];
+  if (words.empty()) return Usage();
+  if (words[0] == "help" || words[0] == "--help" || words[0] == "-h") {
+    if (words.size() >= 2) {
+      const Subcommand* cmd = FindSubcommand(words[1]);
+      if (cmd != nullptr) return PrintCommandHelp(*cmd);
+    }
+    Usage();
+    return 0;
+  }
+  const Subcommand* cmd = FindSubcommand(words[0]);
+  if (cmd == nullptr) {
+    std::fprintf(stderr, "unknown command '%s'\n", words[0].c_str());
+    return Usage();
+  }
+
+  const Args args = ParseArgs(
+      std::vector<std::string>(words.begin() + 1, words.end()),
+      {"engine", "max-pending", "max-sessions", "idle-timeout-ms", "top"});
+  if (args.help) return PrintCommandHelp(*cmd);
 
   // Dispatch, then flush the requested observability outputs regardless
   // of which command ran (but not on usage errors).
-  int rc = -1;
-  if (cmd == "init") {
-    rc = CmdInit(db_path);
-  } else if (cmd == "simulate" && argc >= 5) {
-    int frames = 0;
-    if (argc >= 6) {
-      int64_t v = 0;
-      if (!ParseInt64(argv[5], &v) || v <= 0) return Usage();
-      frames = static_cast<int>(v);
-    }
-    rc = CmdSimulate(db_path, argv[3], argv[4], frames);
-  } else if (cmd == "list") {
-    rc = CmdList(db_path);
-  } else if (cmd == "query" && argc >= 4) {
-    int rounds = 3;
-    if (argc >= 5) {
-      int64_t v = 0;
-      if (!ParseInt64(argv[4], &v)) return Usage();
-      rounds = static_cast<int>(v);
-    }
-    rc = CmdQuery(db_path, argv[3], rounds);
-  } else if (cmd == "models") {
-    rc = CmdModels(db_path);
-  } else {
-    return Usage();
-  }
+  const int rc = cmd->run(args);
+  if (rc == 2) return rc;
 
   const Status obs_status = WriteObsOutputs(obs.value());
   if (!obs_status.ok()) {
     std::fprintf(stderr, "error: %s\n", obs_status.ToString().c_str());
-    if (rc == 0) rc = 1;
+    return rc == 0 ? 1 : rc;
   }
   return rc;
 }

@@ -1,0 +1,75 @@
+// mivid_client: command-line client for the mivid_serve daemon.
+//
+//   mivid_client <socket> <json-request>   send one request, print the
+//                                          response line
+//   mivid_client <socket>                  read request lines from stdin,
+//                                          print one response line each
+//                                          (scripted conversations)
+//
+// Exit status is 0 only when every response was {"ok":true,...}, so
+// shell scripts (and the CI smoke test) can assert on whole
+// conversations.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "serve/client.h"
+
+using namespace mivid;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mivid_client <socket-path> [json-request]\n"
+               "  with no request argument, reads one request per line "
+               "from stdin\n");
+  return 2;
+}
+
+/// Sends one line; prints the response. Returns 0/1 for ok/error
+/// responses, 3 on transport failure.
+int RoundTrip(ServeClient& client, const std::string& line) {
+  Result<std::string> response = client.Call(line);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    return 3;
+  }
+  std::printf("%s\n", response.value().c_str());
+  std::fflush(stdout);
+  Result<JsonValue> doc = ParseJson(response.value());
+  if (doc.ok()) {
+    const JsonValue* ok = doc.value().Find("ok");
+    if (ok != nullptr && ok->type == JsonValue::Type::kBool &&
+        ok->bool_value) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return Usage();
+
+  Result<ServeClient> client = ServeClient::Connect(argv[1]);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
+    return 3;
+  }
+
+  if (argc == 3) return RoundTrip(client.value(), argv[2]);
+
+  int rc = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (Trim(line).empty()) continue;
+    const int one = RoundTrip(client.value(), line);
+    if (one == 3) return 3;  // daemon gone: no point reading further
+    if (one != 0) rc = 1;
+  }
+  return rc;
+}

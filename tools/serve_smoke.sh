@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the mivid_serve daemon, run by CI.
+#
+# Boots the daemon over a freshly simulated two-camera database, drives a
+# scripted mivid_client conversation (open -> rank -> feedback rounds ->
+# stats), validates that every response is ok:true JSON and that the
+# serve metrics are exported, then SIGKILLs the daemon mid-session and
+# restarts it to verify journal-based resume: the ranking after restart
+# must be byte-identical to the ranking before the kill.
+#
+# usage: tools/serve_smoke.sh <build-dir> [work-dir]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: serve_smoke.sh <build-dir> [work-dir]}
+WORK_DIR=${2:-$(mktemp -d)}
+CLI="$BUILD_DIR/tools/mivid_cli"
+CLIENT="$BUILD_DIR/tools/mivid_client"
+CHECK="$BUILD_DIR/tools/check_obs_outputs"
+DB="$WORK_DIR/smokedb"
+SOCK="$WORK_DIR/serve.sock"
+SERVE_PID=""
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  fail "daemon did not create $SOCK"
+}
+
+start_daemon() {
+  "$CLI" --metrics-json "$WORK_DIR/serve_metrics.json" \
+         --trace "$WORK_DIR/serve_trace.json" \
+         serve "$DB" "$SOCK" --max-pending=8 --max-sessions=8 \
+    >"$WORK_DIR/serve.log" 2>&1 &
+  SERVE_PID=$!
+  wait_for_socket
+}
+
+echo "== build database =="
+rm -rf "$DB" "$SOCK"
+"$CLI" init "$DB"
+"$CLI" simulate "$DB" intersection cam0 400
+"$CLI" simulate "$DB" tunnel cam1 400
+
+echo "== boot daemon =="
+start_daemon
+
+echo "== scripted conversation =="
+# mivid_client exits non-zero unless every response is {"ok":true,...}.
+"$CLIENT" "$SOCK" <<'EOF' >"$WORK_DIR/conv1.out"
+{"cmd":"open","session":"smoke","camera":"cam0"}
+{"cmd":"rank","session":"smoke","top":10}
+{"cmd":"feedback","session":"smoke","labels":[{"bag":0,"label":"relevant"},{"bag":3,"label":"irrelevant"}]}
+{"cmd":"open","session":"smoke2","camera":"cam1","engine":"weighted"}
+{"cmd":"rank","session":"smoke2","top":5}
+{"cmd":"stats"}
+EOF
+grep -q '"corpus_cache_misses":2' "$WORK_DIR/conv1.out" \
+  || fail "expected two corpus loads in stats: $(tail -1 "$WORK_DIR/conv1.out")"
+
+# The post-feedback ranking we must reproduce after the crash.
+"$CLIENT" "$SOCK" '{"cmd":"rank","session":"smoke","top":-1}' \
+  >"$WORK_DIR/rank_before.json"
+
+echo "== kill daemon mid-session (no graceful shutdown) =="
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+rm -f "$SOCK"
+
+echo "== restart and resume =="
+start_daemon
+"$CLIENT" "$SOCK" '{"cmd":"open","session":"smoke"}' >"$WORK_DIR/reopen.json"
+grep -q '"resumed":true' "$WORK_DIR/reopen.json" \
+  || fail "session did not resume from journal: $(cat "$WORK_DIR/reopen.json")"
+"$CLIENT" "$SOCK" '{"cmd":"rank","session":"smoke","top":-1}' \
+  >"$WORK_DIR/rank_after.json"
+cmp "$WORK_DIR/rank_before.json" "$WORK_DIR/rank_after.json" \
+  || fail "ranking after resume differs from ranking before the kill"
+
+echo "== graceful shutdown + metrics export =="
+"$CLIENT" "$SOCK" '{"cmd":"shutdown"}' >/dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+[ -s "$WORK_DIR/serve_metrics.json" ] || fail "daemon wrote no metrics export"
+"$CHECK" "$WORK_DIR/serve_metrics.json" "$WORK_DIR/serve_trace.json"
+for metric in 'serve/requests' 'serve/request_seconds' \
+              'serve/corpus_cache_misses' 'serve/sessions_resumed' \
+              'serve/journal_writes'; do
+  grep -q "\"$metric\"" "$WORK_DIR/serve_metrics.json" \
+    || fail "metrics export is missing $metric"
+done
+
+echo "PASS: serve smoke ($WORK_DIR)"
