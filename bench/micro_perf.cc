@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "db/feature_store.h"
 #include "eval/experiment.h"
+#include "linalg/simd.h"
 #include "retrieval/mil_rf_engine.h"
 #include "segment/segmenter.h"
 #include "svm/one_class_svm.h"
@@ -68,6 +69,34 @@ void BM_GramMatrix(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GramMatrix)->Arg(64)->Arg(256)->Arg(1024);
+
+/// The hot inner primitive on its own: one RBF kernel row (squared
+/// distances via the expanded form, then the deterministic exp) against
+/// n packed points, under the active dispatch tier.
+void BM_RbfKernelRow(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 9;
+  const auto points = RandomPoints(n, dim, 29);
+  std::vector<const Vec*> ptrs;
+  for (const auto& p : points) ptrs.push_back(&p);
+  const PackedFeatureMatrix packed =
+      PackedFeatureMatrix::FromPoints(ptrs, dim);
+  const Vec& query = points[0];
+  const double query_norm = Dot(query, query);
+  const double gamma = 1.0 / (2.0 * 0.5 * 0.5);
+  std::vector<double> d2(n), row(n);
+  const SimdOpsTable& ops = SimdOps();
+  for (auto _ : state) {
+    ops.expanded_d2_row(query.data(), query_norm, dim, packed.data(),
+                        packed.stride(), packed.squared_norms(), n,
+                        d2.data());
+    ops.rbf_from_d2_row(gamma, d2.data(), n, row.data());
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(SimdTierName(ActiveSimdTier()));
+}
+BENCHMARK(BM_RbfKernelRow)->Arg(256)->Arg(4096);
 
 // --- Threaded variants: range(0) = problem size, range(1) = threads. ---
 // Thread count 1 exercises the serial fallback; larger counts exercise
@@ -319,4 +348,21 @@ BENCHMARK(BM_EndToEndPipelineThreads)
 }  // namespace
 }  // namespace mivid
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Stamp the report with whether THIS binary (not the benchmark
+  // library, whose own build type is out of our hands) was compiled
+  // optimized; bench/run_micro_bench.sh refuses to record numbers
+  // without the "optimized" stamp.
+#if defined(__OPTIMIZE__) && defined(NDEBUG)
+  benchmark::AddCustomContext("mivid_build", "optimized");
+#else
+  benchmark::AddCustomContext("mivid_build", "unoptimized");
+#endif
+  benchmark::AddCustomContext(
+      "mivid_simd", mivid::SimdTierName(mivid::ActiveSimdTier()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

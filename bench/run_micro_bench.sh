@@ -5,6 +5,14 @@
 # SMO iterations and support-vector counts), so the JSON tracks retrieval
 # quality next to wall time.
 #
+# The script builds micro_perf with CMAKE_BUILD_TYPE=Release when it is
+# missing, and refuses to record numbers unless the binary stamps itself
+# "optimized" (the mivid_build custom context, set from __OPTIMIZE__ +
+# NDEBUG at compile time). Note google-benchmark's own library_build_type
+# context reports how libbenchmark was built, which a distro debug
+# package makes "debug" even for fully optimized mivid code — that field
+# is NOT the gate.
+#
 # Usage: bench/run_micro_bench.sh [build-dir] [out-file] [benchmark-filter]
 #   build-dir  defaults to ./build
 #   out-file   defaults to ./BENCH_micro.json
@@ -17,8 +25,9 @@ FILTER="${3:-.}"
 
 BIN="${BUILD_DIR}/bench/micro_perf"
 if [[ ! -x "${BIN}" ]]; then
-  echo "error: ${BIN} not built; run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j --target micro_perf" >&2
-  exit 1
+  echo "building ${BIN} (Release)" >&2
+  cmake -S . -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${BUILD_DIR}" -j --target micro_perf
 fi
 
 "${BIN}" \
@@ -26,4 +35,12 @@ fi
   --benchmark_format=json \
   --benchmark_out="${OUT_FILE}" \
   --benchmark_out_format=json
+
+if ! grep -q '"mivid_build": "optimized"' "${OUT_FILE}"; then
+  echo "error: ${BIN} was compiled without optimization; numbers in" \
+       "${OUT_FILE} are not comparable. Reconfigure the build dir with" \
+       "-DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo) and rerun." >&2
+  rm -f "${OUT_FILE}"
+  exit 1
+fi
 echo "wrote ${OUT_FILE}"

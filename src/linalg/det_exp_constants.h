@@ -1,0 +1,45 @@
+// Shared constants of the deterministic exponential (see simd.h).
+//
+// DetExp(x) = 2^k * P(r) with k = floor(x * log2(e) + 1/2) and
+// r = (x - k*C1) - k*C2 (Cody-Waite two-part ln 2), where P is the
+// degree-13 Taylor polynomial of e^r evaluated by Horner with plain
+// mul-then-add. |r| <= ln(2)/2, so the truncation error is ~4e-18
+// relative — below one double ulp. Both the scalar and the AVX2 tier
+// execute exactly this op sequence per element; neither may use FMA.
+//
+// Inputs are clamped to [-708, 708] so the exact 2^k bit-shift scaling
+// never produces a subnormal exponent field.
+
+#ifndef MIVID_LINALG_DET_EXP_CONSTANTS_H_
+#define MIVID_LINALG_DET_EXP_CONSTANTS_H_
+
+namespace mivid {
+namespace det_exp {
+
+constexpr double kClamp = 708.0;
+constexpr double kLog2e = 1.4426950408889634074;      // log2(e)
+constexpr double kLn2Hi = 6.93145751953125e-1;        // ln 2, high bits
+constexpr double kLn2Lo = 1.42860682030941723212e-6;  // ln 2, low bits
+
+// Taylor coefficients 1/n! for n = 13 .. 0 (Horner order).
+constexpr double kPoly[14] = {
+    1.0 / 6227020800.0,  // 1/13!
+    1.0 / 479001600.0,   // 1/12!
+    1.0 / 39916800.0,    // 1/11!
+    1.0 / 3628800.0,     // 1/10!
+    1.0 / 362880.0,      // 1/9!
+    1.0 / 40320.0,       // 1/8!
+    1.0 / 5040.0,        // 1/7!
+    1.0 / 720.0,         // 1/6!
+    1.0 / 120.0,         // 1/5!
+    1.0 / 24.0,          // 1/4!
+    1.0 / 6.0,           // 1/3!
+    0.5,                 // 1/2!
+    1.0,                 // 1/1!
+    1.0,                 // 1/0!
+};
+
+}  // namespace det_exp
+}  // namespace mivid
+
+#endif  // MIVID_LINALG_DET_EXP_CONSTANTS_H_

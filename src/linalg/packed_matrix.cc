@@ -1,0 +1,75 @@
+#include "linalg/packed_matrix.h"
+
+#include <cassert>
+
+namespace mivid {
+namespace {
+
+// Norms in the same serial k-order as Dot(p, p) so packed and AoS paths
+// produce identical bits.
+std::shared_ptr<const std::vector<double>> NormsFromSoa(const double* data,
+                                                        size_t n, size_t dim,
+                                                        size_t stride) {
+  auto norms = std::make_shared<std::vector<double>>(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (size_t k = 0; k < dim; ++k) {
+      const double v = data[k * stride + j];
+      acc += v * v;
+    }
+    (*norms)[j] = acc;
+  }
+  return norms;
+}
+
+}  // namespace
+
+PackedFeatureMatrix PackedFeatureMatrix::FromPoints(
+    const std::vector<const Vec*>& points, size_t dim) {
+  PackedFeatureMatrix m;
+  m.n_ = points.size();
+  m.dim_ = dim;
+  m.stride_ = StrideFor(m.n_);
+  auto store = std::make_shared<std::vector<double>>(dim * m.stride_, 0.0);
+  double* x = store->data();
+  for (size_t j = 0; j < points.size(); ++j) {
+    const Vec& p = *points[j];
+    assert(p.size() == dim);
+    for (size_t k = 0; k < dim; ++k) x[k * m.stride_ + j] = p[k];
+  }
+  m.data_ = x;
+  m.keepalive_ = store;
+  m.norms_ = NormsFromSoa(m.data_, m.n_, m.dim_, m.stride_);
+  return m;
+}
+
+PackedFeatureMatrix PackedFeatureMatrix::FromVecs(
+    const std::vector<Vec>& points) {
+  std::vector<const Vec*> ptrs;
+  ptrs.reserve(points.size());
+  for (const Vec& p : points) ptrs.push_back(&p);
+  const size_t dim = points.empty() ? 0 : points[0].size();
+  return FromPoints(ptrs, dim);
+}
+
+PackedFeatureMatrix PackedFeatureMatrix::View(
+    const double* data, size_t n, size_t dim, size_t stride,
+    std::shared_ptr<const void> keepalive) {
+  assert(stride >= n);
+  PackedFeatureMatrix m;
+  m.n_ = n;
+  m.dim_ = dim;
+  m.stride_ = stride;
+  m.data_ = data;
+  m.keepalive_ = std::move(keepalive);
+  m.norms_ = NormsFromSoa(data, n, dim, stride);
+  return m;
+}
+
+void PackedFeatureMatrix::CopyPoint(size_t j, Vec* out) const {
+  assert(j < n_);
+  out->resize(dim_);
+  for (size_t k = 0; k < dim_; ++k) (*out)[k] = data_[k * stride_ + j];
+}
+
+}  // namespace mivid

@@ -1,0 +1,81 @@
+// Runtime tier resolution for the SIMD kernel table.
+
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mivid {
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(MIVID_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+SimdTier ResolveTier() {
+  const SimdTier best = CpuHasAvx2() ? SimdTier::kAvx2 : SimdTier::kScalar;
+  const char* env = std::getenv("MIVID_SIMD");
+  if (env == nullptr || env[0] == '\0') return best;
+  if (std::strcmp(env, "scalar") == 0) return SimdTier::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    if (best == SimdTier::kAvx2) return SimdTier::kAvx2;
+    std::fprintf(stderr,
+                 "mivid: MIVID_SIMD=avx2 requested but unavailable "
+                 "(build or CPU); using scalar\n");
+    return SimdTier::kScalar;
+  }
+  std::fprintf(stderr, "mivid: unknown MIVID_SIMD value '%s'; using %s\n", env,
+               SimdTierName(best));
+  return best;
+}
+
+// -1 = unresolved; otherwise a SimdTier value.
+std::atomic<int> g_tier{-1};
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdTier ActiveSimdTier() {
+  int t = g_tier.load(std::memory_order_acquire);
+  if (t < 0) {
+    t = static_cast<int>(ResolveTier());
+    g_tier.store(t, std::memory_order_release);
+  }
+  return static_cast<SimdTier>(t);
+}
+
+void SetSimdTier(int tier) {
+  if (tier < 0) {
+    g_tier.store(-1, std::memory_order_release);
+    return;
+  }
+  SimdTier want = static_cast<SimdTier>(tier);
+  if (want == SimdTier::kAvx2 && !Avx2Available()) want = SimdTier::kScalar;
+  g_tier.store(static_cast<int>(want), std::memory_order_release);
+}
+
+bool Avx2Available() { return CpuHasAvx2(); }
+
+const SimdOpsTable& SimdOps() {
+#if defined(MIVID_HAVE_AVX2)
+  if (ActiveSimdTier() == SimdTier::kAvx2) return simd_internal::kAvx2Ops;
+#endif
+  return simd_internal::kScalarOps;
+}
+
+}  // namespace mivid

@@ -4,7 +4,51 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.h"
+#include "linalg/simd.h"
+
 namespace mivid {
+
+namespace {
+
+/// BagToBagDistance over the packed corpus: one SIMD distance row per
+/// query instance instead of an instance-pair double loop. The min/max
+/// folds run in the same instance order as the Vec formula and
+/// direct_d2_row matches SquaredDistance bit-for-bit, so the result is
+/// identical. `scratch` must hold at least the larger bag's instance
+/// count.
+double PackedBagDistance(const MilBag& a, size_t a_begin, const MilBag& b,
+                         size_t b_begin, const PackedFeatureMatrix& feat,
+                         BagDistance distance, double* scratch) {
+  if (a.instances.empty() || b.instances.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const SimdOpsTable& ops = SimdOps();
+  auto directed_min = [&](const MilBag& from, const MilBag& to,
+                          size_t to_begin, bool take_max) {
+    double result = take_max ? 0.0 : 1e300;
+    const size_t to_count = to.instances.size();
+    for (const auto& x : from.instances) {
+      ops.direct_d2_row(x.features.data(), feat.dim(),
+                        feat.data() + to_begin, feat.stride(), to_count,
+                        scratch);
+      double nearest = 1e300;
+      for (size_t y = 0; y < to_count; ++y) {
+        nearest = std::min(nearest, scratch[y]);
+      }
+      result = take_max ? std::max(result, nearest)
+                        : std::min(result, nearest);
+    }
+    return result;
+  };
+  if (distance == BagDistance::kMinimalHausdorff) {
+    return std::sqrt(directed_min(a, b, b_begin, /*take_max=*/false));
+  }
+  return std::sqrt(std::max(directed_min(a, b, b_begin, /*take_max=*/true),
+                            directed_min(b, a, a_begin, /*take_max=*/true)));
+}
+
+}  // namespace
 
 double BagToBagDistance(const MilBag& a, const MilBag& b,
                         BagDistance distance) {
@@ -68,10 +112,33 @@ std::vector<ScoredBag> CitationKnnEngine::Rank() const {
   const size_t n = dataset_->size();
   const size_t m = labeled_.size();
   std::vector<std::vector<double>> dist(n, std::vector<double>(m));
-  for (size_t q = 0; q < n; ++q) {
-    for (size_t l = 0; l < m; ++l) {
-      dist[q][l] = BagToBagDistance(dataset_->bag(q), *labeled_[l],
-                                    options_.distance);
+  const auto packed = dataset_->EnsurePacked();
+  if (packed->valid) {
+    // Labeled bags point into the dataset, so their packed slice is found
+    // by index; rows of the matrix are independent.
+    const MilBag* base = dataset_->bags().data();
+    size_t max_count = 0;
+    for (const auto& bag : dataset_->bags()) {
+      max_count = std::max(max_count, bag.instances.size());
+    }
+    ParallelFor(n, /*grain=*/1, [&](size_t qb, size_t qe) {
+      std::vector<double> scratch(max_count);
+      for (size_t q = qb; q < qe; ++q) {
+        for (size_t l = 0; l < m; ++l) {
+          const size_t li = static_cast<size_t>(labeled_[l] - base);
+          dist[q][l] = PackedBagDistance(
+              dataset_->bag(q), packed->bag_begin[q], *labeled_[l],
+              packed->bag_begin[li], packed->features, options_.distance,
+              scratch.data());
+        }
+      }
+    });
+  } else {
+    for (size_t q = 0; q < n; ++q) {
+      for (size_t l = 0; l < m; ++l) {
+        dist[q][l] = BagToBagDistance(dataset_->bag(q), *labeled_[l],
+                                      options_.distance);
+      }
     }
   }
 

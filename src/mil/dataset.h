@@ -3,11 +3,13 @@
 #ifndef MIVID_MIL_DATASET_H_
 #define MIVID_MIL_DATASET_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "event/sliding_window.h"
 #include "mil/bag.h"
+#include "mil/packed_corpus.h"
 
 namespace mivid {
 
@@ -23,7 +25,10 @@ class MilDataset {
       const std::vector<VideoSequence>& windows, const FeatureScaler& scaler,
       bool include_velocity);
 
-  void AddBag(MilBag bag) { bags_.push_back(std::move(bag)); }
+  void AddBag(MilBag bag) {
+    bags_.push_back(std::move(bag));
+    packed_.reset();  // the cached SoA lowering no longer matches
+  }
 
   size_t size() const { return bags_.size(); }
   const MilBag& bag(size_t i) const { return bags_[i]; }
@@ -47,8 +52,27 @@ class MilDataset {
   /// Clears all feedback labels (start a fresh session on the corpus).
   void ResetLabels();
 
+  /// The SoA lowering of all instance features, built on first use and
+  /// cached until AddBag invalidates it. Datasets are copied per session
+  /// (the bags are identical), so copies share one packed corpus via the
+  /// shared_ptr. Returns a corpus with valid == false when instance
+  /// dimensions are mixed; callers then use the per-Vec paths.
+  std::shared_ptr<const PackedCorpus> EnsurePacked() const {
+    if (!packed_) packed_ = BuildPackedCorpus(bags_);
+    return packed_;
+  }
+
+  /// Installs a prebuilt packing (the zero-copy corpus loader). The
+  /// caller guarantees it matches `bags()` exactly.
+  void AdoptPacked(std::shared_ptr<const PackedCorpus> packed) {
+    packed_ = std::move(packed);
+  }
+
  private:
   std::vector<MilBag> bags_;
+  /// Mutable: lowering the bags is a cache fill, not an observable state
+  /// change; engines holding a `const MilDataset*` still need it.
+  mutable std::shared_ptr<const PackedCorpus> packed_;
 };
 
 }  // namespace mivid

@@ -3,15 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd.h"
+
 namespace mivid {
 
 namespace {
 
 constexpr double kEps = 1e-12;
 
-/// Gaussian instance likelihood P(t|x) = exp(-|x-t|^2 / s^2).
+/// Gaussian instance likelihood P(t|x) = exp(-gamma |x-t|^2) with
+/// gamma = 1/s^2. Phrased exactly like rbf_from_d2_row (multiply by the
+/// reciprocal, DetExp) so the packed row paths below and this pointwise
+/// form produce bit-identical likelihoods.
 double InstanceP(const Vec& x, const Vec& t, double scale) {
-  return std::exp(-SquaredDistance(x, t) / (scale * scale));
+  const double gamma = 1.0 / (scale * scale);
+  return DetExp(-(gamma * SquaredDistance(x, t)));
+}
+
+/// Likelihood row: P(t|x_j) for every instance of one packed-corpus bag.
+void InstancePRow(const Vec& t, double scale, const PackedFeatureMatrix& feat,
+                  size_t begin, size_t count, double* d2, double* p) {
+  const SimdOpsTable& ops = SimdOps();
+  ops.direct_d2_row(t.data(), feat.dim(), feat.data() + begin, feat.stride(),
+                    count, d2);
+  ops.rbf_from_d2_row(1.0 / (scale * scale), d2, count, p);
 }
 
 }  // namespace
@@ -23,20 +38,40 @@ DiverseDensityEngine::DiverseDensityEngine(const MilDataset* dataset,
 double DiverseDensityEngine::LogDd(
     const Vec& t, const std::vector<const MilBag*>& positive,
     const std::vector<const MilBag*>& negative) const {
+  const auto packed = dataset_->EnsurePacked();
+  std::vector<double> d2, p;
+  const MilBag* base = dataset_->bags().data();
+  // Likelihoods per bag: one SIMD row when the corpus packs, the pointwise
+  // form otherwise; the log folds below see identical values either way.
+  auto likelihoods = [&](const MilBag* bag) -> const double* {
+    const size_t count = bag->instances.size();
+    d2.resize(count);
+    p.resize(count);
+    if (packed->valid) {
+      const size_t bi = static_cast<size_t>(bag - base);
+      InstancePRow(t, options_.scale, packed->features,
+                   packed->bag_begin[bi], count, d2.data(), p.data());
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        p[i] = InstanceP(bag->instances[i].features, t, options_.scale);
+      }
+    }
+    return p.data();
+  };
   double log_dd = 0.0;
   for (const MilBag* bag : positive) {
+    const double* ps = likelihoods(bag);
     double log_none = 0.0;  // log prod (1 - P_i)
-    for (const auto& inst : bag->instances) {
-      const double p = InstanceP(inst.features, t, options_.scale);
-      log_none += std::log(std::max(1.0 - p, kEps));
+    for (size_t i = 0; i < bag->instances.size(); ++i) {
+      log_none += std::log(std::max(1.0 - ps[i], kEps));
     }
     const double p_bag = 1.0 - std::exp(log_none);
     log_dd += std::log(std::max(p_bag, kEps));
   }
   for (const MilBag* bag : negative) {
-    for (const auto& inst : bag->instances) {
-      const double p = InstanceP(inst.features, t, options_.scale);
-      log_dd += std::log(std::max(1.0 - p, kEps));
+    const double* ps = likelihoods(bag);
+    for (size_t i = 0; i < bag->instances.size(); ++i) {
+      log_dd += std::log(std::max(1.0 - ps[i], kEps));
     }
   }
   return log_dd;
@@ -186,11 +221,23 @@ std::vector<ScoredBag> DiverseDensityEngine::Rank() const {
   std::vector<ScoredBag> ranking;
   if (!concept_) return ranking;
   ranking.reserve(dataset_->size());
-  for (const auto& bag : dataset_->bags()) {
+  const auto packed = dataset_->EnsurePacked();
+  std::vector<double> d2, p;
+  for (size_t b = 0; b < dataset_->size(); ++b) {
+    const MilBag& bag = dataset_->bag(b);
     double best = 0.0;
-    for (const auto& inst : bag.instances) {
-      best = std::max(best, InstanceP(inst.features, *concept_,
-                                      options_.scale));
+    if (packed->valid) {
+      const size_t count = bag.instances.size();
+      d2.resize(count);
+      p.resize(count);
+      InstancePRow(*concept_, options_.scale, packed->features,
+                   packed->bag_begin[b], count, d2.data(), p.data());
+      for (size_t i = 0; i < count; ++i) best = std::max(best, p[i]);
+    } else {
+      for (const auto& inst : bag.instances) {
+        best = std::max(best, InstanceP(inst.features, *concept_,
+                                        options_.scale));
+      }
     }
     ranking.push_back({bag.id, best});
   }

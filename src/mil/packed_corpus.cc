@@ -1,0 +1,31 @@
+#include "mil/packed_corpus.h"
+
+namespace mivid {
+
+std::shared_ptr<const PackedCorpus> BuildPackedCorpus(
+    const std::vector<MilBag>& bags) {
+  auto corpus = std::make_shared<PackedCorpus>();
+  corpus->bag_begin.assign(1, 0);
+  corpus->bag_begin.reserve(bags.size() + 1);
+  std::vector<const Vec*> instances;
+  size_t dim = 0;
+  bool uniform = true;
+  for (const auto& bag : bags) {
+    for (const auto& inst : bag.instances) {
+      if (instances.empty()) {
+        dim = inst.features.size();
+      } else if (inst.features.size() != dim) {
+        uniform = false;
+      }
+      instances.push_back(&inst.features);
+    }
+    corpus->bag_begin.push_back(instances.size());
+  }
+  if (uniform) {
+    corpus->features = PackedFeatureMatrix::FromPoints(instances, dim);
+    corpus->valid = true;
+  }
+  return corpus;
+}
+
+}  // namespace mivid

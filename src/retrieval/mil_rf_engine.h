@@ -85,6 +85,13 @@ class MilRfEngine : public RetrievalEngine {
   /// Ranks all bags by max-instance decision value (requires trained()).
   std::vector<ScoredBag> Rank() const override;
 
+  /// Exact top-k: identical to truncating Rank(), but bags whose
+  /// decision-value upper bound (partial kernel sum plus the remaining
+  /// coefficient mass) provably falls below the current k-th score stop
+  /// early. RBF only — the bound needs K <= 1; other kernels and
+  /// unpackable corpora fall back to the full ranking.
+  std::vector<ScoredBag> RankTopK(size_t k) const override;
+
   /// Decision value of a single bag under the current model.
   double BagScore(const MilBag& bag) const;
 

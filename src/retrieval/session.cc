@@ -56,6 +56,14 @@ std::vector<ScoredBag> RetrievalSession::CurrentRanking() const {
                           options_.mil.base_dim);
 }
 
+std::vector<ScoredBag> RetrievalSession::CurrentTopK(size_t k) const {
+  if (engine_->trained()) return engine_->RankTopK(k);
+  std::vector<ScoredBag> ranking = HeuristicRanking(
+      *dataset_, options_.query_model, options_.mil.base_dim);
+  if (k < ranking.size()) ranking.resize(k);
+  return ranking;
+}
+
 std::vector<int> RetrievalSession::TopBags() const {
   return TopIds(CurrentRanking(), options_.top_n);
 }

@@ -66,6 +66,11 @@ class RetrievalSession {
   /// engine once it has trained).
   std::vector<ScoredBag> CurrentRanking() const;
 
+  /// The first `k` entries of CurrentRanking() — same bags, scores, and
+  /// order — letting a trained engine early-terminate bags that provably
+  /// miss the top k (see RetrievalEngine::RankTopK).
+  std::vector<ScoredBag> CurrentTopK(size_t k) const;
+
   /// The top-n bag ids presented to the user this round.
   std::vector<int> TopBags() const;
 

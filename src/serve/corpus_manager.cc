@@ -1,8 +1,23 @@
 #include "serve/corpus_manager.h"
 
+#include "common/logging.h"
+#include "db/packed_corpus_io.h"
 #include "obs/metrics.h"
 
 namespace mivid {
+
+std::string CorpusManager::SnapshotPath(const std::string& camera_id) const {
+  if (snapshot_dir_.empty()) return "";
+  // Camera ids are file-name material only after sanitizing separators.
+  std::string name = camera_id;
+  for (char& c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                      c == '_';
+    if (!safe) c = '_';
+  }
+  return snapshot_dir_ + "/" + name + ".mivpack";
+}
 
 Result<std::shared_ptr<const CameraCorpus>> CorpusManager::Get(
     const std::string& camera_id) {
@@ -25,20 +40,45 @@ Result<std::shared_ptr<const CameraCorpus>> CorpusManager::Get(
   MIVID_METRIC_COUNT("serve/corpus_cache_misses", 1);
   lock.unlock();
 
-  Result<CameraCorpus> built = [&]() -> Result<CameraCorpus> {
-    MIVID_SCOPED_TIMER("serve/corpus_load_seconds");
-    QueryEngine engine(db_);
-    return engine.BuildCorpus(camera_id, query_);
-  }();
+  const std::string snapshot_path = SnapshotPath(camera_id);
+  std::shared_ptr<const CameraCorpus> corpus;
+  if (!snapshot_path.empty()) {
+    // Cold path, stage 1: serve the mmap'd snapshot when one matches.
+    Result<std::shared_ptr<const CameraCorpus>> restored =
+        ReadPackedCorpusFile(snapshot_path, query_);
+    if (restored.ok() && restored.value()->camera_id == camera_id) {
+      corpus = std::move(restored).value();
+      MIVID_METRIC_COUNT("serve/corpus_snapshot_hits", 1);
+    }
+  }
+
+  if (corpus == nullptr) {
+    Result<CameraCorpus> built = [&]() -> Result<CameraCorpus> {
+      MIVID_SCOPED_TIMER("serve/corpus_load_seconds");
+      QueryEngine engine(db_);
+      return engine.BuildCorpus(camera_id, query_);
+    }();
+    if (!built.ok()) {
+      lock.lock();
+      cache_.erase(camera_id);
+      loaded_.notify_all();
+      return built.status();
+    }
+    if (!snapshot_path.empty()) {
+      // Best effort: a failed snapshot write only costs the next start.
+      Status wrote =
+          WritePackedCorpusFile(built.value(), snapshot_path, query_);
+      if (wrote.ok()) {
+        MIVID_METRIC_COUNT("serve/corpus_snapshot_writes", 1);
+      } else {
+        MIVID_LOG(Warn) << "corpus snapshot write failed: "
+                           << wrote.ToString();
+      }
+    }
+    corpus = std::make_shared<const CameraCorpus>(std::move(built).value());
+  }
 
   lock.lock();
-  if (!built.ok()) {
-    cache_.erase(camera_id);
-    loaded_.notify_all();
-    return built.status();
-  }
-  auto corpus =
-      std::make_shared<const CameraCorpus>(std::move(built).value());
   cache_[camera_id].corpus = corpus;
   MIVID_METRIC_GAUGE_SET("serve/corpus_cached", cache_.size());
   loaded_.notify_all();

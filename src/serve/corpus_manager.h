@@ -30,8 +30,15 @@ class CorpusManager {
  public:
   /// `db` must outlive the manager. `query` fixes the extraction
   /// parameters for every cached corpus (one cache = one feature space).
-  CorpusManager(const VideoDb* db, QueryOptions query)
-      : db_(db), query_(std::move(query)) {}
+  /// A non-empty `snapshot_dir` enables on-disk packed-corpus snapshots
+  /// (db/packed_corpus_io.h): cold loads try the snapshot first — the
+  /// feature block is then mmap'd zero-copy instead of re-extracted —
+  /// and extraction results are written back for the next start.
+  CorpusManager(const VideoDb* db, QueryOptions query,
+                std::string snapshot_dir = "")
+      : db_(db),
+        query_(std::move(query)),
+        snapshot_dir_(std::move(snapshot_dir)) {}
 
   CorpusManager(const CorpusManager&) = delete;
   CorpusManager& operator=(const CorpusManager&) = delete;
@@ -62,8 +69,12 @@ class CorpusManager {
     std::shared_ptr<const CameraCorpus> corpus;
   };
 
+  /// Snapshot path for one camera (empty when snapshots are disabled).
+  std::string SnapshotPath(const std::string& camera_id) const;
+
   const VideoDb* db_;
   const QueryOptions query_;
+  const std::string snapshot_dir_;
   mutable std::mutex mu_;
   std::condition_variable loaded_;
   std::map<std::string, Slot> cache_;

@@ -43,7 +43,7 @@ struct AdmissionSlot {
 RetrievalServer::RetrievalServer(VideoDb* db, ServeOptions options)
     : db_(db),
       options_(std::move(options)),
-      corpora_(db, options_.query),
+      corpora_(db, options_.query, options_.corpus_snapshot_dir),
       sessions_(db, &corpora_,
                 SessionManagerOptions{options_.default_engine,
                                       options_.max_sessions,
@@ -149,17 +149,22 @@ std::string RetrievalServer::CmdRank(const ServeRequest& req) {
   ServeSession& s = *got.value();
   std::lock_guard<std::mutex> lock(s.mu);
 
-  const std::vector<ScoredBag> ranking = s.session->CurrentRanking();
-  size_t limit = ranking.size();
+  // Every ranking (engine or heuristic) covers the whole corpus, so the
+  // limit and the reported total are known before ranking; a finite limit
+  // then goes through the top-k path, which lets a trained engine skip
+  // bags that provably miss the cut.
+  const size_t total = s.session->dataset().bags().size();
+  size_t limit = total;
   if (req.top == 0) {
     limit = s.session->top_n();
   } else if (req.top > 0) {
     limit = static_cast<size_t>(req.top);
   }
-  limit = std::min(limit, ranking.size());
+  limit = std::min(limit, total);
+  const std::vector<ScoredBag> ranking = s.session->CurrentTopK(limit);
 
   std::string items = "[";
-  for (size_t i = 0; i < limit; ++i) {
+  for (size_t i = 0; i < limit && i < ranking.size(); ++i) {
     if (i > 0) items += ',';
     items += StrFormat("{\"bag\":%d,\"score\":%.17g}", ranking[i].bag_id,
                        ranking[i].score);
@@ -172,7 +177,7 @@ std::string RetrievalServer::CmdRank(const ServeRequest& req) {
       .Str("session", s.id)
       .Int("round", s.session->round())
       .Bool("trained", s.session->engine().trained())
-      .Int("total", static_cast<int64_t>(ranking.size()))
+      .Int("total", static_cast<int64_t>(total))
       .Raw("ranking", items);
   return std::move(out).Build();
 }

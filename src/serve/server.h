@@ -46,6 +46,8 @@ struct ServeOptions {
   int64_t idle_timeout_ms = 0;  ///< journal+evict idle sessions; 0 = never
   size_t top_n = 20;            ///< results per round
   QueryOptions query;           ///< corpus extraction parameters
+  std::string corpus_snapshot_dir;  ///< packed-corpus snapshot cache (see
+                                    ///< CorpusManager); "" disables it
 
   /// Test-only: runs after a request is admitted (slot held) and before
   /// it executes. Blocking here holds the slot, which lets tests fill the

@@ -1,9 +1,12 @@
 #include "svm/kernel.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "linalg/packed_matrix.h"
+#include "linalg/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -29,6 +32,42 @@ double IntPow(double x, int d) {
 /// the triangular work, fixed so the decomposition is thread-independent.
 constexpr size_t kGramRowGrain = 4;
 
+/// Copies the computed upper triangle into the lower one. The naive
+/// per-element mirror reads a full matrix column per row — a cache miss
+/// per element at large n — so copy in 32x32 tiles instead: each tile's
+/// source block is 8 KB of contiguous rows that stays resident while the
+/// transposed writes stream out. Runs after the triangle phase completes;
+/// chunks own whole destination row blocks, so writes never race and
+/// reads only touch phase-1 output.
+void MirrorLowerTriangle(size_t n, double* data) {
+  constexpr size_t kTile = 32;
+  const size_t blocks = (n + kTile - 1) / kTile;
+  ParallelFor(blocks, 1, [&](size_t bb, size_t be) {
+    for (size_t b = bb; b < be; ++b) {
+      const size_t i0 = b * kTile;
+      const size_t i1 = std::min(n, i0 + kTile);
+      for (size_t j0 = 0; j0 < i1; j0 += kTile) {
+        const size_t j1 = std::min(n, j0 + kTile);
+        for (size_t i = i0; i < i1; ++i) {
+          const size_t jend = std::min(j1, i);
+          for (size_t j = j0; j < jend; ++j) {
+            data[i * n + j] = data[j * n + i];
+          }
+        }
+      }
+    }
+  });
+}
+
+void RecordGramBuild(size_t n) {
+  MIVID_METRIC_COUNT("gram/builds", 1);
+  MIVID_METRIC_COUNT("gram/entries", n * n);
+  MIVID_METRIC_GAUGE_SET("simd/dispatch_tier",
+                         static_cast<double>(ActiveSimdTier()));
+  // Triangle cells actually streamed through the row kernels.
+  MIVID_METRIC_COUNT("simd/kernel_row_cells", n * (n + 1) / 2);
+}
+
 }  // namespace
 
 PreparedKernel::PreparedKernel(const KernelParams& params) : params_(params) {
@@ -40,7 +79,7 @@ PreparedKernel::PreparedKernel(const KernelParams& params) : params_(params) {
 double PreparedKernel::Eval(const Vec& u, const Vec& v) const {
   switch (params_.type) {
     case KernelType::kRbf:
-      return std::exp(-gamma_ * SquaredDistance(u, v));
+      return DetExp(-gamma_ * SquaredDistance(u, v));
     case KernelType::kLinear:
       return Dot(u, v);
     case KernelType::kPoly:
@@ -50,7 +89,20 @@ double PreparedKernel::Eval(const Vec& u, const Vec& v) const {
 }
 
 double PreparedKernel::EvalRbfFromSquaredDistance(double d2) const {
-  return std::exp(-gamma_ * d2);
+  return DetExp(-gamma_ * d2);
+}
+
+double PreparedKernel::EvalFromDot(double dot) const {
+  switch (params_.type) {
+    case KernelType::kRbf:
+      break;  // an RBF value is not a function of the dot product alone
+    case KernelType::kLinear:
+      return dot;
+    case KernelType::kPoly:
+      return IntPow(dot + params_.poly_c, params_.poly_degree);
+  }
+  assert(false && "EvalFromDot is only valid for dot-product kernels");
+  return 0.0;
 }
 
 double KernelEval(const KernelParams& params, const Vec& u, const Vec& v) {
@@ -73,64 +125,75 @@ std::vector<double> SquaredNorms(const std::vector<Vec>& points) {
   return norms;
 }
 
+// Both constructors build the upper triangle with the SIMD row kernels
+// (row i covers columns [i, n) — each row is owned by exactly one
+// ParallelFor chunk, so there are no concurrent writes), then mirror in a
+// second pass. The mirrored value is the bit the (j, i) computation would
+// have produced: the expanded d2 is symmetric because IEEE addition and
+// multiplication commute and both sides accumulate k in the same serial
+// order. The diagonal needs no special case: u_norm2 and the streamed dot
+// accumulate the same products in the same order, so d2(i,i) is exactly
+// 0.0 and the RBF row maps it to exactly 1.0.
 GramMatrix::GramMatrix(const KernelParams& params,
                        const std::vector<Vec>& points)
-    : n_(points.size()), data_(points.size() * points.size()) {
+    : n_(points.size()),
+      data_(new double[points.size() * points.size()]) {
   MIVID_TRACE_SPAN("svm/gram");
   MIVID_SCOPED_TIMER("gram/build_seconds");
-  MIVID_METRIC_COUNT("gram/builds", 1);
-  MIVID_METRIC_COUNT("gram/entries", n_ * n_);
+  RecordGramBuild(n_);
+  if (n_ == 0) return;
   const PreparedKernel kernel(params);
+  const PackedFeatureMatrix packed = PackedFeatureMatrix::FromVecs(points);
+  const size_t dim = packed.dim();
+  const size_t stride = packed.stride();
+  const double* norms = packed.squared_norms();
+  const SimdOpsTable& ops = SimdOps();
   if (params.type == KernelType::kRbf) {
-    // RBF fast path: K(i,j) = exp(-gamma (|u|^2 + |v|^2 - 2 u.v)) with the
-    // squared norms hoisted out of the O(n^2) pair loop.
-    const std::vector<double> norms = SquaredNorms(points);
+    const double gamma = kernel.gamma();
     ParallelFor(n_, kGramRowGrain, [&](size_t begin, size_t end) {
+      std::vector<double> d2(n_);
       for (size_t i = begin; i < end; ++i) {
-        data_[i * n_ + i] = 1.0;  // exp(0); the expansion is exactly 0 here
-        for (size_t j = i + 1; j < n_; ++j) {
-          const double d2 =
-              ExpandedSquaredDistance(points[i], norms[i], points[j], norms[j]);
-          const double k = kernel.EvalRbfFromSquaredDistance(d2);
-          data_[i * n_ + j] = k;
-          data_[j * n_ + i] = k;
-        }
+        const size_t count = n_ - i;
+        ops.expanded_d2_row(points[i].data(), norms[i], dim,
+                            packed.data() + i, stride, norms + i, count,
+                            d2.data());
+        ops.rbf_from_d2_row(gamma, d2.data(), count, &data_[i * n_ + i]);
       }
     });
-    return;
-  }
-  ParallelFor(n_, kGramRowGrain, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      for (size_t j = i; j < n_; ++j) {
-        const double k = kernel.Eval(points[i], points[j]);
-        data_[i * n_ + j] = k;
-        data_[j * n_ + i] = k;
+  } else {
+    ParallelFor(n_, kGramRowGrain, [&](size_t begin, size_t end) {
+      std::vector<double> dots(n_);
+      for (size_t i = begin; i < end; ++i) {
+        const size_t count = n_ - i;
+        ops.dot_row(points[i].data(), dim, packed.data() + i, stride, count,
+                    dots.data());
+        double* row = &data_[i * n_ + i];
+        for (size_t t = 0; t < count; ++t) row[t] = kernel.EvalFromDot(dots[t]);
       }
-    }
-  });
+    });
+  }
+  MirrorLowerTriangle(n_, data_.get());
 }
 
 GramMatrix::GramMatrix(const KernelParams& params,
                        const Matrix& squared_distances)
     : n_(squared_distances.rows()),
-      data_(squared_distances.rows() * squared_distances.rows()) {
+      data_(new double[squared_distances.rows() * squared_distances.rows()]) {
   MIVID_TRACE_SPAN("svm/gram");
   MIVID_SCOPED_TIMER("gram/build_seconds");
-  MIVID_METRIC_COUNT("gram/builds", 1);
-  MIVID_METRIC_COUNT("gram/entries", n_ * n_);
+  RecordGramBuild(n_);
   // A squared-distance matrix only determines the Gram for RBF kernels.
   assert(params.type == KernelType::kRbf);
   const PreparedKernel kernel(params);
+  const double gamma = kernel.gamma();
+  const SimdOpsTable& ops = SimdOps();
   ParallelFor(n_, kGramRowGrain, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      for (size_t j = i; j < n_; ++j) {
-        const double k =
-            kernel.EvalRbfFromSquaredDistance(squared_distances.At(i, j));
-        data_[i * n_ + j] = k;
-        data_[j * n_ + i] = k;
-      }
+      ops.rbf_from_d2_row(gamma, squared_distances.data() + i * n_ + i,
+                          n_ - i, &data_[i * n_ + i]);
     }
   });
+  MirrorLowerTriangle(n_, data_.get());
 }
 
 }  // namespace mivid

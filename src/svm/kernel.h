@@ -4,6 +4,7 @@
 #define MIVID_SVM_KERNEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -41,6 +42,10 @@ class PreparedKernel {
   /// RBF value from a precomputed squared distance; valid only for kRbf.
   double EvalRbfFromSquaredDistance(double d2) const;
 
+  /// K value from a precomputed dot product u.v; valid for kLinear/kPoly
+  /// (the dot-product kernels). Bit-identical to Eval given the same dot.
+  double EvalFromDot(double dot) const;
+
  private:
   KernelParams params_;
   double gamma_ = 0.0;  ///< 1/(2 sigma^2), RBF only
@@ -76,9 +81,15 @@ class GramMatrix {
   size_t size() const { return n_; }
   double At(size_t i, size_t j) const { return data_[i * n_ + j]; }
 
+  /// Contiguous row i (n() doubles) — the SMO axpy updates stream these.
+  const double* RowPtr(size_t i) const { return data_.get() + i * n_; }
+
  private:
   size_t n_;
-  std::vector<double> data_;
+  // Raw buffer, not a vector: every cell is written by construction
+  // (triangle pass + mirror), so the vector's n^2 zero-fill — ~8 MB of
+  // memset at n = 1024 — would be pure overhead on the training hot path.
+  std::unique_ptr<double[]> data_;
 };
 
 }  // namespace mivid

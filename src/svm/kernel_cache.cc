@@ -1,6 +1,10 @@
 #include "svm/kernel_cache.h"
 
+#include <algorithm>
+
 #include "common/thread_pool.h"
+#include "linalg/packed_matrix.h"
+#include "linalg/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -13,13 +17,33 @@ uint64_t PackId(InstanceKey key) {
          static_cast<uint32_t>(key.instance_id);
 }
 
+constexpr size_t kDirtyRowGrain = 4;
+
 }  // namespace
 
-uint32_t KernelCache::DenseIndex(InstanceKey key) {
+uint32_t KernelCache::RowFor(InstanceKey key) {
   const uint64_t packed = PackId(key);
   auto [it, inserted] =
-      dense_index_.emplace(packed, static_cast<uint32_t>(dense_index_.size()));
+      row_of_.emplace(packed, static_cast<uint32_t>(row_of_.size()));
+  if (inserted) {
+    ++rows_;
+    if (rows_ > cap_) Grow(rows_);
+  }
   return it->second;
+}
+
+void KernelCache::Grow(size_t min_rows) {
+  size_t new_cap = cap_ == 0 ? 64 : cap_ * 2;
+  while (new_cap < min_rows) new_cap *= 2;
+  std::vector<double> cache(new_cap * new_cap, 0.0);
+  std::vector<uint8_t> valid(new_cap * new_cap, 0);
+  for (size_t r = 0; r < cap_; ++r) {
+    std::copy_n(cache_.begin() + r * cap_, cap_, cache.begin() + r * new_cap);
+    std::copy_n(valid_.begin() + r * cap_, cap_, valid.begin() + r * new_cap);
+  }
+  cache_ = std::move(cache);
+  valid_ = std::move(valid);
+  cap_ = new_cap;
 }
 
 Matrix KernelCache::PairwiseSquaredDistances(
@@ -31,47 +55,80 @@ Matrix KernelCache::PairwiseSquaredDistances(
   const uint64_t hits_before = hits_;
   const uint64_t misses_before = misses_;
 
-  // Phase 1 (serial): resolve ids, serve cached pairs, list the misses.
-  std::vector<uint32_t> dense(n);
-  for (size_t i = 0; i < n; ++i) dense[i] = DenseIndex(ids[i]);
-  struct Missing {
-    size_t i, j;
-    uint64_t key;
-  };
-  std::vector<Missing> missing;
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      const uint64_t key = PairKey(dense[i], dense[j]);
-      const auto it = d2_.find(key);
-      if (it != d2_.end()) {
+  // Phase 1 (serial): map ids to union rows, count hits/misses, and pick
+  // the dirty set — a greedy cover of the invalid pairs by whole query
+  // points. Scanning j ascending: if pair (i, j) is invalid and i is not
+  // already dirty, j goes dirty; invalid pairs whose i is dirty are
+  // covered by i's row recompute. Afterwards every invalid pair has at
+  // least one dirty endpoint.
+  std::vector<uint32_t> row(n);
+  for (size_t i = 0; i < n; ++i) row[i] = RowFor(ids[i]);
+  std::vector<uint8_t> dirty(n, 0);
+  for (size_t j = 0; j < n; ++j) {
+    const uint8_t* valid_row = valid_.data() + size_t{row[j]} * cap_;
+    for (size_t i = 0; i < j; ++i) {
+      if (valid_row[row[i]]) {
         ++hits_;
-        d2.At(i, j) = it->second;
-        d2.At(j, i) = it->second;
       } else {
         ++misses_;
-        missing.push_back({i, j, key});
+        if (!dirty[i]) dirty[j] = 1;
+      }
+    }
+  }
+  std::vector<size_t> dirty_list;
+  for (size_t j = 0; j < n; ++j) {
+    if (dirty[j]) dirty_list.push_back(j);
+  }
+
+  if (!dirty_list.empty()) {
+    // Phase 2 (parallel): stream each dirty point's full-width distance
+    // row against a packed copy of the query set. Rows land in per-point
+    // scratch slots, so chunks never share writes; pairs where both ends
+    // are dirty get computed twice, but the expanded formula is exactly
+    // symmetric, so both computations produce the same bits.
+    std::vector<const Vec*> ptrs(n);
+    for (size_t i = 0; i < n; ++i) ptrs[i] = &points[i];
+    const PackedFeatureMatrix packed =
+        PackedFeatureMatrix::FromPoints(ptrs, points[0].size());
+    const double* norms = packed.squared_norms();
+    const SimdOpsTable& ops = SimdOps();
+    std::vector<double> scratch(dirty_list.size() * n);
+    ParallelFor(dirty_list.size(), kDirtyRowGrain,
+                [&](size_t begin, size_t end) {
+                  for (size_t m = begin; m < end; ++m) {
+                    const size_t q = dirty_list[m];
+                    ops.expanded_d2_row(points[q].data(), norms[q],
+                                        packed.dim(), packed.data(),
+                                        packed.stride(), norms, n,
+                                        scratch.data() + m * n);
+                  }
+                });
+
+    // Phase 3 (serial): publish the fresh rows into the union matrix.
+    for (size_t m = 0; m < dirty_list.size(); ++m) {
+      const size_t q = dirty_list[m];
+      const double* fresh = scratch.data() + m * n;
+      const size_t rq = row[q];
+      for (size_t i = 0; i < n; ++i) {
+        if (i == q) continue;
+        const size_t ri = row[i];
+        if (!ValidAt(rq, ri)) {
+          CacheAt(rq, ri) = fresh[i];
+          CacheAt(ri, rq) = fresh[i];
+          ValidAt(rq, ri) = 1;
+          ValidAt(ri, rq) = 1;
+          ++entries_;
+        }
       }
     }
   }
 
-  // Phase 2 (parallel): compute the missing pairs into their fixed slots.
-  const std::vector<double> norms = SquaredNorms(points);
-  std::vector<double> computed(missing.size());
-  ParallelFor(missing.size(), 256, [&](size_t begin, size_t end) {
-    for (size_t m = begin; m < end; ++m) {
-      const auto& [i, j, key] = missing[m];
-      (void)key;
-      computed[m] =
-          ExpandedSquaredDistance(points[i], norms[i], points[j], norms[j]);
+  // Gather the result from the union matrix (diagonal is exactly 0).
+  for (size_t i = 0; i < n; ++i) {
+    const double* cache_row = cache_.data() + size_t{row[i]} * cap_;
+    for (size_t j = 0; j < n; ++j) {
+      d2.At(i, j) = (i == j) ? 0.0 : cache_row[row[j]];
     }
-  });
-
-  // Phase 3 (serial): publish results into the matrix and the cache.
-  for (size_t m = 0; m < missing.size(); ++m) {
-    const auto& [i, j, key] = missing[m];
-    d2.At(i, j) = computed[m];
-    d2.At(j, i) = computed[m];
-    d2_.emplace(key, computed[m]);
   }
   MIVID_METRIC_COUNT("kernel_cache/hits", hits_ - hits_before);
   MIVID_METRIC_COUNT("kernel_cache/misses", misses_ - misses_before);
@@ -79,8 +136,12 @@ Matrix KernelCache::PairwiseSquaredDistances(
 }
 
 void KernelCache::Clear() {
-  dense_index_.clear();
-  d2_.clear();
+  row_of_.clear();
+  rows_ = 0;
+  cap_ = 0;
+  cache_.clear();
+  valid_.clear();
+  entries_ = 0;
   hits_ = 0;
   misses_ = 0;
 }

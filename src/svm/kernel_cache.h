@@ -14,9 +14,16 @@
 // reruns (the sigma-dependent Gram values are never cached, which is what
 // makes bandwidth invalidation a non-event).
 //
-// Distances are computed with ExpandedSquaredDistance — the same formula
-// the uncached GramMatrix fast path uses — so cached and uncached Gram
-// matrices are bit-identical.
+// Storage is a growing dense "union matrix" over every instance the
+// session has ever queried, with a validity mask per pair. Missing pairs
+// are filled by streaming whole rows through the SIMD expanded-distance
+// primitive (simd.h) against a packed SoA copy of the query points: a
+// greedy cover picks the fewest query points whose full rows close all
+// invalid pairs, those rows are computed in parallel, and the result
+// matrix is then gathered with O(n^2) array reads — no hashing on the
+// hot path. Distances use the same expanded formula and accumulation
+// order as the uncached GramMatrix fast path, so cached and uncached
+// Gram matrices are bit-identical.
 
 #ifndef MIVID_SVM_KERNEL_CACHE_H_
 #define MIVID_SVM_KERNEL_CACHE_H_
@@ -36,9 +43,10 @@ struct InstanceKey {
   int instance_id = -1;
 };
 
-/// Session-scoped cache of pairwise squared distances (and kernel values)
-/// between identified instances. Not thread-safe; the parallel phases of
-/// PairwiseSquaredDistances only touch cache state from the calling thread.
+/// Session-scoped cache of pairwise squared distances between identified
+/// instances. Not thread-safe; the parallel phase of
+/// PairwiseSquaredDistances only touches cache state from the calling
+/// thread.
 class KernelCache {
  public:
   KernelCache() = default;
@@ -52,21 +60,25 @@ class KernelCache {
   /// Drops everything (e.g. when the corpus is rebuilt).
   void Clear();
 
-  size_t distance_entries() const { return d2_.size(); }
+  size_t distance_entries() const { return entries_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
  private:
-  /// Dense index for an instance id (first-seen order), so pair keys fit
-  /// in one uint64 with no collisions.
-  uint32_t DenseIndex(InstanceKey key);
-  static uint64_t PairKey(uint32_t a, uint32_t b) {
-    if (a > b) std::swap(a, b);
-    return (static_cast<uint64_t>(a) << 32) | b;
-  }
+  /// Union-matrix row for an instance id (first-seen order), growing the
+  /// backing storage when a new id arrives.
+  uint32_t RowFor(InstanceKey key);
+  void Grow(size_t min_rows);
 
-  std::unordered_map<uint64_t, uint32_t> dense_index_;  // packed id -> index
-  std::unordered_map<uint64_t, double> d2_;             // pair -> |u-v|^2
+  double& CacheAt(size_t r, size_t c) { return cache_[r * cap_ + c]; }
+  uint8_t& ValidAt(size_t r, size_t c) { return valid_[r * cap_ + c]; }
+
+  std::unordered_map<uint64_t, uint32_t> row_of_;  // packed id -> union row
+  size_t rows_ = 0;                 // union rows in use
+  size_t cap_ = 0;                  // allocated square side
+  std::vector<double> cache_;       // cap_ x cap_ squared distances
+  std::vector<uint8_t> valid_;      // cap_ x cap_ validity mask
+  size_t entries_ = 0;              // distinct valid pairs (r < c)
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

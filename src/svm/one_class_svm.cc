@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "linalg/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -22,6 +23,19 @@ double OneClassSvmModel::DecisionValue(const Vec& x) const {
 
 std::vector<double> OneClassSvmModel::DecisionValues(
     const std::vector<const Vec*>& xs) const {
+  const size_t dim = !support_vectors_.empty() ? support_vectors_[0].size()
+                     : (xs.empty() ? 0 : xs[0]->size());
+  bool uniform = true;
+  for (const Vec* x : xs) {
+    if (x->size() != dim) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform && !xs.empty()) {
+    return DecisionValues(PackedFeatureMatrix::FromPoints(xs, dim));
+  }
+  // Mixed dimensions cannot be packed; evaluate pointwise.
   const PreparedKernel kernel(kernel_);
   std::vector<double> values(xs.size());
   ParallelFor(xs.size(), 16, [&](size_t begin, size_t end) {
@@ -33,6 +47,46 @@ std::vector<double> OneClassSvmModel::DecisionValues(
       values[q] = acc - rho_;
     }
   });
+  return values;
+}
+
+std::vector<double> OneClassSvmModel::DecisionValues(
+    const PackedFeatureMatrix& xs) const {
+  std::vector<double> values(xs.n());
+  if (xs.n() == 0) return values;
+  const PreparedKernel kernel(kernel_);
+  const SimdOpsTable& ops = SimdOps();
+  const size_t dim = xs.dim();
+  const size_t stride = xs.stride();
+  const bool rbf = kernel_.type == KernelType::kRbf;
+  const double gamma = kernel.gamma();
+  // One support vector streamed across the chunk per pass; each point's
+  // accumulator takes the coefficient terms in the same ascending-i order
+  // DecisionValue uses, so the sums carry identical bits.
+  ParallelFor(xs.n(), 64, [&](size_t begin, size_t end) {
+    const size_t count = end - begin;
+    const double* x = xs.data() + begin;
+    std::vector<double> d2(count);
+    std::vector<double> krow(count);
+    std::vector<double> acc(count, 0.0);
+    for (size_t i = 0; i < support_vectors_.size(); ++i) {
+      if (rbf) {
+        ops.direct_d2_row(support_vectors_[i].data(), dim, x, stride, count,
+                          d2.data());
+        ops.rbf_from_d2_row(gamma, d2.data(), count, krow.data());
+      } else {
+        ops.dot_row(support_vectors_[i].data(), dim, x, stride, count,
+                    krow.data());
+        for (size_t t = 0; t < count; ++t) {
+          krow[t] = kernel.EvalFromDot(krow[t]);
+        }
+      }
+      ops.axpy(coefficients_[i], krow.data(), count, acc.data());
+    }
+    for (size_t t = 0; t < count; ++t) values[begin + t] = acc[t] - rho_;
+  });
+  MIVID_METRIC_COUNT("simd/kernel_row_cells",
+                     xs.n() * support_vectors_.size());
   return values;
 }
 
@@ -93,18 +147,17 @@ Result<OneClassSvmModel> OneClassSvmTrainer::Train(
     if (k < n && remaining > 1e-15) alpha[k] = remaining;
   }
 
-  // Gradient of 1/2 a^T Q a is Q a. Parallel over entries: each grad[j]
-  // accumulates its sum over i in ascending order (the same order the
-  // serial i-outer loop adds them), so the result is thread-independent.
+  // Gradient of 1/2 a^T Q a is Q a, built as an i-outer sweep of axpy
+  // updates over Gram rows. Parallel over column chunks: each grad[j]
+  // accumulates its sum over i in ascending order (the same order a
+  // serial j-inner loop adds them), so the result is thread-independent.
+  const SimdOpsTable& ops = SimdOps();
   Vec grad(n, 0.0);
-  ParallelFor(n, 64, [&](size_t begin, size_t end) {
-    for (size_t j = begin; j < end; ++j) {
-      double acc = 0.0;
-      for (size_t i = 0; i < n; ++i) {
-        if (alpha[i] == 0.0) continue;
-        acc += alpha[i] * gram.At(i, j);
-      }
-      grad[j] = acc;
+  ParallelFor(n, 256, [&](size_t begin, size_t end) {
+    for (size_t i = 0; i < n; ++i) {
+      if (alpha[i] == 0.0) continue;
+      ops.axpy(alpha[i], gram.RowPtr(i) + begin, end - begin,
+               grad.data() + begin);
     }
   });
 
@@ -142,9 +195,7 @@ Result<OneClassSvmModel> OneClassSvmTrainer::Train(
 
     alpha[i] += delta;
     alpha[j] -= delta;
-    for (size_t t = 0; t < n; ++t) {
-      grad[t] += delta * (gram.At(i, t) - gram.At(j, t));
-    }
+    ops.axpy_diff(delta, gram.RowPtr(i), gram.RowPtr(j), n, grad.data());
   }
 
   // rho: decision threshold. For free support vectors the KKT conditions

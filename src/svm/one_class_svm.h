@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "linalg/matrix.h"
+#include "linalg/packed_matrix.h"
 #include "svm/kernel.h"
 
 namespace mivid {
@@ -42,7 +43,15 @@ class OneClassSvmModel {
   /// Decision values for a batch of points, evaluated in parallel.
   /// Each value is computed exactly as DecisionValue would (same
   /// accumulation order), so results are thread-count independent.
+  /// Uniform-dimension batches are packed and routed through the SIMD
+  /// batch path below; mixed dimensions fall back to pointwise Eval.
   std::vector<double> DecisionValues(const std::vector<const Vec*>& xs) const;
+
+  /// SIMD batch path over an already-packed SoA point block (one support
+  /// vector streamed across all points per pass). Bit-identical to
+  /// calling DecisionValue on each point. `xs.dim()` must match the
+  /// support vectors' dimension.
+  std::vector<double> DecisionValues(const PackedFeatureMatrix& xs) const;
 
   /// Hard membership: DecisionValue(x) >= 0.
   bool Contains(const Vec& x) const { return DecisionValue(x) >= 0.0; }

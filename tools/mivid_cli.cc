@@ -357,6 +357,9 @@ int CmdServe(const Args& args) {
   v = 0;
   if (!args.FlagInt("top", &v)) return BadArgs(*FindSubcommand("serve"));
   if (v > 0) options.top_n = static_cast<size_t>(v);
+  if (const std::string* dir = args.Flag("snapshot-dir")) {
+    options.corpus_snapshot_dir = *dir;
+  }
 
   RetrievalServer server(db.value().get(), options);
   const Status started = server.Start();
@@ -403,6 +406,8 @@ const std::vector<Subcommand>& Subcommands() {
        "  --max-sessions=N      live session bound (64)\n"
        "  --idle-timeout-ms=N   journal + evict idle sessions (off)\n"
        "  --top=N               results per round (20)\n"
+       "  --snapshot-dir=<dir>  cache packed corpus snapshots here for\n"
+       "                        zero-copy mmap loads on later starts\n"
        "  stops on SIGINT/SIGTERM or a {\"cmd\":\"shutdown\"} request;\n"
        "  sessions are journaled to the database either way\n",
        CmdServe},
@@ -466,7 +471,8 @@ int main(int argc, char** argv) {
 
   const Args args = ParseArgs(
       std::vector<std::string>(words.begin() + 1, words.end()),
-      {"engine", "max-pending", "max-sessions", "idle-timeout-ms", "top"});
+      {"engine", "max-pending", "max-sessions", "idle-timeout-ms", "top",
+       "snapshot-dir"});
   if (args.help) return PrintCommandHelp(*cmd);
 
   // Dispatch, then flush the requested observability outputs regardless
