@@ -5,14 +5,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "db/feature_store.h"
 #include "eval/experiment.h"
 #include "linalg/simd.h"
+#include "db/video_db.h"
+#include "obs/metrics.h"
 #include "retrieval/mil_rf_engine.h"
 #include "segment/segmenter.h"
+#include "serve/server.h"
 #include "svm/one_class_svm.h"
 #include "track/assignment.h"
 #include "trafficsim/renderer.h"
@@ -278,6 +283,74 @@ void BM_TracksCodecRoundtrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TracksCodecRoundtrip);
+
+/// The serve path end to end minus the socket: RetrievalServer::HandleLine
+/// parsing, admission, session lookup, rank, and JSON response encoding.
+/// Reports the serve/rank_seconds histogram's p99 (from the metrics
+/// registry, i.e. exactly what a production /stats scrape would see) so
+/// BENCH_micro.json tracks tail latency, not just the mean.
+void BM_ServeRank(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "mivid_bench_serve").string();
+  fs::remove_all(dir);
+  VideoDbOptions db_options;
+  db_options.create_if_missing = true;
+  auto opened = VideoDb::Open(dir, db_options);
+  if (!opened.ok()) {
+    state.SkipWithError(opened.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<VideoDb> db = std::move(opened).value();
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = 700;
+  scenario_options.num_wall_crashes = 1;
+  scenario_options.num_sudden_stops = 1;
+  scenario_options.num_speeding = 0;
+  scenario_options.num_uturns = 0;
+  const ScenarioSpec scenario = MakeTunnelScenario(scenario_options);
+  TrafficWorld world(scenario);
+  const GroundTruth gt = world.Run();
+  ClipInfo info;
+  info.camera_id = "camA";
+  info.total_frames = scenario.total_frames;
+  if (!db->IngestClip(info, gt.tracks, gt.incidents).ok()) {
+    state.SkipWithError("clip ingest failed");
+    return;
+  }
+
+  {
+    RetrievalServer server(db.get(), ServeOptions{});
+    const std::string open_response = server.HandleLine(
+        R"({"cmd":"open","session":"bench","camera":"camA"})");
+    if (open_response.find("\"ok\":true") == std::string::npos) {
+      state.SkipWithError(("open failed: " + open_response).c_str());
+      return;
+    }
+    // The rank_seconds histogram only fills while metrics are on; the
+    // registry is process-global, so restore the prior state afterwards.
+    const bool metrics_were_enabled = MetricsEnabled();
+    EnableMetrics(true);
+    MetricsRegistry::Global().GetHistogram("serve/rank_seconds").Reset();
+    const std::string rank_line =
+        R"({"cmd":"rank","session":"bench","top":20})";
+    for (auto _ : state) {
+      const std::string response = server.HandleLine(rank_line);
+      benchmark::DoNotOptimize(response);
+    }
+    const HistogramStats rank_stats = MetricsRegistry::Global()
+                                          .GetHistogram("serve/rank_seconds")
+                                          .Stats();
+    state.counters["p50_rank_seconds"] = rank_stats.p50;
+    state.counters["p99_rank_seconds"] = rank_stats.p99;
+    state.counters["max_rank_seconds"] = rank_stats.max;
+    EnableMetrics(metrics_were_enabled);
+    server.HandleLine(R"({"cmd":"close","session":"bench"})");
+  }
+  db.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ServeRank)->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndPipeline(benchmark::State& state) {
   TunnelScenarioOptions scenario_options;

@@ -1,0 +1,692 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <future>
+#include <set>
+
+#include "cluster/merger.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace mivid {
+
+namespace {
+
+constexpr int kAcceptPollMs = 100;
+
+/// True when a worker response line says {"ok":true,...}.
+bool ResponseOk(const std::string& line) {
+  Result<JsonValue> doc = ParseJson(line);
+  if (!doc.ok()) return false;
+  const JsonValue* ok = doc.value().Find("ok");
+  return ok != nullptr && ok->type == JsonValue::Type::kBool &&
+         ok->bool_value;
+}
+
+/// Extracts the "error" message from a failed worker response, or the
+/// whole line when it does not parse.
+std::string ResponseError(const std::string& line) {
+  Result<JsonValue> doc = ParseJson(line);
+  if (doc.ok()) {
+    const JsonValue* error = doc.value().Find("error");
+    if (error != nullptr && error->is_string()) return error->string;
+  }
+  return line;
+}
+
+}  // namespace
+
+Status ValidateCoordinatorOptions(const CoordinatorOptions& options) {
+  if (options.socket_path.empty() && options.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "no listener configured: set a socket path and/or --tcp-port");
+  }
+  if (options.tcp_port > 65535) {
+    return Status::InvalidArgument("tcp_port out of range: " +
+                                   std::to_string(options.tcp_port));
+  }
+  if (options.workers.empty()) {
+    return Status::InvalidArgument(
+        "a coordinator needs at least one worker endpoint (--workers)");
+  }
+  std::set<std::string> seen;
+  for (const std::string& endpoint : options.workers) {
+    if (endpoint.empty()) {
+      return Status::InvalidArgument("empty worker endpoint");
+    }
+    if (!seen.insert(endpoint).second) {
+      return Status::InvalidArgument("duplicate worker endpoint: " +
+                                     endpoint);
+    }
+  }
+  if (options.top_n <= 0) {
+    return Status::InvalidArgument("top_n must be positive");
+  }
+  if (options.heartbeat_ms < 0) {
+    return Status::InvalidArgument("heartbeat_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)),
+      registry_(options_.workers),
+      ring_(options_.virtual_nodes),
+      last_heartbeat_(std::chrono::steady_clock::now()) {}
+
+Coordinator::~Coordinator() { Stop(); }
+
+Status Coordinator::Start() {
+  MIVID_RETURN_IF_ERROR(ValidateCoordinatorOptions(options_));
+  MIVID_RETURN_IF_ERROR(registry_.ConnectAll());
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    for (const std::string& endpoint : options_.workers) {
+      ring_.Add(endpoint);
+    }
+  }
+  MIVID_METRIC_GAUGE_SET(
+      "cluster/workers_alive",
+      static_cast<int64_t>(registry_.AliveEndpoints().size()));
+
+  LineTransportOptions transport;
+  transport.uds_path = options_.socket_path;
+  transport.tcp_host = options_.tcp_host;
+  transport.tcp_port = options_.tcp_port;
+  transport.poll_ms = kAcceptPollMs;
+  transport_ = std::make_unique<LineTransport>(
+      std::move(transport),
+      [this](const std::string& line) { return HandleLine(line); },
+      [this] { HeartbeatSweep(); });
+  Status started = transport_->Start();
+  if (!started.ok()) {
+    transport_.reset();
+    return started;
+  }
+  MIVID_LOG(Info) << "coordinator fronting " << options_.workers.size()
+                  << " worker(s)";
+  return Status::OK();
+}
+
+void Coordinator::Stop() {
+  if (stopping_.exchange(true)) return;
+  RequestShutdown();
+  if (transport_ != nullptr) transport_->Stop();
+}
+
+int Coordinator::tcp_port() const {
+  return transport_ != nullptr ? transport_->tcp_port() : -1;
+}
+
+size_t Coordinator::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+void Coordinator::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+void Coordinator::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+bool Coordinator::WaitForShutdownFor(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [this] { return shutdown_requested_; });
+}
+
+std::string Coordinator::HandleLine(const std::string& line) {
+  MIVID_METRIC_COUNT("cluster/requests", 1);
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  if (!parsed.ok()) {
+    MIVID_METRIC_COUNT("cluster/errors", 1);
+    return ErrorResponse(parsed.status());
+  }
+  const ServeRequest& req = parsed.value();
+  switch (req.cmd) {
+    case ServeCmd::kOpen:
+      return CmdOpen(req, line);
+    case ServeCmd::kRank:
+      return CmdRank(req, line);
+    case ServeCmd::kFeedback:
+      return CmdFeedback(req, line);
+    case ServeCmd::kSave:
+    case ServeCmd::kClose:
+      return CmdForward(req, line);
+    case ServeCmd::kStats:
+      return CmdStats();
+    case ServeCmd::kPing:
+      return CmdPing();
+    case ServeCmd::kShutdown: {
+      RequestShutdown();
+      JsonLineBuilder out;
+      out.Bool("ok", true).Str("cmd", "shutdown").Bool("shutting_down", true);
+      return std::move(out).Build();
+    }
+  }
+  return ErrorResponse(Status::Internal("unhandled command"));
+}
+
+std::shared_ptr<Coordinator::CoordSession> Coordinator::FindSession(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::string Coordinator::OpenLineFor(const CoordSession& session,
+                                     const SubSession& sub) const {
+  JsonLineBuilder line;
+  line.Str("cmd", "open").Str("session", sub.sub_id).Str("camera",
+                                                         sub.camera);
+  if (!session.engine.empty()) line.Str("engine", session.engine);
+  return std::move(line).Build();
+}
+
+Result<std::string> Coordinator::CallSub(CoordSession& session,
+                                         SubSession& sub,
+                                         const std::string& line) {
+  for (;;) {
+    WorkerConn* worker = registry_.Find(sub.worker);
+    if (worker != nullptr &&
+        worker->alive.load(std::memory_order_acquire)) {
+      Result<std::string> response = registry_.Call(*worker, line);
+      if (response.ok()) return response;
+    }
+    // The home worker is gone. Drop it from the ring, re-place the
+    // camera, and resume the sub-session on the new owner: workers share
+    // one database, so the new owner replays the feedback journal and
+    // reconstructs the exact pre-crash session state.
+    std::string new_owner;
+    {
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      ring_.Remove(sub.worker);
+      Result<std::string> owner = ring_.Owner(sub.camera);
+      if (!owner.ok()) {
+        return Status::FailedPrecondition(
+            "no live workers left for camera '" + sub.camera + "'");
+      }
+      new_owner = std::move(owner).value();
+    }
+    MIVID_METRIC_GAUGE_SET(
+        "cluster/workers_alive",
+        static_cast<int64_t>(registry_.AliveEndpoints().size()));
+    WorkerConn* next = registry_.Find(new_owner);
+    if (next == nullptr) {
+      return Status::Internal("ring owner '" + new_owner +
+                              "' is not a registered worker");
+    }
+    Result<std::string> reopened =
+        registry_.Call(*next, OpenLineFor(session, sub));
+    if (!reopened.ok()) {
+      // The replacement died too; drop it and keep walking the ring.
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      ring_.Remove(new_owner);
+      continue;
+    }
+    if (!ResponseOk(reopened.value())) {
+      return Status::FailedPrecondition(
+          "failover re-open of '" + sub.sub_id + "' on " + new_owner +
+          " failed: " + ResponseError(reopened.value()));
+    }
+    MIVID_LOG(Warn) << "session " << sub.sub_id << " failed over "
+                    << sub.worker << " -> " << new_owner;
+    sub.worker = new_owner;
+    MIVID_METRIC_COUNT("cluster/sessions_failed_over", 1);
+    // Loop retries the original request on the new home.
+  }
+}
+
+std::string Coordinator::CmdOpen(const ServeRequest& req,
+                                 const std::string& line) {
+  const bool multi = !req.cameras.empty();
+  if (!multi && req.camera_id.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("open requires a camera (or cameras)"));
+  }
+
+  std::shared_ptr<CoordSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(req.session_id);
+    if (it != sessions_.end()) {
+      session = it->second;
+    } else {
+      session = std::make_shared<CoordSession>();
+      session->id = req.session_id;
+      session->engine = req.engine;
+      session->multi = multi;
+      sessions_[req.session_id] = session;
+    }
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  if (session->multi != multi) {
+    return ErrorResponse(Status::AlreadyExists(
+        "session '" + req.session_id +
+        "' is already open with a different camera layout"));
+  }
+
+  auto drop_session = [this, &req] {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(req.session_id);
+  };
+
+  if (!multi) {
+    // Single-camera: passthrough. The worker's response is relayed
+    // byte-for-byte, so clients cannot tell the fleet from one process.
+    if (session->subs.empty()) {
+      std::string owner;
+      {
+        std::lock_guard<std::mutex> lock(ring_mu_);
+        Result<std::string> placed = ring_.Owner(req.camera_id);
+        if (!placed.ok()) {
+          drop_session();
+          return ErrorResponse(placed.status());
+        }
+        owner = std::move(placed).value();
+      }
+      session->subs.push_back(
+          SubSession{req.camera_id, std::move(owner), req.session_id});
+    } else if (session->subs[0].camera != req.camera_id) {
+      return ErrorResponse(Status::AlreadyExists(
+          "session '" + req.session_id + "' is already open on camera '" +
+          session->subs[0].camera + "'"));
+    }
+    Result<std::string> response =
+        CallSub(*session, session->subs[0], line);
+    if (!response.ok()) {
+      drop_session();
+      return ErrorResponse(response.status());
+    }
+    if (!ResponseOk(response.value())) drop_session();
+    return response.value();
+  }
+
+  // Multi-camera: one sub-session per camera on that camera's owner.
+  if (session->subs.empty()) {
+    for (const std::string& camera : req.cameras) {
+      const std::string sub_id = req.session_id + "-" + camera;
+      if (!ValidSessionId(sub_id)) {
+        drop_session();
+        return ErrorResponse(Status::InvalidArgument(
+            "camera '" + camera + "' does not yield a valid sub-session "
+            "id ('" + sub_id + "' must be 1..64 chars of [A-Za-z0-9._-])"));
+      }
+      std::string owner;
+      {
+        std::lock_guard<std::mutex> lock(ring_mu_);
+        Result<std::string> placed = ring_.Owner(camera);
+        if (!placed.ok()) {
+          drop_session();
+          return ErrorResponse(placed.status());
+        }
+        owner = std::move(placed).value();
+      }
+      session->subs.push_back(SubSession{camera, std::move(owner), sub_id});
+    }
+  }
+
+  int64_t total_bags = 0;
+  bool resumed = false;
+  for (SubSession& sub : session->subs) {
+    Result<std::string> response =
+        CallSub(*session, sub, OpenLineFor(*session, sub));
+    if (!response.ok()) {
+      drop_session();
+      return ErrorResponse(response.status());
+    }
+    if (!ResponseOk(response.value())) {
+      drop_session();
+      return ErrorResponse(Status::FailedPrecondition(
+          "open of camera '" + sub.camera +
+          "' failed: " + ResponseError(response.value())));
+    }
+    Result<JsonValue> doc = ParseJson(response.value());
+    if (doc.ok()) {
+      const JsonValue* bags = doc.value().Find("bags");
+      if (bags != nullptr && bags->is_number()) {
+        total_bags += static_cast<int64_t>(bags->number);
+      }
+      const JsonValue* was_resumed = doc.value().Find("resumed");
+      if (was_resumed != nullptr && was_resumed->bool_value) resumed = true;
+    }
+  }
+
+  std::string cameras = "[";
+  for (size_t i = 0; i < session->subs.size(); ++i) {
+    if (i > 0) cameras += ',';
+    cameras += '"';
+    cameras += JsonEscape(session->subs[i].camera);
+    cameras += '"';
+  }
+  cameras += ']';
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "open")
+      .Str("session", session->id)
+      .Raw("cameras", cameras)
+      .Str("engine", session->engine)
+      .Int("bags", total_bags)
+      .Bool("resumed", resumed);
+  return std::move(out).Build();
+}
+
+std::string Coordinator::CmdRank(const ServeRequest& req,
+                                 const std::string& line) {
+  MIVID_SCOPED_TIMER("cluster/rank_seconds");
+  std::shared_ptr<CoordSession> session = FindSession(req.session_id);
+  if (session == nullptr) {
+    return ErrorResponse(
+        Status::NotFound("session '" + req.session_id + "' is not open"));
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+
+  if (!session->multi) {
+    Result<std::string> response = CallSub(*session, session->subs[0], line);
+    if (!response.ok()) return ErrorResponse(response.status());
+    return response.value();
+  }
+
+  // Scatter: every sub-session ranks its own corpus in parallel (calls
+  // to distinct workers overlap; the per-worker connection mutex
+  // serializes subs that share a worker). Each worker returns its exact
+  // per-corpus top-k, so merging and truncating is exact (cluster/merger.h).
+  const size_t k = req.top == 0   ? static_cast<size_t>(options_.top_n)
+                   : req.top > 0 ? static_cast<size_t>(req.top)
+                                 : 0;  // full ranking
+  MIVID_METRIC_COUNT("cluster/fanout_requests",
+                     static_cast<int64_t>(session->subs.size()));
+  std::vector<std::future<Result<std::string>>> futures;
+  futures.reserve(session->subs.size());
+  for (SubSession& sub : session->subs) {
+    JsonLineBuilder sub_line;
+    sub_line.Str("cmd", "rank").Str("session", sub.sub_id).Int(
+        "top", req.top < 0 ? -1 : static_cast<int64_t>(k));
+    futures.push_back(std::async(
+        std::launch::async,
+        [this, &session, &sub, request = std::move(sub_line).Build()] {
+          return CallSub(*session, sub, request);
+        }));
+  }
+
+  std::vector<std::vector<ClusterScoredBag>> parts;
+  parts.reserve(session->subs.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<std::string> response = futures[i].get();
+    const std::string& camera = session->subs[i].camera;
+    if (!response.ok()) {
+      // Drain remaining futures before returning (they capture refs).
+      for (size_t j = i + 1; j < futures.size(); ++j) futures[j].wait();
+      return ErrorResponse(response.status());
+    }
+    Result<JsonValue> doc = ParseJson(response.value());
+    if (!doc.ok() || !ResponseOk(response.value())) {
+      for (size_t j = i + 1; j < futures.size(); ++j) futures[j].wait();
+      return ErrorResponse(Status::Internal(
+          "rank on camera '" + camera +
+          "' failed: " + ResponseError(response.value())));
+    }
+    const JsonValue* worker_total = doc.value().Find("total");
+    if (worker_total != nullptr && worker_total->is_number()) {
+      total += static_cast<int64_t>(worker_total->number);
+    }
+    const JsonValue* ranking = doc.value().Find("ranking");
+    std::vector<ClusterScoredBag> part;
+    if (ranking != nullptr && ranking->is_array()) {
+      part.reserve(ranking->array.size());
+      for (const JsonValue& item : ranking->array) {
+        const JsonValue* bag = item.Find("bag");
+        const JsonValue* score = item.Find("score");
+        if (bag == nullptr || score == nullptr) continue;
+        part.push_back(ClusterScoredBag{camera,
+                                        static_cast<int>(bag->number),
+                                        score->number});
+      }
+    }
+    parts.push_back(std::move(part));
+  }
+
+  std::vector<ClusterScoredBag> merged = MergeTopK(std::move(parts), k);
+  std::string items = "[";
+  for (size_t i = 0; i < merged.size(); ++i) {
+    if (i > 0) items += ',';
+    items += StrFormat("{\"camera\":\"%s\",\"bag\":%d,\"score\":%.17g}",
+                       JsonEscape(merged[i].camera).c_str(),
+                       merged[i].bag_id, merged[i].score);
+  }
+  items += ']';
+
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "rank")
+      .Str("session", session->id)
+      .Int("cameras", static_cast<int64_t>(session->subs.size()))
+      .Int("total", total)
+      .Raw("ranking", items);
+  return std::move(out).Build();
+}
+
+std::string Coordinator::CmdFeedback(const ServeRequest& req,
+                                     const std::string& line) {
+  std::shared_ptr<CoordSession> session = FindSession(req.session_id);
+  if (session == nullptr) {
+    return ErrorResponse(
+        Status::NotFound("session '" + req.session_id + "' is not open"));
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+
+  if (!session->multi) {
+    Result<std::string> response = CallSub(*session, session->subs[0], line);
+    if (!response.ok()) return ErrorResponse(response.status());
+    return response.value();
+  }
+
+  // Group labels by camera, preserving input order within each group.
+  std::map<std::string, std::string> per_camera;  // camera -> labels json
+  for (size_t i = 0; i < req.labels.size(); ++i) {
+    const std::string& camera = req.label_cameras[i];
+    if (camera.empty()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "label entries in a multi-camera session need a \"camera\""));
+    }
+    std::string& items = per_camera[camera];
+    if (items.empty()) {
+      items = "[";
+    } else {
+      items += ',';
+    }
+    items += StrFormat("{\"bag\":%d,\"label\":\"%s\"}", req.labels[i].first,
+                       BagLabelWireName(req.labels[i].second));
+  }
+
+  int64_t labeled = 0;
+  for (auto& [camera, items] : per_camera) {
+    SubSession* sub = nullptr;
+    for (SubSession& candidate : session->subs) {
+      if (candidate.camera == camera) {
+        sub = &candidate;
+        break;
+      }
+    }
+    if (sub == nullptr) {
+      return ErrorResponse(Status::InvalidArgument(
+          "camera '" + camera + "' is not part of session '" + session->id +
+          "'"));
+    }
+    items += ']';
+    JsonLineBuilder sub_line;
+    sub_line.Str("cmd", "feedback").Str("session", sub->sub_id).Raw(
+        "labels", items);
+    Result<std::string> response =
+        CallSub(*session, *sub, std::move(sub_line).Build());
+    if (!response.ok()) return ErrorResponse(response.status());
+    Result<JsonValue> doc = ParseJson(response.value());
+    if (!doc.ok() || !ResponseOk(response.value())) {
+      return ErrorResponse(Status::Internal(
+          "feedback on camera '" + camera +
+          "' failed: " + ResponseError(response.value())));
+    }
+    const JsonValue* count = doc.value().Find("labeled");
+    if (count != nullptr && count->is_number()) {
+      labeled += static_cast<int64_t>(count->number);
+    }
+  }
+
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "feedback")
+      .Str("session", session->id)
+      .Int("labeled", labeled)
+      .Bool("journaled", true);
+  return std::move(out).Build();
+}
+
+std::string Coordinator::CmdForward(const ServeRequest& req,
+                                    const std::string& line) {
+  std::shared_ptr<CoordSession> session = FindSession(req.session_id);
+  if (session == nullptr) {
+    return ErrorResponse(
+        Status::NotFound("session '" + req.session_id + "' is not open"));
+  }
+  const bool closing = req.cmd == ServeCmd::kClose;
+  std::string response_line;
+  {
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    if (!session->multi) {
+      Result<std::string> response =
+          CallSub(*session, session->subs[0], line);
+      if (!response.ok()) return ErrorResponse(response.status());
+      response_line = response.value();
+    } else {
+      const char* cmd = closing ? "close" : "save";
+      for (SubSession& sub : session->subs) {
+        JsonLineBuilder sub_line;
+        sub_line.Str("cmd", cmd).Str("session", sub.sub_id);
+        if (closing) sub_line.Bool("discard", req.discard);
+        Result<std::string> response =
+            CallSub(*session, sub, std::move(sub_line).Build());
+        if (!response.ok()) return ErrorResponse(response.status());
+        if (!ResponseOk(response.value())) {
+          return ErrorResponse(Status::Internal(
+              std::string(cmd) + " on camera '" + sub.camera +
+              "' failed: " + ResponseError(response.value())));
+        }
+      }
+      JsonLineBuilder out;
+      out.Bool("ok", true)
+          .Str("cmd", cmd)
+          .Str("session", session->id)
+          .Int("cameras", static_cast<int64_t>(session->subs.size()));
+      if (closing) out.Bool("journaled", !req.discard);
+      response_line = std::move(out).Build();
+    }
+  }
+  if (closing && ResponseOk(response_line)) {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(req.session_id);
+  }
+  return response_line;
+}
+
+std::string Coordinator::CmdStats() {
+  std::string workers = "[";
+  bool first = true;
+  std::vector<std::string> placed;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    placed = ring_.Workers();
+  }
+  for (const auto& worker : registry_.workers()) {
+    if (!first) workers += ',';
+    first = false;
+    const bool on_ring =
+        std::find(placed.begin(), placed.end(), worker->endpoint) !=
+        placed.end();
+    workers += StrFormat(
+        "{\"endpoint\":\"%s\",\"alive\":%s,\"on_ring\":%s,"
+        "\"requests\":%llu,\"failures\":%llu}",
+        JsonEscape(worker->endpoint).c_str(),
+        worker->alive.load(std::memory_order_acquire) ? "true" : "false",
+        on_ring ? "true" : "false",
+        static_cast<unsigned long long>(
+            worker->requests.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            worker->failures.load(std::memory_order_relaxed)));
+  }
+  workers += ']';
+
+  std::string ids = "[";
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    bool first_id = true;
+    for (const auto& [id, session] : sessions_) {
+      if (!first_id) ids += ',';
+      first_id = false;
+      ids += '"';
+      ids += JsonEscape(id);
+      ids += '"';
+    }
+  }
+  ids += ']';
+
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "stats")
+      .Str("role", "coordinator")
+      .Int("workers_alive",
+           static_cast<int64_t>(registry_.AliveEndpoints().size()))
+      .Raw("workers", workers)
+      .Int("sessions_open", static_cast<int64_t>(session_count()))
+      .Raw("sessions", ids);
+  return std::move(out).Build();
+}
+
+std::string Coordinator::CmdPing() {
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "ping")
+      .Str("role", "coordinator")
+      .Int("workers_alive",
+           static_cast<int64_t>(registry_.AliveEndpoints().size()))
+      .Int("sessions_open", static_cast<int64_t>(session_count()));
+  return std::move(out).Build();
+}
+
+void Coordinator::HeartbeatSweep() {
+  if (options_.heartbeat_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_heartbeat_ <
+      std::chrono::milliseconds(options_.heartbeat_ms)) {
+    return;
+  }
+  last_heartbeat_ = now;
+  for (const auto& worker : registry_.workers()) {
+    if (worker->alive.load(std::memory_order_acquire)) {
+      if (!registry_.Ping(*worker)) {
+        std::lock_guard<std::mutex> lock(ring_mu_);
+        ring_.Remove(worker->endpoint);
+      }
+    } else if (registry_.Reconnect(*worker).ok() &&
+               registry_.Ping(*worker)) {
+      // A restarted worker on the same endpoint rejoins the ring; its
+      // cameras re-home to it on the next placement lookup.
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      ring_.Add(worker->endpoint);
+      MIVID_LOG(Info) << "worker " << worker->endpoint
+                      << " rejoined the ring";
+    }
+  }
+  MIVID_METRIC_GAUGE_SET(
+      "cluster/workers_alive",
+      static_cast<int64_t>(registry_.AliveEndpoints().size()));
+}
+
+}  // namespace mivid

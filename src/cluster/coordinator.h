@@ -1,0 +1,150 @@
+// Coordinator: the front door of a sharded retrieval fleet.
+//
+// A fleet is N mivid_serve workers (each owning the camera corpora the
+// placement ring assigns it) behind one mivid_coord process speaking the
+// same NDJSON protocol as a single worker. Clients do not know the
+// fleet exists:
+//
+//  * open/feedback/save/close route to the session's home worker — the
+//    consistent-hash owner of the session's camera.
+//  * rank on a single-camera session is pure passthrough: the worker's
+//    response line is relayed byte-for-byte, so a client sees exactly
+//    what a single-process mivid_serve would have sent.
+//  * open with "cameras":[...] spans a session over several corpora:
+//    the coordinator opens one sub-session per camera (id "<id>-<cam>")
+//    on that camera's owner, scatters rank across the owners in
+//    parallel, and merges the exact per-corpus top-k (cluster/merger.h)
+//    into one camera-tagged ranking.
+//
+// Failover: a transport error marks the worker dead and removes it from
+// the ring. Affected sessions are not touched eagerly — the next
+// request that reaches a dead home re-places the camera on the ring and
+// re-opens the sub-session on the new owner, which replays the worker's
+// crash-safe feedback journal (workers share one VideoDb). Replay is
+// deterministic, so the resumed session ranks bit-identically to the
+// pre-crash one. The optional heartbeat also re-dials dead workers, so
+// a restarted process on the same endpoint rejoins the ring.
+
+#ifndef MIVID_CLUSTER_COORDINATOR_H_
+#define MIVID_CLUSTER_COORDINATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/worker_registry.h"
+#include "common/status.h"
+#include "serve/line_transport.h"
+#include "serve/protocol.h"
+
+namespace mivid {
+
+struct CoordinatorOptions {
+  std::string socket_path;  ///< Unix-domain listener; "" = none
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;        ///< <0 = no TCP listener, 0 = kernel-assigned
+  std::vector<std::string> workers;  ///< worker endpoints (host:port / UDS)
+  int top_n = 20;           ///< default rank depth when "top" is absent
+  size_t virtual_nodes = 64;  ///< ring points per worker
+  int heartbeat_ms = 0;     ///< 0 = no active health probing (lazy only)
+};
+
+/// Rejects an inconsistent option set before any socket is bound.
+Status ValidateCoordinatorOptions(const CoordinatorOptions& options);
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Dials every worker, builds the placement ring, binds listeners.
+  Status Start();
+
+  /// Closes listeners and connections, joins threads. Idempotent.
+  void Stop();
+
+  /// Handles one request line (exposed for tests; Start() wires it into
+  /// the transport). Thread-safe.
+  std::string HandleLine(const std::string& line);
+
+  void RequestShutdown();
+  void WaitForShutdown();
+  /// True when shutdown was requested within `timeout_ms`.
+  bool WaitForShutdownFor(int timeout_ms);
+
+  /// TCP port actually bound (resolves port 0), or -1.
+  int tcp_port() const;
+
+  /// Sessions currently routed by this coordinator.
+  size_t session_count() const;
+
+ private:
+  /// One camera's slice of a session: which worker holds the
+  /// sub-session under which id.
+  struct SubSession {
+    std::string camera;
+    std::string worker;  ///< endpoint; may go stale until next failover
+    std::string sub_id;  ///< session id on the worker
+  };
+
+  /// One client-visible session.
+  struct CoordSession {
+    std::string id;
+    std::string engine;  ///< as requested at open ("" = worker default)
+    bool multi = false;  ///< true when opened with "cameras":[...]
+    std::vector<SubSession> subs;  ///< one per camera, open order
+    std::mutex mu;  ///< serializes requests touching this session
+  };
+
+  std::string CmdOpen(const ServeRequest& req, const std::string& line);
+  std::string CmdRank(const ServeRequest& req, const std::string& line);
+  std::string CmdFeedback(const ServeRequest& req, const std::string& line);
+  std::string CmdForward(const ServeRequest& req, const std::string& line);
+  std::string CmdStats();
+  std::string CmdPing();
+
+  /// Sends `line` to `sub`'s worker. On a dead/failed worker: removes it
+  /// from the ring, re-places the camera, re-opens the sub-session on
+  /// the new owner (journal resume), and retries there — repeating until
+  /// a live owner answers or the ring is empty.
+  Result<std::string> CallSub(CoordSession& session, SubSession& sub,
+                              const std::string& line);
+
+  /// {"cmd":"open",...} line that (re)creates `sub` on its worker.
+  std::string OpenLineFor(const CoordSession& session,
+                          const SubSession& sub) const;
+
+  std::shared_ptr<CoordSession> FindSession(const std::string& id) const;
+
+  void HeartbeatSweep();
+
+  const CoordinatorOptions options_;
+  WorkerRegistry registry_;
+
+  mutable std::mutex ring_mu_;
+  PlacementRing ring_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<CoordSession>> sessions_;
+
+  std::unique_ptr<LineTransport> transport_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::atomic<bool> stopping_{false};
+  std::chrono::steady_clock::time_point last_heartbeat_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_CLUSTER_COORDINATOR_H_

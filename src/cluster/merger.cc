@@ -1,0 +1,57 @@
+#include "cluster/merger.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "obs/metrics.h"
+
+namespace mivid {
+
+bool ClusterRankLess(const ClusterScoredBag& a, const ClusterScoredBag& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.camera != b.camera) return a.camera < b.camera;
+  return a.bag_id < b.bag_id;
+}
+
+std::vector<ClusterScoredBag> MergeTopK(
+    std::vector<std::vector<ClusterScoredBag>> parts, size_t k) {
+  MIVID_SCOPED_TIMER("cluster/merge_seconds");
+
+  // Heap entry: the next unconsumed element of one part. `part`/`index`
+  // break heap ties deterministically (never reached in practice — the
+  // comparator already totally orders distinct (camera, bag) pairs).
+  struct Cursor {
+    size_t part;
+    size_t index;
+  };
+  auto greater = [&parts](const Cursor& a, const Cursor& b) {
+    const ClusterScoredBag& ea = parts[a.part][a.index];
+    const ClusterScoredBag& eb = parts[b.part][b.index];
+    if (ClusterRankLess(ea, eb)) return false;
+    if (ClusterRankLess(eb, ea)) return true;
+    return a.part > b.part;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater);
+
+  size_t total = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    total += parts[p].size();
+    if (!parts[p].empty()) heap.push({p, 0});
+  }
+
+  std::vector<ClusterScoredBag> merged;
+  merged.reserve(k == 0 ? total : std::min(k, total));
+  while (!heap.empty() && (k == 0 || merged.size() < k)) {
+    const Cursor top = heap.top();
+    heap.pop();
+    merged.push_back(parts[top.part][top.index]);
+    if (top.index + 1 < parts[top.part].size()) {
+      heap.push({top.part, top.index + 1});
+    }
+  }
+  MIVID_METRIC_COUNT("cluster/merged_bags", merged.size());
+  return merged;
+}
+
+}  // namespace mivid

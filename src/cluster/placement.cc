@@ -1,0 +1,70 @@
+#include "cluster/placement.h"
+
+namespace mivid {
+
+uint64_t PlacementHash(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  // FNV-1a alone barely moves the high bits for short, similar inputs
+  // ("w0#0".."w0#63" all land in one narrow arc), which collapses the
+  // ring: one worker can shadow every other. A splitmix64-style
+  // finalizer avalanches all 64 bits while staying a pure function of
+  // the input bytes, so placement is still identical across processes.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+PlacementRing::PlacementRing(size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {}
+
+void PlacementRing::Add(const std::string& worker) {
+  if (workers_.count(worker) != 0) return;
+  workers_[worker] = true;
+  for (size_t i = 0; i < virtual_nodes_; ++i) {
+    const uint64_t point =
+        PlacementHash(worker + "#" + std::to_string(i));
+    ring_.emplace(std::make_pair(point, worker), worker);
+  }
+}
+
+void PlacementRing::Remove(const std::string& worker) {
+  if (workers_.erase(worker) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == worker) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool PlacementRing::Contains(const std::string& worker) const {
+  return workers_.count(worker) != 0;
+}
+
+Result<std::string> PlacementRing::Owner(std::string_view key) const {
+  if (ring_.empty()) {
+    return Status::FailedPrecondition("placement ring has no live workers");
+  }
+  const uint64_t h = PlacementHash(key);
+  // First ring point at or past the key's hash, wrapping to the start.
+  auto it = ring_.lower_bound(std::make_pair(h, std::string()));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::vector<std::string> PlacementRing::Workers() const {
+  std::vector<std::string> out;
+  out.reserve(workers_.size());
+  for (const auto& [worker, alive] : workers_) out.push_back(worker);
+  return out;
+}
+
+}  // namespace mivid

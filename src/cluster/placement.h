@@ -1,0 +1,63 @@
+// PlacementRing: consistent-hash shard placement for the retrieval
+// fleet.
+//
+// Each worker contributes `virtual_nodes` points on a 64-bit hash ring;
+// a camera (shard key) is owned by the worker whose point follows the
+// camera's hash clockwise. Properties the cluster relies on:
+//  * Deterministic: hashing is FNV-1a over the bytes of the worker id /
+//    camera id — no std::hash — so every coordinator process computes
+//    the same placement for the same worker set.
+//  * Minimal movement: removing a dead worker re-homes only the cameras
+//    it owned; every other camera keeps its worker, so failover does not
+//    stampede the surviving workers' corpus caches.
+
+#ifndef MIVID_CLUSTER_PLACEMENT_H_
+#define MIVID_CLUSTER_PLACEMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mivid {
+
+/// Deterministic 64-bit FNV-1a (placement must agree across processes).
+uint64_t PlacementHash(std::string_view bytes);
+
+class PlacementRing {
+ public:
+  explicit PlacementRing(size_t virtual_nodes = 64);
+
+  /// Adds a worker's virtual nodes. Adding a present worker is a no-op.
+  void Add(const std::string& worker);
+
+  /// Removes a worker (e.g. on death). Removing an absent worker is a
+  /// no-op.
+  void Remove(const std::string& worker);
+
+  bool Contains(const std::string& worker) const;
+
+  /// The worker owning `key` (a camera id), or FailedPrecondition when
+  /// the ring is empty.
+  Result<std::string> Owner(std::string_view key) const;
+
+  /// Live workers, sorted.
+  std::vector<std::string> Workers() const;
+
+  size_t worker_count() const { return workers_.size(); }
+  size_t virtual_nodes() const { return virtual_nodes_; }
+
+ private:
+  const size_t virtual_nodes_;
+  /// Ring points ordered by (hash, worker): the worker tiebreak makes
+  /// placement deterministic even on (vanishingly rare) hash collisions.
+  std::map<std::pair<uint64_t, std::string>, std::string> ring_;
+  std::map<std::string, bool> workers_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_CLUSTER_PLACEMENT_H_

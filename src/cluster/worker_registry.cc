@@ -1,0 +1,95 @@
+#include "cluster/worker_registry.h"
+
+#include "obs/metrics.h"
+
+namespace mivid {
+
+WorkerRegistry::WorkerRegistry(std::vector<std::string> endpoints) {
+  workers_.reserve(endpoints.size());
+  for (std::string& endpoint : endpoints) {
+    auto worker = std::make_unique<WorkerConn>();
+    worker->endpoint = std::move(endpoint);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Status WorkerRegistry::ConnectAll() {
+  for (const auto& worker : workers_) {
+    Result<ServeClient> client = ServeClient::Connect(worker->endpoint);
+    if (!client.ok()) {
+      return Status::IOError("worker " + worker->endpoint +
+                             " is unreachable: " +
+                             client.status().message());
+    }
+    std::lock_guard<std::mutex> lock(worker->mu);
+    worker->client =
+        std::make_unique<ServeClient>(std::move(client).value());
+    worker->alive.store(true, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+WorkerConn* WorkerRegistry::Find(const std::string& endpoint) {
+  for (const auto& worker : workers_) {
+    if (worker->endpoint == endpoint) return worker.get();
+  }
+  return nullptr;
+}
+
+Result<std::string> WorkerRegistry::Call(WorkerConn& worker,
+                                         const std::string& line) {
+  std::lock_guard<std::mutex> lock(worker.mu);
+  if (!worker.alive.load(std::memory_order_acquire) ||
+      worker.client == nullptr) {
+    return Status::IOError("worker " + worker.endpoint + " is down");
+  }
+  Result<std::string> response = worker.client->Call(line);
+  if (!response.ok()) {
+    // The connection is gone: mark dead under the lock so no later call
+    // races a half-closed client.
+    worker.client.reset();
+    worker.alive.store(false, std::memory_order_release);
+    worker.failures.fetch_add(1, std::memory_order_relaxed);
+    MIVID_METRIC_COUNT("cluster/worker_failures", 1);
+    return Status::IOError("worker " + worker.endpoint +
+                           " failed: " + response.status().message());
+  }
+  worker.requests.fetch_add(1, std::memory_order_relaxed);
+  MIVID_METRIC_COUNT_DYN("cluster/worker/" + worker.endpoint + "/requests",
+                         1);
+  return response;
+}
+
+bool WorkerRegistry::Ping(WorkerConn& worker) {
+  return Call(worker, R"({"cmd":"ping"})").ok();
+}
+
+Status WorkerRegistry::Reconnect(WorkerConn& worker) {
+  Result<ServeClient> client = ServeClient::Connect(worker.endpoint);
+  if (!client.ok()) return client.status();
+  std::lock_guard<std::mutex> lock(worker.mu);
+  worker.client = std::make_unique<ServeClient>(std::move(client).value());
+  worker.alive.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void WorkerRegistry::MarkDead(WorkerConn& worker) {
+  std::lock_guard<std::mutex> lock(worker.mu);
+  if (!worker.alive.load(std::memory_order_acquire)) return;
+  worker.client.reset();
+  worker.alive.store(false, std::memory_order_release);
+  worker.failures.fetch_add(1, std::memory_order_relaxed);
+  MIVID_METRIC_COUNT("cluster/worker_failures", 1);
+}
+
+std::vector<std::string> WorkerRegistry::AliveEndpoints() const {
+  std::vector<std::string> out;
+  for (const auto& worker : workers_) {
+    if (worker->alive.load(std::memory_order_acquire)) {
+      out.push_back(worker->endpoint);
+    }
+  }
+  return out;
+}
+
+}  // namespace mivid

@@ -1,0 +1,81 @@
+// WorkerRegistry: the coordinator's table of worker connections.
+//
+// Each worker is one mivid_serve process reachable over TCP (or UDS),
+// identified by its endpoint string. The registry owns one ServeClient
+// per worker and a per-worker mutex serializing requests on that
+// connection — the NDJSON protocol answers in order, so one in-flight
+// request per connection keeps request/response pairing trivial while
+// distinct workers proceed in parallel (the scatter half of
+// scatter-gather).
+//
+// Health: a transport error on Call() marks the worker dead and reports
+// IOError; Ping() probes liveness explicitly. Reconnect() re-dials a
+// dead worker (a restarted process on the same endpoint rejoins the
+// fleet). The coordinator reacts to death by re-placing the worker's
+// shards (see cluster/coordinator.h).
+
+#ifndef MIVID_CLUSTER_WORKER_REGISTRY_H_
+#define MIVID_CLUSTER_WORKER_REGISTRY_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/client.h"
+
+namespace mivid {
+
+/// One worker endpoint and its (serialized) connection.
+struct WorkerConn {
+  std::string endpoint;  ///< "host:port" or a UDS path; also the ring id
+  std::mutex mu;         ///< serializes Call() on the connection
+  std::unique_ptr<ServeClient> client;  ///< null when never connected
+  std::atomic<bool> alive{false};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> failures{0};
+};
+
+class WorkerRegistry {
+ public:
+  explicit WorkerRegistry(std::vector<std::string> endpoints);
+
+  WorkerRegistry(const WorkerRegistry&) = delete;
+  WorkerRegistry& operator=(const WorkerRegistry&) = delete;
+
+  /// Dials every worker. Fails if any endpoint is unreachable — a fleet
+  /// that boots degraded is a misconfiguration, not a failover case.
+  Status ConnectAll();
+
+  /// The worker registered under `endpoint`, or nullptr.
+  WorkerConn* Find(const std::string& endpoint);
+
+  /// Sends one request line to `worker` and returns the response line.
+  /// A transport failure marks the worker dead and returns IOError.
+  Result<std::string> Call(WorkerConn& worker, const std::string& line);
+
+  /// Round-trips {"cmd":"ping"}; false (and dead) when the worker does
+  /// not answer.
+  bool Ping(WorkerConn& worker);
+
+  /// Re-dials a dead worker's endpoint; alive again on success.
+  Status Reconnect(WorkerConn& worker);
+
+  void MarkDead(WorkerConn& worker);
+
+  /// Endpoints currently alive, in registration order.
+  std::vector<std::string> AliveEndpoints() const;
+
+  const std::vector<std::unique_ptr<WorkerConn>>& workers() const {
+    return workers_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<WorkerConn>> workers_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_CLUSTER_WORKER_REGISTRY_H_

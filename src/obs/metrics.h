@@ -214,6 +214,25 @@ class ScopedHistogramTimer {
     mivid_obs_histogram.Observe(value);                         \
   } while (0)
 
+// Dynamic-name variants: no static hoist, so the metric name may be
+// computed at the call site (e.g. per-worker cluster metrics like
+// "cluster/worker/<id>/requests"). Each call pays one registry lookup —
+// fine off the hot path; prefer the hoisted macros above for fixed
+// names in inner loops.
+#define MIVID_METRIC_COUNT_DYN(name, delta)                        \
+  do {                                                             \
+    if (::mivid::MetricsEnabled()) {                               \
+      ::mivid::MetricsRegistry::Global().GetCounter(name).Increment(delta); \
+    }                                                              \
+  } while (0)
+
+#define MIVID_METRIC_OBSERVE_DYN(name, value)                      \
+  do {                                                             \
+    if (::mivid::MetricsEnabled()) {                               \
+      ::mivid::MetricsRegistry::Global().GetHistogram(name).Observe(value); \
+    }                                                              \
+  } while (0)
+
 /// Times the enclosing scope into histogram `name` (seconds).
 #define MIVID_SCOPED_TIMER(name)                                          \
   static ::mivid::Histogram& MIVID_OBS_CONCAT(mivid_obs_timer_hist_,      \

@@ -1,16 +1,70 @@
 #include "serve/client.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "common/string_util.h"
 
 namespace mivid {
 
-Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+namespace {
+
+/// Splits "host:port" / "tcp:host:port"; false when it isn't one.
+bool ParseTcpEndpoint(std::string_view endpoint, std::string* host,
+                      int* port) {
+  if (StartsWith(endpoint, "tcp:")) endpoint.remove_prefix(4);
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return false;
+  }
+  const std::string_view host_part = endpoint.substr(0, colon);
+  const std::string_view port_part = endpoint.substr(colon + 1);
+  if (host_part.find('/') != std::string_view::npos) return false;
+  int64_t value = 0;
+  if (!ParseInt64(std::string(port_part), &value) || value < 1 ||
+      value > 65535) {
+    return false;
+  }
+  *host = std::string(host_part);
+  *port = static_cast<int>(value);
+  return true;
+}
+
+Result<int> ConnectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad TCP host (need a numeric address): " +
+                                   host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IOError("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> ConnectUds(const std::string& socket_path) {
   sockaddr_un addr{};
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
     return Status::InvalidArgument("bad socket path: '" + socket_path + "'");
@@ -27,7 +81,38 @@ Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
     ::close(fd);
     return s;
   }
-  return ServeClient(fd);
+  return fd;
+}
+
+}  // namespace
+
+bool ServeClient::IsTcpEndpoint(std::string_view endpoint) {
+  std::string host;
+  int port = 0;
+  return ParseTcpEndpoint(endpoint, &host, &port);
+}
+
+Result<ServeClient> ServeClient::Connect(const std::string& endpoint) {
+  std::string host;
+  int port = 0;
+  Result<int> fd = ParseTcpEndpoint(endpoint, &host, &port)
+                       ? ConnectTcp(host, port)
+                       : ConnectUds(endpoint);
+  if (!fd.ok()) return fd.status();
+  return ServeClient(fd.value());
+}
+
+int BackoffDelayMs(const RetryPolicy& policy, int attempt, std::mt19937* rng) {
+  const int base = std::max(1, policy.base_delay_ms);
+  const int cap = std::max(base, policy.max_delay_ms);
+  int64_t delay = base;
+  for (int i = 0; i < attempt && delay < cap; ++i) delay *= 2;
+  delay = std::min<int64_t>(delay, cap);
+  if (rng != nullptr && delay > 1) {
+    std::uniform_int_distribution<int64_t> jitter(0, delay / 2);
+    delay += jitter(*rng);
+  }
+  return static_cast<int>(delay);
 }
 
 ServeClient::ServeClient(ServeClient&& other) noexcept
@@ -79,6 +164,27 @@ Result<std::string> ServeClient::Call(std::string_view request_line) {
 Result<JsonValue> ServeClient::CallJson(std::string_view request_line) {
   MIVID_ASSIGN_OR_RETURN(std::string line, Call(request_line));
   return ParseJson(line);
+}
+
+Result<std::string> ServeClient::CallWithRetry(std::string_view request_line,
+                                               const RetryPolicy& policy) {
+  std::mt19937 rng(policy.jitter_seed != 0
+                       ? static_cast<std::mt19937::result_type>(
+                             policy.jitter_seed)
+                       : std::random_device{}());
+  for (int attempt = 0;; ++attempt) {
+    MIVID_ASSIGN_OR_RETURN(std::string response, Call(request_line));
+    if (attempt >= policy.max_retries) return response;
+    Result<JsonValue> doc = ParseJson(response);
+    if (!doc.ok()) return response;
+    const JsonValue* code = doc.value().Find("code");
+    if (code == nullptr || !code->is_string() ||
+        code->string != "RESOURCE_EXHAUSTED") {
+      return response;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(BackoffDelayMs(policy, attempt, &rng)));
+  }
 }
 
 }  // namespace mivid

@@ -1,13 +1,16 @@
-// ServeClient: blocking Unix-domain-socket client for mivid_serve.
+// ServeClient: blocking client for mivid_serve and mivid_coord.
 //
-// Speaks the newline-delimited JSON protocol (serve/protocol.h): Call()
-// writes one request line and blocks for the matching response line.
-// Shared by the mivid_client tool, the CLI's remote mode, and the serve
+// Speaks the newline-delimited JSON protocol (serve/protocol.h) over a
+// Unix-domain or TCP stream socket: Call() writes one request line and
+// blocks for the matching response line. Shared by the mivid_client
+// tool, the cluster coordinator's worker connections, and the serve
 // tests, so they all exercise the same wire path.
 
 #ifndef MIVID_SERVE_CLIENT_H_
 #define MIVID_SERVE_CLIENT_H_
 
+#include <cstdint>
+#include <random>
 #include <string>
 #include <string_view>
 
@@ -16,10 +19,30 @@
 
 namespace mivid {
 
+/// Capped exponential backoff with jitter, used to retry
+/// RESOURCE_EXHAUSTED (backpressure) responses instead of surfacing them
+/// as hard errors.
+struct RetryPolicy {
+  int max_retries = 0;      ///< 0 = no retries (fail on first rejection)
+  int base_delay_ms = 50;   ///< delay before the first retry
+  int max_delay_ms = 2000;  ///< cap on the exponential growth
+  uint64_t jitter_seed = 0;  ///< 0 = seed from std::random_device
+};
+
+/// Delay before retry number `attempt` (0-based): min(base * 2^attempt,
+/// max) plus uniform jitter in [0, delay/2], so synchronized clients
+/// spread out instead of hammering the daemon in lockstep.
+int BackoffDelayMs(const RetryPolicy& policy, int attempt, std::mt19937* rng);
+
 class ServeClient {
  public:
-  /// Connects to the daemon's socket.
-  static Result<ServeClient> Connect(const std::string& socket_path);
+  /// Connects to a daemon endpoint: "host:port" or "tcp:host:port" for
+  /// TCP (port all digits, host without '/'), anything else is a
+  /// Unix-domain socket path.
+  static Result<ServeClient> Connect(const std::string& endpoint);
+
+  /// True when `endpoint` parses as a TCP address rather than a path.
+  static bool IsTcpEndpoint(std::string_view endpoint);
 
   ServeClient(ServeClient&& other) noexcept;
   ServeClient& operator=(ServeClient&& other) noexcept;
@@ -33,6 +56,13 @@ class ServeClient {
 
   /// Call() + JSON parse of the response.
   Result<JsonValue> CallJson(std::string_view request_line);
+
+  /// Like Call(), but a {"code":"RESOURCE_EXHAUSTED"} response sleeps
+  /// BackoffDelayMs and retries, up to policy.max_retries times. The
+  /// last rejection is returned verbatim when retries run out; transport
+  /// errors are never retried (the connection is gone).
+  Result<std::string> CallWithRetry(std::string_view request_line,
+                                    const RetryPolicy& policy);
 
   bool connected() const { return fd_ >= 0; }
 

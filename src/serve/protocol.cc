@@ -65,6 +65,7 @@ constexpr CmdName kCommands[] = {
     {"close", ServeCmd::kClose, true},
     {"stats", ServeCmd::kStats, false},
     {"shutdown", ServeCmd::kShutdown, false},
+    {"ping", ServeCmd::kPing, false},
 };
 
 }  // namespace
@@ -80,6 +81,11 @@ bool ValidSessionId(std::string_view id) {
 }
 
 Result<ServeRequest> ParseServeRequest(std::string_view line) {
+  if (line.size() > kMaxRequestBytes) {
+    return Status::InvalidArgument(
+        "request line exceeds " + std::to_string(kMaxRequestBytes) +
+        " bytes (" + std::to_string(line.size()) + ")");
+  }
   MIVID_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
   if (!doc.is_object()) {
     return Status::InvalidArgument("request must be a JSON object");
@@ -114,6 +120,17 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
   MIVID_ASSIGN_OR_RETURN(req.top, GetInt(doc, "top", 0));
   MIVID_ASSIGN_OR_RETURN(req.discard, GetBool(doc, "discard", false));
 
+  if (const JsonValue* cameras = doc.Find("cameras"); cameras != nullptr) {
+    if (!cameras->is_array()) return FieldError("cameras", "must be an array");
+    req.cameras.reserve(cameras->array.size());
+    for (const JsonValue& entry : cameras->array) {
+      if (!entry.is_string() || entry.string.empty()) {
+        return FieldError("cameras", "entries must be non-empty strings");
+      }
+      req.cameras.push_back(entry.string);
+    }
+  }
+
   if (req.cmd == ServeCmd::kFeedback) {
     const JsonValue* labels = doc.Find("labels");
     if (labels == nullptr || !labels->is_array()) {
@@ -130,7 +147,9 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
       MIVID_ASSIGN_OR_RETURN(std::string name, GetString(entry, "label"));
       if (name.empty()) return FieldError("labels[].label", "is required");
       MIVID_ASSIGN_OR_RETURN(BagLabel label, ParseWireLabel(name));
+      MIVID_ASSIGN_OR_RETURN(std::string camera, GetString(entry, "camera"));
       req.labels.emplace_back(bag, label);
+      req.label_cameras.push_back(std::move(camera));
     }
   }
   return req;

@@ -10,7 +10,16 @@
 //   {"cmd":"save","session":"s1"}
 //   {"cmd":"close","session":"s1","discard":false}
 //   {"cmd":"stats"}
+//   {"cmd":"ping"}
 //   {"cmd":"shutdown"}
+//
+// Cluster extensions (understood by the mivid_coord coordinator; plain
+// workers ignore them):
+//   open may carry "cameras":["cam0","cam1",...] to span a session over
+//   several corpora; feedback label entries may then carry "camera" to
+//   address a bag within one corpus. "ping" is the health probe the
+//   coordinator uses to watch its workers — the response reports the
+//   worker id and the shards (cameras) it currently holds.
 //
 // Responses always carry "ok"; failures add "code" (UPPER_SNAKE status
 // code, e.g. "RESOURCE_EXHAUSTED") and "error" (message). See
@@ -38,7 +47,13 @@ enum class ServeCmd : uint8_t {
   kClose = 4,
   kStats = 5,
   kShutdown = 6,
+  kPing = 7,
 };
+
+/// Hard bound on one request line. Longer lines are rejected with
+/// InvalidArgument, and the transport hangs up on a connection that
+/// streams this much without a newline.
+constexpr size_t kMaxRequestBytes = 1u << 20;
 
 /// One parsed request line.
 struct ServeRequest {
@@ -49,6 +64,12 @@ struct ServeRequest {
   int top = 0;         ///< rank: 0 = session top_n, -1 = full ranking
   bool discard = false;  ///< close: drop unsaved feedback
   std::vector<std::pair<int, BagLabel>> labels;  ///< feedback
+  /// Per-label camera qualifier, parallel to `labels` ("" when absent).
+  /// Used by the coordinator to address bags in multi-camera sessions;
+  /// single-corpus workers ignore it.
+  std::vector<std::string> label_cameras;
+  /// Multi-camera open (coordinator extension); empty otherwise.
+  std::vector<std::string> cameras;
 };
 
 /// Parses one request line. InvalidArgument on malformed JSON, unknown

@@ -1,13 +1,8 @@
 #include "serve/server.h"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
-#include <cstring>
+#include <cstdio>
+#include <filesystem>
 #include <future>
 
 #include "common/logging.h"
@@ -15,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "retrieval/engine_registry.h"
 
 namespace mivid {
 
@@ -23,10 +19,6 @@ namespace {
 /// Milliseconds between poll() wakeups in the accept loop; bounds both
 /// shutdown latency and the idle-eviction sweep interval.
 constexpr int kAcceptPollMs = 100;
-
-Status Errno(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
-}
 
 /// Releases one admission slot on scope exit.
 struct AdmissionSlot {
@@ -39,6 +31,64 @@ struct AdmissionSlot {
 };
 
 }  // namespace
+
+Status ValidateServeOptions(const ServeOptions& options, bool will_listen) {
+  if (will_listen && options.socket_path.empty() && options.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "no listener configured: set a socket path and/or --tcp-port");
+  }
+  if (options.tcp_port > 65535) {
+    return Status::InvalidArgument("tcp_port out of range: " +
+                                   std::to_string(options.tcp_port));
+  }
+  if (options.top_n == 0) {
+    return Status::InvalidArgument("top_n must be positive");
+  }
+  if (options.idle_timeout_ms < 0) {
+    return Status::InvalidArgument("idle_timeout_ms must be >= 0, got " +
+                                   std::to_string(options.idle_timeout_ms));
+  }
+  if (options.max_sessions == 0 && options.idle_timeout_ms > 0) {
+    return Status::InvalidArgument(
+        "idle_timeout_ms with max_sessions=0 (unbounded) would let the "
+        "session table grow faster than the idle sweep can shed it; set a "
+        "session bound or disable the timeout");
+  }
+  if (!options.default_engine.empty() &&
+      !EngineRegistered(options.default_engine)) {
+    return Status::InvalidArgument(
+        "unknown default engine '" + options.default_engine +
+        "' (registered: " + Join(RegisteredEngineNames(), ", ") + ")");
+  }
+  if (!options.worker_id.empty() && !ValidSessionId(options.worker_id)) {
+    return Status::InvalidArgument(
+        "worker_id must be 1..64 chars of [A-Za-z0-9._-], got '" +
+        options.worker_id + "'");
+  }
+  if (!options.corpus_snapshot_dir.empty()) {
+    // Probe now: an unwritable snapshot dir would otherwise degrade every
+    // cold corpus load into a mid-request warning.
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(options.corpus_snapshot_dir, ec);
+    if (ec) {
+      return Status::IOError("corpus_snapshot_dir '" +
+                             options.corpus_snapshot_dir +
+                             "' cannot be created: " + ec.message());
+    }
+    const fs::path probe =
+        fs::path(options.corpus_snapshot_dir) / ".mivid_write_probe";
+    std::FILE* f = std::fopen(probe.string().c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IOError("corpus_snapshot_dir '" +
+                             options.corpus_snapshot_dir +
+                             "' is not writable");
+    }
+    std::fclose(f);
+    fs::remove(probe, ec);
+  }
+  return Status::OK();
+}
 
 RetrievalServer::RetrievalServer(VideoDb* db, ServeOptions options)
     : db_(db),
@@ -114,6 +164,8 @@ std::string RetrievalServer::Execute(const ServeRequest& req) {
       return CmdStats(req);
     case ServeCmd::kShutdown:
       return CmdShutdown(req);
+    case ServeCmd::kPing:
+      return CmdPing(req);
   }
   return ErrorResponse(Status::Internal("unhandled command"));
 }
@@ -144,6 +196,10 @@ std::string RetrievalServer::CmdOpen(const ServeRequest& req) {
 }
 
 std::string RetrievalServer::CmdRank(const ServeRequest& req) {
+  // Serve-path rank latency on its own histogram: this is the query the
+  // cluster's p99 target is stated against (bench/micro_perf.cc reports
+  // its p99 into BENCH_micro.json).
+  MIVID_SCOPED_TIMER("serve/rank_seconds");
   Result<std::shared_ptr<ServeSession>> got = sessions_.Get(req.session_id);
   if (!got.ok()) return ErrorResponse(got.status());
   ServeSession& s = *got.value();
@@ -252,6 +308,7 @@ std::string RetrievalServer::CmdStats(const ServeRequest&) {
   JsonLineBuilder out;
   out.Bool("ok", true)
       .Str("cmd", "stats")
+      .Str("worker", options_.worker_id)
       .Int("sessions_open", static_cast<int64_t>(sessions_.open_count()))
       .Raw("sessions", ids)
       .Int("corpora_cached", static_cast<int64_t>(corpus.cached))
@@ -267,6 +324,29 @@ std::string RetrievalServer::CmdShutdown(const ServeRequest&) {
   RequestShutdown();
   JsonLineBuilder out;
   out.Bool("ok", true).Str("cmd", "shutdown").Bool("shutting_down", true);
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdPing(const ServeRequest&) {
+  // Health probe for the cluster coordinator: identity plus the shards
+  // (cameras) this worker currently holds in its corpus cache.
+  std::string cameras = "[";
+  bool first = true;
+  for (const std::string& camera : corpora_.cached_cameras()) {
+    if (!first) cameras += ',';
+    first = false;
+    cameras += '"';
+    cameras += JsonEscape(camera);
+    cameras += '"';
+  }
+  cameras += ']';
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "ping")
+      .Str("worker", options_.worker_id)
+      .Int("sessions_open", static_cast<int64_t>(sessions_.open_count()))
+      .Raw("cameras", cameras)
+      .Int("in_flight", in_flight_.load());
   return std::move(out).Build();
 }
 
@@ -294,115 +374,40 @@ bool RetrievalServer::WaitForShutdownFor(int timeout_ms) {
 }
 
 Status RetrievalServer::Start() {
-  if (options_.socket_path.empty()) {
-    return Status::InvalidArgument("socket_path is required");
+  MIVID_RETURN_IF_ERROR(ValidateServeOptions(options_, /*will_listen=*/true));
+  LineTransportOptions transport;
+  transport.uds_path = options_.socket_path;
+  transport.tcp_host = options_.tcp_host;
+  transport.tcp_port = options_.tcp_port;
+  transport.poll_ms = kAcceptPollMs;
+  transport_ = std::make_unique<LineTransport>(
+      std::move(transport),
+      [this](const std::string& line) { return HandleLine(line); },
+      [this] { sessions_.EvictIdle(); });
+  Status started = transport_->Start();
+  if (!started.ok()) {
+    transport_.reset();
+    return started;
   }
-  sockaddr_un addr{};
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("socket path too long: " +
-                                   options_.socket_path);
-  }
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return Errno("socket");
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size() + 1);
-  ::unlink(options_.socket_path.c_str());  // stale socket from a crash
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    Status s = Errno("bind " + options_.socket_path);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
-  }
-  if (::listen(listen_fd_, 64) < 0) {
-    Status s = Errno("listen");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
-  }
-  accept_thread_ = std::thread(&RetrievalServer::AcceptLoop, this);
-  MIVID_LOG(Info) << "mivid_serve listening on " << options_.socket_path;
+  MIVID_LOG(Info) << "mivid_serve listening on "
+                  << (options_.socket_path.empty() ? "<no uds>"
+                                                   : options_.socket_path)
+                  << (transport_->tcp_port() >= 0
+                          ? " and " + options_.tcp_host + ":" +
+                                std::to_string(transport_->tcp_port())
+                          : "");
   return Status::OK();
 }
 
-void RetrievalServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
-    sessions_.EvictIdle();
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back(&RetrievalServer::ConnectionLoop, this, fd);
-  }
-}
-
-void RetrievalServer::ConnectionLoop(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool open = true;
-  while (open) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t newline;
-    while (open && (newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (Trim(line).empty()) continue;
-      std::string response = HandleLine(line);
-      response += '\n';
-      size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t w = ::send(fd, response.data() + sent,
-                                 response.size() - sent, MSG_NOSIGNAL);
-        if (w <= 0) {
-          open = false;
-          break;
-        }
-        sent += static_cast<size_t>(w);
-      }
-    }
-  }
-  // Deregister before closing so Stop() never shuts down a recycled fd.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
-      if (*it == fd) {
-        conn_fds_.erase(it);
-        break;
-      }
-    }
-  }
-  ::close(fd);
+int RetrievalServer::tcp_port() const {
+  return transport_ != nullptr ? transport_->tcp_port() : -1;
 }
 
 void RetrievalServer::Stop() {
   if (stopped_) return;
   stopping_.store(true, std::memory_order_release);
   RequestShutdown();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  // The accept thread is joined, so conn_threads_ is stable now.
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
-  }
-  conn_threads_.clear();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(options_.socket_path.c_str());
-  }
+  if (transport_ != nullptr) transport_->Stop();
   Status saved = sessions_.SaveAll();
   if (!saved.ok()) {
     MIVID_LOG(Warn) << "failed to journal sessions on shutdown: "

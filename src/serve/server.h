@@ -1,13 +1,19 @@
-// RetrievalServer: the mivid_serve daemon core.
+// RetrievalServer: the mivid_serve daemon core, and the worker role of
+// a mivid_coord cluster.
 //
 // A long-lived process hosting many concurrent interactive retrieval
-// sessions over one database. Clients speak newline-delimited JSON over a
-// Unix-domain stream socket (see serve/protocol.h); every request
-// dispatches through the RetrievalEngine interface, so each session can
-// run any registered learner.
+// sessions over one database. Clients speak newline-delimited JSON over
+// a Unix-domain stream socket and/or a TCP socket (see
+// serve/line_transport.h and serve/protocol.h); every request dispatches
+// through the RetrievalEngine interface, so each session can run any
+// registered learner. With a `worker_id` and a TCP port set, the same
+// process serves as one worker of a coordinator/worker fleet
+// (src/cluster/): the coordinator routes sessions here by consistent-hash
+// placement of their cameras and probes liveness with `ping`.
 //
 // Concurrency model:
-//  * One accept thread; one thread per connection reading lines.
+//  * One accept thread; one thread per connection reading lines
+//    (LineTransport).
 //  * Request execution runs on the process-wide ThreadPool (inline when
 //    the pool is disabled, i.e. MIVID_THREADS=1). Admission is bounded:
 //    when `max_pending` requests are already in flight the server answers
@@ -26,12 +32,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "serve/corpus_manager.h"
+#include "serve/line_transport.h"
 #include "serve/protocol.h"
 #include "serve/session_manager.h"
 
@@ -39,7 +46,10 @@ namespace mivid {
 
 /// Daemon configuration.
 struct ServeOptions {
-  std::string socket_path;  ///< Unix-domain socket to listen on
+  std::string socket_path;  ///< Unix-domain socket; "" = no UDS listener
+  int tcp_port = -1;        ///< TCP listener; <0 = off, 0 = kernel-assigned
+  std::string tcp_host = "127.0.0.1";  ///< TCP bind address
+  std::string worker_id;    ///< fleet identity reported by ping/stats
   std::string default_engine = "milrf";
   size_t max_pending = 64;   ///< in-flight request bound; 0 = unbounded
   size_t max_sessions = 64;  ///< live session bound; 0 = unbounded
@@ -55,6 +65,14 @@ struct ServeOptions {
   std::function<void(const ServeRequest&)> admission_hook;
 };
 
+/// Startup validation of one option bundle: every listener/limit/path
+/// combination that can only fail mid-request later is rejected here with
+/// a clear message instead. `will_listen` additionally requires at least
+/// one configured listener (in-process HandleLine tests pass false).
+/// Probes `corpus_snapshot_dir` for writability (creating it if absent).
+Status ValidateServeOptions(const ServeOptions& options,
+                            bool will_listen = true);
+
 class RetrievalServer {
  public:
   /// `db` must outlive the server.
@@ -69,8 +87,12 @@ class RetrievalServer {
   /// socket, shared by connection threads and in-process tests.
   std::string HandleLine(const std::string& line);
 
-  /// Binds the socket and starts accepting connections.
+  /// Validates the options, binds the configured listeners (UDS and/or
+  /// TCP), and starts accepting connections.
   Status Start();
+
+  /// The bound TCP port after Start() (resolves --tcp-port=0), or -1.
+  int tcp_port() const;
 
   /// Blocks until a shutdown command arrives or Stop() is called.
   void WaitForShutdown();
@@ -100,25 +122,19 @@ class RetrievalServer {
   std::string CmdClose(const ServeRequest& req);
   std::string CmdStats(const ServeRequest& req);
   std::string CmdShutdown(const ServeRequest& req);
+  std::string CmdPing(const ServeRequest& req);
 
-  void AcceptLoop();
-  void ConnectionLoop(int fd);
   void RequestShutdown();
 
   VideoDb* db_;
   const ServeOptions options_;
   CorpusManager corpora_;
   SessionManager sessions_;
+  std::unique_ptr<LineTransport> transport_;
 
   std::atomic<int> in_flight_{0};
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> rejected_{0};
-
-  int listen_fd_ = -1;
-  std::thread accept_thread_;
-  std::mutex conn_mu_;  ///< guards conn_fds_ and conn_threads_
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  ///< Stop() ran to completion (main thread only)
 

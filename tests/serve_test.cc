@@ -2,6 +2,7 @@
 // journaling/resume, the request loop (admission, backpressure, errors),
 // and the serve-vs-in-process bit-identical-ranking guarantee.
 
+#include <unistd.h>
 #include <cstdio>
 #include <filesystem>
 #include <map>
@@ -14,6 +15,7 @@
 #include "db/query_engine.h"
 #include "db/video_db.h"
 #include "obs/json.h"
+#include "serve/client.h"
 #include "serve/corpus_manager.h"
 #include "serve/server.h"
 #include "trafficsim/scenarios.h"
@@ -25,8 +27,12 @@ namespace fs = std::filesystem;
 
 class TempDir {
  public:
+  // The pid suffix keeps concurrent test processes (ctest -j runs each
+  // gtest case in its own process) from clobbering each other's db.
   explicit TempDir(const char* name)
-      : path_((fs::temp_directory_path() / name).string()) {
+      : path_((fs::temp_directory_path() /
+               (std::string(name) + "." + std::to_string(getpid())))
+                  .string()) {
     fs::remove_all(path_);
   }
   ~TempDir() { fs::remove_all(path_); }
@@ -543,6 +549,163 @@ TEST(SessionStoreV2Test, ReadsVersion1RecordsWithDefaultEngine) {
   EXPECT_EQ(state->round, 2);
   ASSERT_EQ(state->labels.size(), 1u);
   EXPECT_EQ(state->labels[0], (std::pair<int, BagLabel>{9, BagLabel::kRelevant}));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol error paths: cluster extensions, oversized lines, unknown
+// commands, shutdown racing an in-flight rank.
+
+TEST(ServeProtocolTest, ParsesClusterExtensions) {
+  auto open = ParseServeRequest(
+      R"({"cmd":"open","session":"m1","cameras":["camA","camB"]})");
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open->cameras, (std::vector<std::string>{"camA", "camB"}));
+
+  auto feedback = ParseServeRequest(
+      R"({"cmd":"feedback","session":"m1","labels":[)"
+      R"({"bag":3,"label":"relevant","camera":"camA"},)"
+      R"({"bag":1,"label":"irrelevant"}]})");
+  ASSERT_TRUE(feedback.ok()) << feedback.status().ToString();
+  ASSERT_EQ(feedback->label_cameras.size(), 2u);
+  EXPECT_EQ(feedback->label_cameras[0], "camA");
+  EXPECT_EQ(feedback->label_cameras[1], "");
+
+  EXPECT_TRUE(ParseServeRequest(R"({"cmd":"ping"})").ok());
+  // camera entries must be non-empty strings
+  EXPECT_TRUE(
+      ParseServeRequest(R"({"cmd":"open","session":"m1","cameras":[""]})")
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(ServeProtocolTest, OversizedRequestLineIsRejected) {
+  std::string line = R"({"cmd":"stats","pad":")";
+  line.append(kMaxRequestBytes, 'x');
+  line += "\"}";
+  EXPECT_TRUE(ParseServeRequest(line).status().IsInvalidArgument());
+  // Through the full server path: one error response, not a hang or an
+  // unbounded buffer.
+  RetrievalServer server(Env().db.get(), TestServeOptions());
+  EXPECT_EQ(ErrorCode(Parse(server.HandleLine(line))), "INVALID_ARGUMENT");
+}
+
+TEST(ServeServerTest, UnknownCommandAndEmptyLineGetErrorResponses) {
+  RetrievalServer server(Env().db.get(), TestServeOptions());
+  EXPECT_EQ(ErrorCode(Parse(server.HandleLine(R"({"cmd":"explode"})"))),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode(Parse(server.HandleLine(""))), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode(Parse(server.HandleLine(R"({"cmd":17})"))),
+            "INVALID_ARGUMENT");
+}
+
+TEST(ServeServerTest, ShutdownRacingInflightRankCompletesBoth) {
+  ServeOptions options = TestServeOptions();
+  RetrievalServer* live = nullptr;
+  std::string shutdown_response;
+  // The hook fires while the rank request holds its admission slot, so
+  // the shutdown lands mid-request — deterministically, no sleeps.
+  options.admission_hook = [&](const ServeRequest& req) {
+    if (req.cmd != ServeCmd::kRank) return;
+    shutdown_response = live->HandleLine(R"({"cmd":"shutdown"})");
+  };
+  RetrievalServer server(Env().db.get(), options);
+  live = &server;
+  ASSERT_TRUE(IsOk(Parse(server.HandleLine(
+      R"({"cmd":"open","session":"race","camera":"camA"})"))));
+
+  JsonValue rank =
+      Parse(server.HandleLine(R"({"cmd":"rank","session":"race"})"));
+  EXPECT_TRUE(IsOk(rank)) << ErrorCode(rank);  // in-flight rank completes
+  ASSERT_FALSE(shutdown_response.empty());
+  EXPECT_TRUE(IsOk(Parse(shutdown_response)));
+  EXPECT_TRUE(server.WaitForShutdownFor(0));
+  server.Stop();
+}
+
+TEST(ServeServerTest, PingReportsWorkerIdentityAndShards) {
+  ServeOptions options = TestServeOptions();
+  options.worker_id = "w7";
+  RetrievalServer server(Env().db.get(), options);
+  ASSERT_TRUE(IsOk(Parse(server.HandleLine(
+      R"({"cmd":"open","session":"pg","camera":"camA"})"))));
+  JsonValue ping = Parse(server.HandleLine(R"({"cmd":"ping"})"));
+  ASSERT_TRUE(IsOk(ping));
+  EXPECT_EQ(ping.Find("worker")->string, "w7");
+  EXPECT_EQ(ping.Find("sessions_open")->number, 1);
+  const JsonValue* cameras = ping.Find("cameras");
+  ASSERT_TRUE(cameras != nullptr && cameras->is_array());
+  ASSERT_EQ(cameras->array.size(), 1u);
+  EXPECT_EQ(cameras->array[0].string, "camA");
+}
+
+// ---------------------------------------------------------------------------
+// Startup validation: inconsistent option bundles fail before any bind.
+
+TEST(ServeOptionsTest, ValidationFailsFast) {
+  ServeOptions good;
+  good.socket_path = "/tmp/mivid_validate.sock";
+  EXPECT_TRUE(ValidateServeOptions(good).ok());
+
+  ServeOptions no_listener;
+  EXPECT_TRUE(ValidateServeOptions(no_listener).IsInvalidArgument());
+  // in-process use (tests) is allowed to skip the listener
+  EXPECT_TRUE(ValidateServeOptions(no_listener, /*will_listen=*/false).ok());
+
+  ServeOptions bad_port = good;
+  bad_port.tcp_port = 70000;
+  EXPECT_TRUE(ValidateServeOptions(bad_port).IsInvalidArgument());
+
+  ServeOptions zero_top = good;
+  zero_top.top_n = 0;
+  EXPECT_TRUE(ValidateServeOptions(zero_top).IsInvalidArgument());
+
+  // Unbounded session table + idle sweeps is a footgun pair.
+  ServeOptions unbounded = good;
+  unbounded.max_sessions = 0;
+  unbounded.idle_timeout_ms = 1000;
+  EXPECT_TRUE(ValidateServeOptions(unbounded).IsInvalidArgument());
+
+  ServeOptions bad_engine = good;
+  bad_engine.default_engine = "svm9000";
+  EXPECT_TRUE(ValidateServeOptions(bad_engine).IsInvalidArgument());
+
+  ServeOptions bad_worker = good;
+  bad_worker.worker_id = "a/b";
+  EXPECT_TRUE(ValidateServeOptions(bad_worker).IsInvalidArgument());
+
+  // An unwritable snapshot dir is caught at startup, not mid-request:
+  // nesting the dir under a regular file makes creation fail portably.
+  TempDir dir("mivid_validate_snapdir");
+  fs::create_directories(dir.path());
+  const std::string file = dir.path() + "/plain_file";
+  { std::FILE* f = std::fopen(file.c_str(), "wb"); ASSERT_NE(f, nullptr);
+    std::fclose(f); }
+  ServeOptions bad_dir = good;
+  bad_dir.corpus_snapshot_dir = file + "/nested";
+  EXPECT_TRUE(ValidateServeOptions(bad_dir).IsIOError());
+}
+
+// ---------------------------------------------------------------------------
+// Client retry backoff.
+
+TEST(RetryPolicyTest, BackoffGrowsAndCaps) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 50;
+  policy.max_delay_ms = 400;
+  std::mt19937 rng(42);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const int base = std::min(50 << attempt, 400);
+    const int delay = BackoffDelayMs(policy, attempt, &rng);
+    EXPECT_GE(delay, base) << attempt;
+    EXPECT_LE(delay, base + base / 2) << attempt;  // jitter <= delay/2
+  }
+  // Without an rng there is no jitter: exact doubling then the cap.
+  EXPECT_EQ(BackoffDelayMs(policy, 0, nullptr), 50);
+  EXPECT_EQ(BackoffDelayMs(policy, 2, nullptr), 200);
+  EXPECT_EQ(BackoffDelayMs(policy, 10, nullptr), 400);
+  // Deterministic for a fixed rng state (reproducible tests and runs).
+  std::mt19937 a(7), b(7);
+  EXPECT_EQ(BackoffDelayMs(policy, 3, &a), BackoffDelayMs(policy, 3, &b));
 }
 
 TEST(ServeServerTest, EveryRegisteredEngineServes) {

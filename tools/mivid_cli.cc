@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/coordinator.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "db/query_engine.h"
@@ -326,13 +327,19 @@ int CmdSessions(const Args& args) {
 volatile std::sig_atomic_t g_signal = 0;
 void OnSignal(int) { g_signal = 1; }
 
+/// "none" as a socket-path positional disables the Unix-domain listener
+/// (TCP-only daemon).
+std::string SocketPathArg(const std::string& arg) {
+  return arg == "none" ? std::string() : arg;
+}
+
 int CmdServe(const Args& args) {
   if (args.positional.size() != 2) return BadArgs(*FindSubcommand("serve"));
   Result<std::unique_ptr<VideoDb>> db = OpenDb(args.positional[0], false);
   if (!db.ok()) return Fail(db.status());
 
   ServeOptions options;
-  options.socket_path = args.positional[1];
+  options.socket_path = SocketPathArg(args.positional[1]);
   if (const std::string* engine_name = args.Flag("engine")) {
     if (!EngineRegistered(*engine_name)) {
       return Fail(Status::InvalidArgument(
@@ -360,14 +367,39 @@ int CmdServe(const Args& args) {
   if (const std::string* dir = args.Flag("snapshot-dir")) {
     options.corpus_snapshot_dir = *dir;
   }
+  // --tcp-port admits 0 (kernel-assigned), so presence matters, not sign.
+  if (args.Flag("tcp-port") != nullptr) {
+    v = -1;
+    if (!args.FlagInt("tcp-port", &v) || v < 0) {
+      return BadArgs(*FindSubcommand("serve"));
+    }
+    options.tcp_port = static_cast<int>(v);
+  }
+  if (const std::string* host = args.Flag("tcp-host")) {
+    options.tcp_host = *host;
+  }
+  if (const std::string* id = args.Flag("worker-id")) {
+    options.worker_id = *id;
+  }
+
+  // Fail fast on inconsistent options before any socket is bound.
+  const Status valid = ValidateServeOptions(options);
+  if (!valid.ok()) return Fail(valid);
 
   RetrievalServer server(db.value().get(), options);
   const Status started = server.Start();
   if (!started.ok()) return Fail(started);
   std::printf("mivid_serve on %s (engine=%s, max_pending=%zu, "
               "max_sessions=%zu)\n",
-              options.socket_path.c_str(), options.default_engine.c_str(),
-              options.max_pending, options.max_sessions);
+              options.socket_path.empty() ? "(no socket)"
+                                          : options.socket_path.c_str(),
+              options.default_engine.c_str(), options.max_pending,
+              options.max_sessions);
+  if (server.tcp_port() >= 0) {
+    // The resolved port line is what scripts grep when they ask for an
+    // ephemeral port with --tcp-port=0.
+    std::printf("mivid_serve tcp_port=%d\n", server.tcp_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
@@ -377,6 +409,61 @@ int CmdServe(const Args& args) {
   std::printf("mivid_serve: shutting down (%s)\n",
               g_signal != 0 ? "signal" : "shutdown command");
   server.Stop();
+  return 0;
+}
+
+int CmdCoord(const Args& args) {
+  if (args.positional.size() != 1) return BadArgs(*FindSubcommand("coord"));
+
+  CoordinatorOptions options;
+  options.socket_path = SocketPathArg(args.positional[0]);
+  const std::string* workers = args.Flag("workers");
+  if (workers == nullptr) return BadArgs(*FindSubcommand("coord"));
+  for (const std::string& endpoint : Split(*workers, ',')) {
+    if (!endpoint.empty()) options.workers.push_back(endpoint);
+  }
+  int64_t v = 0;
+  if (!args.FlagInt("top", &v)) return BadArgs(*FindSubcommand("coord"));
+  if (v > 0) options.top_n = static_cast<int>(v);
+  if (args.Flag("tcp-port") != nullptr) {
+    v = -1;
+    if (!args.FlagInt("tcp-port", &v) || v < 0) {
+      return BadArgs(*FindSubcommand("coord"));
+    }
+    options.tcp_port = static_cast<int>(v);
+  }
+  if (const std::string* host = args.Flag("tcp-host")) {
+    options.tcp_host = *host;
+  }
+  v = 0;
+  if (!args.FlagInt("heartbeat-ms", &v)) return BadArgs(*FindSubcommand("coord"));
+  if (v > 0) options.heartbeat_ms = static_cast<int>(v);
+  v = 0;
+  if (!args.FlagInt("vnodes", &v)) return BadArgs(*FindSubcommand("coord"));
+  if (v > 0) options.virtual_nodes = static_cast<size_t>(v);
+
+  const Status valid = ValidateCoordinatorOptions(options);
+  if (!valid.ok()) return Fail(valid);
+
+  Coordinator coord(options);
+  const Status started = coord.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("mivid_coord on %s fronting %zu worker(s)\n",
+              options.socket_path.empty() ? "(no socket)"
+                                          : options.socket_path.c_str(),
+              options.workers.size());
+  if (coord.tcp_port() >= 0) {
+    std::printf("mivid_coord tcp_port=%d\n", coord.tcp_port());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_signal == 0 && !coord.WaitForShutdownFor(200)) {
+  }
+  std::printf("mivid_coord: shutting down (%s)\n",
+              g_signal != 0 ? "signal" : "shutdown command");
+  coord.Stop();
   return 0;
 }
 
@@ -398,8 +485,8 @@ const std::vector<Subcommand>& Subcommands() {
       {"sessions", "<db>", "list journaled retrieval sessions", "",
        CmdSessions},
       {"engines", "", "list registered retrieval engines", "", CmdEngines},
-      {"serve", "<db> <socket-path> [flags]",
-       "host the retrieval daemon on a Unix socket",
+      {"serve", "<db> <socket-path|none> [flags]",
+       "host the retrieval daemon (worker) on a Unix socket and/or TCP",
        "  --engine=<name>       default engine for new sessions (milrf)\n"
        "  --max-pending=N       in-flight request bound before\n"
        "                        RESOURCE_EXHAUSTED backpressure (64)\n"
@@ -408,9 +495,26 @@ const std::vector<Subcommand>& Subcommands() {
        "  --top=N               results per round (20)\n"
        "  --snapshot-dir=<dir>  cache packed corpus snapshots here for\n"
        "                        zero-copy mmap loads on later starts\n"
+       "  --tcp-port=N          also listen on TCP (0 = kernel-assigned;\n"
+       "                        the bound port is printed at startup)\n"
+       "  --tcp-host=<addr>     TCP bind address (127.0.0.1)\n"
+       "  --worker-id=<id>      fleet identity reported by ping/stats\n"
        "  stops on SIGINT/SIGTERM or a {\"cmd\":\"shutdown\"} request;\n"
        "  sessions are journaled to the database either way\n",
        CmdServe},
+      {"coord", "<socket-path|none> --workers=<ep,ep,...> [flags]",
+       "front a worker fleet with the cluster coordinator",
+       "  --workers=<eps>       comma-separated worker endpoints\n"
+       "                        (host:port or socket paths); required\n"
+       "  --top=N               default rank depth (20)\n"
+       "  --tcp-port=N          also listen on TCP (0 = kernel-assigned)\n"
+       "  --tcp-host=<addr>     TCP bind address (127.0.0.1)\n"
+       "  --heartbeat-ms=N      probe workers every N ms and re-admit\n"
+       "                        restarted ones (off: lazy failover only)\n"
+       "  --vnodes=N            placement-ring points per worker (64)\n"
+       "  speaks the same protocol as serve; single-camera sessions are\n"
+       "  passthrough, open with \"cameras\":[...] scatter-gathers rank\n",
+       CmdCoord},
   };
   return kCommands;
 }
@@ -472,7 +576,8 @@ int main(int argc, char** argv) {
   const Args args = ParseArgs(
       std::vector<std::string>(words.begin() + 1, words.end()),
       {"engine", "max-pending", "max-sessions", "idle-timeout-ms", "top",
-       "snapshot-dir"});
+       "snapshot-dir", "tcp-port", "tcp-host", "worker-id", "workers",
+       "heartbeat-ms", "vnodes"});
   if (args.help) return PrintCommandHelp(*cmd);
 
   // Dispatch, then flush the requested observability outputs regardless

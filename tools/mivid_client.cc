@@ -1,10 +1,17 @@
-// mivid_client: command-line client for the mivid_serve daemon.
+// mivid_client: command-line client for mivid_serve and mivid_coord.
 //
-//   mivid_client <socket> <json-request>   send one request, print the
-//                                          response line
-//   mivid_client <socket>                  read request lines from stdin,
-//                                          print one response line each
-//                                          (scripted conversations)
+//   mivid_client <endpoint> <json-request>  send one request, print the
+//                                           response line
+//   mivid_client <endpoint>                 read request lines from stdin,
+//                                           print one response line each
+//                                           (scripted conversations)
+//
+// <endpoint> is a Unix socket path or host:port / tcp:host:port.
+//
+// RESOURCE_EXHAUSTED responses (admission backpressure) are retried with
+// capped exponential backoff + jitter, --max-retries times, before being
+// surfaced — a loaded daemon sheds a burst without every scripted client
+// dying.
 //
 // Exit status is 0 only when every response was {"ok":true,...}, so
 // shell scripts (and the CI smoke test) can assert on whole
@@ -22,17 +29,22 @@ using namespace mivid;
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: mivid_client <socket-path> [json-request]\n"
-               "  with no request argument, reads one request per line "
-               "from stdin\n");
+  std::fprintf(
+      stderr,
+      "usage: mivid_client [flags] <endpoint> [json-request]\n"
+      "  <endpoint>           socket path or host:port (TCP)\n"
+      "  --max-retries=N      retries on RESOURCE_EXHAUSTED (5; 0 = off)\n"
+      "  --retry-base-ms=N    delay before the first retry (50)\n"
+      "  --retry-max-ms=N     backoff cap (2000)\n"
+      "  with no request argument, reads one request per line from stdin\n");
   return 2;
 }
 
 /// Sends one line; prints the response. Returns 0/1 for ok/error
 /// responses, 3 on transport failure.
-int RoundTrip(ServeClient& client, const std::string& line) {
-  Result<std::string> response = client.Call(line);
+int RoundTrip(ServeClient& client, const RetryPolicy& retry,
+              const std::string& line) {
+  Result<std::string> response = client.CallWithRetry(line, retry);
   if (!response.ok()) {
     std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
     return 3;
@@ -50,24 +62,63 @@ int RoundTrip(ServeClient& client, const std::string& line) {
   return 1;
 }
 
+bool ParseIntFlag(const std::string& arg, std::string_view name,
+                  int64_t* out, bool* matched) {
+  const std::string prefix = "--" + std::string(name) + "=";
+  if (!StartsWith(arg, prefix)) {
+    *matched = false;
+    return true;
+  }
+  *matched = true;
+  return ParseInt64(arg.substr(prefix.size()), out) && *out >= 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) return Usage();
+  RetryPolicy retry;
+  retry.max_retries = 5;
 
-  Result<ServeClient> client = ServeClient::Connect(argv[1]);
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int64_t v = 0;
+    bool matched = false;
+    if (!ParseIntFlag(arg, "max-retries", &v, &matched)) return Usage();
+    if (matched) {
+      retry.max_retries = static_cast<int>(v);
+      continue;
+    }
+    if (!ParseIntFlag(arg, "retry-base-ms", &v, &matched)) return Usage();
+    if (matched) {
+      retry.base_delay_ms = static_cast<int>(v);
+      continue;
+    }
+    if (!ParseIntFlag(arg, "retry-max-ms", &v, &matched)) return Usage();
+    if (matched) {
+      retry.max_delay_ms = static_cast<int>(v);
+      continue;
+    }
+    if (StartsWith(arg, "--")) return Usage();
+    positional.push_back(arg);
+  }
+  if (positional.empty() || positional.size() > 2) return Usage();
+
+  Result<ServeClient> client = ServeClient::Connect(positional[0]);
   if (!client.ok()) {
     std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
     return 3;
   }
 
-  if (argc == 3) return RoundTrip(client.value(), argv[2]);
+  if (positional.size() == 2) {
+    return RoundTrip(client.value(), retry, positional[1]);
+  }
 
   int rc = 0;
   std::string line;
   while (std::getline(std::cin, line)) {
     if (Trim(line).empty()) continue;
-    const int one = RoundTrip(client.value(), line);
+    const int one = RoundTrip(client.value(), retry, line);
     if (one == 3) return 3;  // daemon gone: no point reading further
     if (one != 0) rc = 1;
   }
