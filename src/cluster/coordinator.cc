@@ -7,14 +7,72 @@
 #include "cluster/merger.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/version.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/metrics_wire.h"
+#include "obs/trace.h"
+#include "obs/trace_stitch.h"
 
 namespace mivid {
 
 namespace {
 
 constexpr int kAcceptPollMs = 100;
+
+/// Stable span names for tracing coordinator-side command handling
+/// (literals — span names must outlive the trace buffer).
+const char* CoordSpanName(ServeCmd cmd) {
+  switch (cmd) {
+    case ServeCmd::kOpen:
+      return "coord/open";
+    case ServeCmd::kRank:
+      return "coord/rank";
+    case ServeCmd::kFeedback:
+      return "coord/feedback";
+    case ServeCmd::kSave:
+      return "coord/save";
+    case ServeCmd::kClose:
+      return "coord/close";
+    case ServeCmd::kStats:
+      return "coord/stats";
+    case ServeCmd::kShutdown:
+      return "coord/shutdown";
+    case ServeCmd::kPing:
+      return "coord/ping";
+    case ServeCmd::kMetrics:
+      return "coord/metrics";
+    case ServeCmd::kClusterStats:
+      return "coord/cluster_stats";
+    case ServeCmd::kTraceDump:
+      return "coord/trace_dump";
+  }
+  return "coord/other";
+}
+
+/// The trace context of the request being handled on this thread (set by
+/// HandleLine for the duration of one request). Fan-out lines built deep
+/// in the command handlers read it instead of threading a parameter
+/// through every layer.
+thread_local const TraceContext* t_request_trace = nullptr;
+
+struct RequestTraceScope {
+  const TraceContext* previous;
+  explicit RequestTraceScope(const TraceContext* context)
+      : previous(t_request_trace) {
+    if (context != nullptr) t_request_trace = context;
+  }
+  ~RequestTraceScope() { t_request_trace = previous; }
+};
+
+/// Stamps the current request's trace context onto a fan-out line under
+/// construction, so the worker's span parents under the coordinator's.
+void StampRequestTrace(JsonLineBuilder& line) {
+  if (t_request_trace != nullptr) {
+    line.Str("trace", t_request_trace->trace_id)
+        .Str("span", t_request_trace->span_id);
+  }
+}
 
 /// True when a worker response line says {"ok":true,...}.
 bool ResponseOk(const std::string& line) {
@@ -74,7 +132,18 @@ Coordinator::Coordinator(CoordinatorOptions options)
     : options_(std::move(options)),
       registry_(options_.workers),
       ring_(options_.virtual_nodes),
-      last_heartbeat_(std::chrono::steady_clock::now()) {}
+      last_heartbeat_(std::chrono::steady_clock::now()) {
+  if (!options_.access_log_path.empty() || !options_.slow_log_path.empty()) {
+    AccessLog::Options log;
+    log.path = options_.access_log_path;
+    log.slow_path = options_.slow_log_path;
+    log.slow_threshold_ms = options_.slow_threshold_ms;
+    Status opened = access_log_.Open(log);
+    if (!opened.ok()) {
+      MIVID_LOG(Warn) << "access log disabled: " << opened.ToString();
+    }
+  }
+}
 
 Coordinator::~Coordinator() { Stop(); }
 
@@ -150,6 +219,78 @@ std::string Coordinator::HandleLine(const std::string& line) {
     return ErrorResponse(parsed.status());
   }
   const ServeRequest& req = parsed.value();
+
+  // Root (or continue) the distributed trace at admission: this span is
+  // the cluster-wide parent of everything the request touches. When the
+  // client supplied no context, every line relayed or fanned out below
+  // is stamped with it, so worker spans nest under the coordinator's in
+  // the stitched fleet timeline.
+  ContextSpan span(CoordSpanName(req.cmd), req.trace_id, req.parent_span);
+  RequestTraceScope trace_scope(span.active() ? &span.context() : nullptr);
+  const std::string* relay = &line;
+  std::string stamped;
+  if (span.active() && req.trace_id.empty()) {
+    // Only lines that carried no context are stamped: a duplicate
+    // "trace" key would shadow the client's ids (Find returns the first
+    // member), so client-supplied contexts are relayed untouched.
+    stamped = StampTraceContext(line, span.context().trace_id,
+                                span.context().span_id);
+    relay = &stamped;
+  }
+
+  const bool audited = access_log_.enabled();
+  RequestAudit audit;
+  RequestAuditScope audit_scope(audited ? &audit : nullptr);
+  std::chrono::steady_clock::time_point started;
+  if (audited) started = std::chrono::steady_clock::now();
+
+  std::string response = Route(req, *relay);
+
+  if (audited) {
+    AccessRecord record;
+    record.role = "coordinator";
+    record.node = GetLogIdentity().empty() ? "coord" : GetLogIdentity();
+    record.cmd = ServeCmdWireName(req.cmd);
+    record.session = req.session_id;
+    record.engine = req.engine;
+    record.status = ResponseStatusCode(response);
+    record.trace_id =
+        span.active() ? span.context().trace_id : req.trace_id;
+    record.cameras = req.cameras;
+    if (record.cameras.empty() && !req.camera_id.empty()) {
+      record.cameras.push_back(req.camera_id);
+    }
+    // Session-addressed requests name no camera on the wire; recover the
+    // fan-out from the routed session so a slow multi-camera rank logs
+    // which corpora it touched. (The request is already answered — this
+    // lock is uncontended bookkeeping, and close has simply dropped the
+    // session, leaving the list empty.)
+    if ((record.cameras.empty() || record.engine.empty()) &&
+        !req.session_id.empty()) {
+      if (std::shared_ptr<CoordSession> session =
+              FindSession(req.session_id)) {
+        std::lock_guard<std::mutex> session_lock(session->mu);
+        if (record.engine.empty()) record.engine = session->engine;
+        if (record.cameras.empty()) {
+          for (const SubSession& sub : session->subs) {
+            record.cameras.push_back(sub.camera);
+          }
+        }
+      }
+    }
+    record.bytes_in = line.size();
+    record.bytes_out = response.size();
+    record.total_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+    record.audit = audit;
+    access_log_.Write(record);
+  }
+  return response;
+}
+
+std::string Coordinator::Route(const ServeRequest& req,
+                               const std::string& line) {
   switch (req.cmd) {
     case ServeCmd::kOpen:
       return CmdOpen(req, line);
@@ -164,6 +305,24 @@ std::string Coordinator::HandleLine(const std::string& line) {
       return CmdStats();
     case ServeCmd::kPing:
       return CmdPing();
+    case ServeCmd::kMetrics: {
+      // The coordinator's own registry snapshot (fleet rollup lives
+      // under cluster_stats).
+      JsonLineBuilder out;
+      out.Bool("ok", true)
+          .Str("cmd", "metrics")
+          .Str("role", "coordinator")
+          .Str("version", kMividVersion)
+          .Bool("metrics_enabled", MetricsEnabled())
+          .Int("uptime_s", UptimeSeconds())
+          .Raw("metrics", MetricsSnapshotToWireJson(
+                              MetricsRegistry::Global().Snapshot()));
+      return std::move(out).Build();
+    }
+    case ServeCmd::kClusterStats:
+      return CmdClusterStats();
+    case ServeCmd::kTraceDump:
+      return CmdTraceDump();
     case ServeCmd::kShutdown: {
       RequestShutdown();
       JsonLineBuilder out;
@@ -187,6 +346,7 @@ std::string Coordinator::OpenLineFor(const CoordSession& session,
   line.Str("cmd", "open").Str("session", sub.sub_id).Str("camera",
                                                          sub.camera);
   if (!session.engine.empty()) line.Str("engine", session.engine);
+  StampRequestTrace(line);
   return std::move(line).Build();
 }
 
@@ -403,58 +563,85 @@ std::string Coordinator::CmdRank(const ServeRequest& req,
                                  : 0;  // full ranking
   MIVID_METRIC_COUNT("cluster/fanout_requests",
                      static_cast<int64_t>(session->subs.size()));
-  std::vector<std::future<Result<std::string>>> futures;
-  futures.reserve(session->subs.size());
-  for (SubSession& sub : session->subs) {
-    JsonLineBuilder sub_line;
-    sub_line.Str("cmd", "rank").Str("session", sub.sub_id).Int(
-        "top", req.top < 0 ? -1 : static_cast<int64_t>(k));
-    futures.push_back(std::async(
-        std::launch::async,
-        [this, &session, &sub, request = std::move(sub_line).Build()] {
-          return CallSub(*session, sub, request);
-        }));
-  }
-
   std::vector<std::vector<ClusterScoredBag>> parts;
   parts.reserve(session->subs.size());
   int64_t total = 0;
-  for (size_t i = 0; i < futures.size(); ++i) {
-    Result<std::string> response = futures[i].get();
-    const std::string& camera = session->subs[i].camera;
-    if (!response.ok()) {
-      // Drain remaining futures before returning (they capture refs).
-      for (size_t j = i + 1; j < futures.size(); ++j) futures[j].wait();
-      return ErrorResponse(response.status());
+  {
+    // The scatter-gather half of the request gets its own child span;
+    // fan-out lines are stamped with it, so per-worker rank spans nest
+    // under coord/scatter in the stitched timeline.
+    ContextSpan scatter_span(
+        "coord/scatter",
+        t_request_trace != nullptr ? t_request_trace->trace_id
+                                   : std::string(),
+        t_request_trace != nullptr ? t_request_trace->span_id
+                                   : std::string());
+    RequestTraceScope scatter_scope(
+        scatter_span.active() ? &scatter_span.context() : nullptr);
+
+    std::vector<std::future<Result<std::string>>> futures;
+    futures.reserve(session->subs.size());
+    for (SubSession& sub : session->subs) {
+      JsonLineBuilder sub_line;
+      sub_line.Str("cmd", "rank").Str("session", sub.sub_id).Int(
+          "top", req.top < 0 ? -1 : static_cast<int64_t>(k));
+      StampRequestTrace(sub_line);
+      futures.push_back(std::async(
+          std::launch::async,
+          [this, &session, &sub, request = std::move(sub_line).Build()] {
+            return CallSub(*session, sub, request);
+          }));
     }
-    Result<JsonValue> doc = ParseJson(response.value());
-    if (!doc.ok() || !ResponseOk(response.value())) {
-      for (size_t j = i + 1; j < futures.size(); ++j) futures[j].wait();
-      return ErrorResponse(Status::Internal(
-          "rank on camera '" + camera +
-          "' failed: " + ResponseError(response.value())));
-    }
-    const JsonValue* worker_total = doc.value().Find("total");
-    if (worker_total != nullptr && worker_total->is_number()) {
-      total += static_cast<int64_t>(worker_total->number);
-    }
-    const JsonValue* ranking = doc.value().Find("ranking");
-    std::vector<ClusterScoredBag> part;
-    if (ranking != nullptr && ranking->is_array()) {
-      part.reserve(ranking->array.size());
-      for (const JsonValue& item : ranking->array) {
-        const JsonValue* bag = item.Find("bag");
-        const JsonValue* score = item.Find("score");
-        if (bag == nullptr || score == nullptr) continue;
-        part.push_back(ClusterScoredBag{camera,
-                                        static_cast<int>(bag->number),
-                                        score->number});
+
+    for (size_t i = 0; i < futures.size(); ++i) {
+      Result<std::string> response = futures[i].get();
+      const std::string& camera = session->subs[i].camera;
+      if (!response.ok()) {
+        // Drain remaining futures before returning (they capture refs).
+        for (size_t j = i + 1; j < futures.size(); ++j) futures[j].wait();
+        return ErrorResponse(response.status());
       }
+      Result<JsonValue> doc = ParseJson(response.value());
+      if (!doc.ok() || !ResponseOk(response.value())) {
+        for (size_t j = i + 1; j < futures.size(); ++j) futures[j].wait();
+        return ErrorResponse(Status::Internal(
+            "rank on camera '" + camera +
+            "' failed: " + ResponseError(response.value())));
+      }
+      const JsonValue* worker_total = doc.value().Find("total");
+      if (worker_total != nullptr && worker_total->is_number()) {
+        total += static_cast<int64_t>(worker_total->number);
+      }
+      const JsonValue* ranking = doc.value().Find("ranking");
+      std::vector<ClusterScoredBag> part;
+      if (ranking != nullptr && ranking->is_array()) {
+        part.reserve(ranking->array.size());
+        for (const JsonValue& item : ranking->array) {
+          const JsonValue* bag = item.Find("bag");
+          const JsonValue* score = item.Find("score");
+          if (bag == nullptr || score == nullptr) continue;
+          part.push_back(ClusterScoredBag{camera,
+                                          static_cast<int>(bag->number),
+                                          score->number});
+        }
+      }
+      parts.push_back(std::move(part));
     }
-    parts.push_back(std::move(part));
   }
 
-  std::vector<ClusterScoredBag> merged = MergeTopK(std::move(parts), k);
+  std::vector<ClusterScoredBag> merged;
+  {
+    ContextSpan merge_span(
+        "coord/merge",
+        t_request_trace != nullptr ? t_request_trace->trace_id
+                                   : std::string(),
+        t_request_trace != nullptr ? t_request_trace->span_id
+                                   : std::string());
+    AuditPhaseTimer merge_phase(&RequestAudit::merge_ms);
+    merged = MergeTopK(std::move(parts), k);
+  }
+
+  AuditPhaseTimer serialize_phase(&RequestAudit::serialize_ms);
   std::string items = "[";
   for (size_t i = 0; i < merged.size(); ++i) {
     if (i > 0) items += ',';
@@ -525,6 +712,7 @@ std::string Coordinator::CmdFeedback(const ServeRequest& req,
     JsonLineBuilder sub_line;
     sub_line.Str("cmd", "feedback").Str("session", sub->sub_id).Raw(
         "labels", items);
+    StampRequestTrace(sub_line);
     Result<std::string> response =
         CallSub(*session, *sub, std::move(sub_line).Build());
     if (!response.ok()) return ErrorResponse(response.status());
@@ -571,6 +759,7 @@ std::string Coordinator::CmdForward(const ServeRequest& req,
         JsonLineBuilder sub_line;
         sub_line.Str("cmd", cmd).Str("session", sub.sub_id);
         if (closing) sub_line.Bool("discard", req.discard);
+        StampRequestTrace(sub_line);
         Result<std::string> response =
             CallSub(*session, sub, std::move(sub_line).Build());
         if (!response.ok()) return ErrorResponse(response.status());
@@ -654,10 +843,156 @@ std::string Coordinator::CmdPing() {
   out.Bool("ok", true)
       .Str("cmd", "ping")
       .Str("role", "coordinator")
+      .Str("version", kMividVersion)
+      .Int("uptime_s", UptimeSeconds())
       .Int("workers_alive",
            static_cast<int64_t>(registry_.AliveEndpoints().size()))
       .Int("sessions_open", static_cast<int64_t>(session_count()));
   return std::move(out).Build();
+}
+
+std::string Coordinator::CmdClusterStats() {
+  // Scrape every live worker's registry snapshot and merge them exactly
+  // (obs/metrics_wire.h): counters/gauges sum, histograms merge
+  // bucket-wise, so fleet percentiles are what one process observing the
+  // union would have reported. Per-worker snapshots are kept alongside
+  // the rollup, tagged by worker id, for per-node drill-down.
+  std::vector<MetricsSnapshot> snapshots;
+  std::string workers_json = "[";
+  bool first = true;
+  int64_t scraped = 0;
+  for (const auto& worker : registry_.workers()) {
+    if (!first) workers_json += ',';
+    first = false;
+    JsonLineBuilder entry;
+    entry.Str("endpoint", worker->endpoint);
+    if (!worker->alive.load(std::memory_order_acquire)) {
+      entry.Bool("alive", false);
+      workers_json += std::move(entry).Build();
+      continue;
+    }
+    Result<std::string> response =
+        registry_.Call(*worker, "{\"cmd\":\"metrics\"}");
+    if (!response.ok()) {
+      entry.Bool("alive", false).Str("error",
+                                     response.status().message());
+      workers_json += std::move(entry).Build();
+      continue;
+    }
+    Result<JsonValue> doc = ParseJson(response.value());
+    if (!doc.ok() || !ResponseOk(response.value())) {
+      entry.Bool("alive", true).Str(
+          "error", "bad metrics response: " +
+                       ResponseError(response.value()));
+      workers_json += std::move(entry).Build();
+      continue;
+    }
+    const JsonValue& obj = doc.value();
+    entry.Bool("alive", true);
+    if (const JsonValue* id = obj.Find("worker");
+        id != nullptr && id->is_string()) {
+      entry.Str("worker_id", id->string);
+    }
+    if (const JsonValue* version = obj.Find("version");
+        version != nullptr && version->is_string()) {
+      entry.Str("version", version->string);
+    }
+    for (const char* field :
+         {"uptime_s", "sessions_open", "requests_served",
+          "requests_rejected"}) {
+      if (const JsonValue* v = obj.Find(field);
+          v != nullptr && v->is_number()) {
+        entry.Int(field, static_cast<int64_t>(v->number));
+      }
+    }
+    const JsonValue* metrics = obj.Find("metrics");
+    if (metrics == nullptr) {
+      entry.Str("error", "metrics response without a metrics member");
+      workers_json += std::move(entry).Build();
+      continue;
+    }
+    Result<MetricsSnapshot> snapshot = MetricsSnapshotFromWireJson(*metrics);
+    if (!snapshot.ok()) {
+      entry.Str("error", snapshot.status().message());
+      workers_json += std::move(entry).Build();
+      continue;
+    }
+    snapshots.push_back(std::move(snapshot).value());
+    ++scraped;
+    // Re-serialized (not relayed) so every snapshot in the response uses
+    // one canonical formatting, including the fleet rollup.
+    entry.Raw("metrics", MetricsSnapshotToWireJson(snapshots.back()));
+    workers_json += std::move(entry).Build();
+  }
+  workers_json += ']';
+
+  const MetricsSnapshot fleet = MergeMetricsSnapshots(snapshots);
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "cluster_stats")
+      .Str("role", "coordinator")
+      .Str("version", kMividVersion)
+      .Int("uptime_s", UptimeSeconds())
+      .Int("workers_alive",
+           static_cast<int64_t>(registry_.AliveEndpoints().size()))
+      .Int("workers_scraped", scraped)
+      .Raw("workers", workers_json)
+      .Raw("fleet", MetricsSnapshotToWireJson(fleet))
+      .Raw("coordinator", MetricsSnapshotToWireJson(
+                              MetricsRegistry::Global().Snapshot()));
+  return std::move(out).Build();
+}
+
+std::string Coordinator::CmdTraceDump() {
+  // Gather every process's Chrome trace and stitch them into one
+  // cluster timeline (obs/trace_stitch.h). The coordinator's own trace
+  // goes first (pid 1); workers follow in registration order.
+  std::vector<ProcessTrace> inputs;
+  {
+    ProcessTrace own;
+    own.label = GetLogIdentity().empty() ? "coord" : GetLogIdentity();
+    Result<JsonValue> doc = ParseJson(TraceToChromeJson());
+    if (doc.ok()) {
+      own.doc = std::move(doc).value();
+      inputs.push_back(std::move(own));
+    }
+  }
+  int64_t workers_dumped = 0;
+  for (const auto& worker : registry_.workers()) {
+    if (!worker->alive.load(std::memory_order_acquire)) continue;
+    Result<std::string> response =
+        registry_.Call(*worker, "{\"cmd\":\"trace_dump\"}");
+    if (!response.ok()) continue;
+    Result<JsonValue> doc = ParseJson(response.value());
+    if (!doc.ok() || !ResponseOk(response.value())) continue;
+    const JsonValue* trace = doc.value().Find("trace");
+    if (trace == nullptr || !trace->is_object()) continue;
+    ProcessTrace input;
+    const JsonValue* id = doc.value().Find("worker");
+    input.label = (id != nullptr && id->is_string() && !id->string.empty())
+                      ? id->string
+                      : worker->endpoint;
+    input.doc = *trace;
+    inputs.push_back(std::move(input));
+    ++workers_dumped;
+  }
+  Result<std::string> stitched = StitchChromeTraces(inputs);
+  if (!stitched.ok()) return ErrorResponse(stitched.status());
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "trace_dump")
+      .Str("role", "coordinator")
+      .Bool("tracing_enabled", TracingEnabled())
+      .Int("processes", static_cast<int64_t>(inputs.size()))
+      .Int("workers_dumped", workers_dumped)
+      .Raw("trace", stitched.value());
+  return std::move(out).Build();
+}
+
+int64_t Coordinator::UptimeSeconds() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
 }
 
 void Coordinator::HeartbeatSweep() {

@@ -40,6 +40,7 @@
 #include "cluster/placement.h"
 #include "cluster/worker_registry.h"
 #include "common/status.h"
+#include "obs/access_log.h"
 #include "serve/line_transport.h"
 #include "serve/protocol.h"
 
@@ -53,6 +54,13 @@ struct CoordinatorOptions {
   int top_n = 20;           ///< default rank depth when "top" is absent
   size_t virtual_nodes = 64;  ///< ring points per worker
   int heartbeat_ms = 0;     ///< 0 = no active health probing (lazy only)
+
+  /// Per-request JSON-lines access log (obs/access_log.h); "" = off.
+  std::string access_log_path;
+  /// Slow-query log: requests >= the slow threshold; "" = off.
+  std::string slow_log_path;
+  /// Slow threshold in ms; negative = MIVID_SLOW_QUERY_MS env (or 500).
+  double slow_threshold_ms = -1.0;
 };
 
 /// Rejects an inconsistent option set before any socket is bound.
@@ -105,12 +113,21 @@ class Coordinator {
     std::mutex mu;  ///< serializes requests touching this session
   };
 
+  /// HandleLine minus tracing/audit bookkeeping: routes one parsed
+  /// request. `line` is the relay form (stamped with trace context when
+  /// the incoming line carried none).
+  std::string Route(const ServeRequest& req, const std::string& line);
+
   std::string CmdOpen(const ServeRequest& req, const std::string& line);
   std::string CmdRank(const ServeRequest& req, const std::string& line);
   std::string CmdFeedback(const ServeRequest& req, const std::string& line);
   std::string CmdForward(const ServeRequest& req, const std::string& line);
   std::string CmdStats();
   std::string CmdPing();
+  std::string CmdClusterStats();
+  std::string CmdTraceDump();
+
+  int64_t UptimeSeconds() const;
 
   /// Sends `line` to `sub`'s worker. On a dead/failed worker: removes it
   /// from the ring, re-places the camera, re-opens the sub-session on
@@ -137,6 +154,9 @@ class Coordinator {
   std::map<std::string, std::shared_ptr<CoordSession>> sessions_;
 
   std::unique_ptr<LineTransport> transport_;
+  AccessLog access_log_;
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

@@ -34,6 +34,23 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+namespace {
+// Set-once-at-startup identity. Stored as a leaked pointer swap so
+// concurrent readers never observe a string mid-mutation.
+std::atomic<const std::string*> g_identity{nullptr};
+}  // namespace
+
+void SetLogIdentity(const std::string& identity) {
+  g_identity.store(identity.empty() ? nullptr : new std::string(identity),
+                   std::memory_order_release);  // leaked, like the registry
+}
+
+const std::string& GetLogIdentity() {
+  static const std::string kEmpty;
+  const std::string* identity = g_identity.load(std::memory_order_acquire);
+  return identity ? *identity : kEmpty;
+}
+
 namespace internal {
 
 bool EveryNTick(std::atomic<uint64_t>* counter, uint64_t n) {
@@ -50,6 +67,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     if (*p == '/') base = p + 1;
   }
   stream_ << "[" << LevelName(level);
+  // Cluster processes tag their lines with the local role/worker id so a
+  // fleet run under one supervisor stays attributable: [INFO coord ...].
+  const std::string& identity = GetLogIdentity();
+  if (!identity.empty()) stream_ << " " << identity;
   // Pool workers tag their lines so interleaved parallel phases are
   // attributable: [WARN w3 file:42].
   const int worker = ThreadPool::CurrentWorkerIndex();

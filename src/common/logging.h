@@ -38,6 +38,15 @@ void SetLogLevel(LogLevel level);
 /// Returns the current global minimum severity.
 LogLevel GetLogLevel();
 
+/// Tags every subsequent log line (and trace export) with a process
+/// identity — the cluster role / worker id, e.g. "w2" or "coord" — so
+/// logs from a fleet run under one supervisor stay attributable:
+/// [INFO coord file:42]. Call once at startup; empty clears the tag.
+void SetLogIdentity(const std::string& identity);
+
+/// The identity set via SetLogIdentity, or "" when none.
+const std::string& GetLogIdentity();
+
 namespace internal {
 
 /// Accumulates one log line and emits it on destruction.

@@ -1,0 +1,14 @@
+// Build identity reported by ping/stats so fleet tooling can tell *what*
+// is running on each node, not just that it answers.
+
+#ifndef MIVID_COMMON_VERSION_H_
+#define MIVID_COMMON_VERSION_H_
+
+namespace mivid {
+
+/// Library version, bumped on protocol- or format-affecting releases.
+inline constexpr char kMividVersion[] = "0.8.0";
+
+}  // namespace mivid
+
+#endif  // MIVID_COMMON_VERSION_H_

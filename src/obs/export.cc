@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/ascii_plot.h"
@@ -159,10 +160,21 @@ Result<ObsOptions> ExtractObsFlags(int* argc, char** argv) {
   }
   *argc = kept;
 
-  if (options.report || !options.metrics_json_path.empty()) {
+  // Long-running daemons (mivid_serve / mivid_coord) want live
+  // collection without an at-exit export file: MIVID_METRICS=1 /
+  // MIVID_TRACE=1 enable collection for the `metrics` / `trace_dump`
+  // protocol commands to read back over the wire.
+  auto env_on = [](const char* name) {
+    const char* value = std::getenv(name);
+    return value != nullptr && value[0] != '\0' &&
+           std::strcmp(value, "0") != 0;
+  };
+  if (options.report || !options.metrics_json_path.empty() ||
+      env_on("MIVID_METRICS")) {
     EnableMetrics(true);
   }
-  if (!options.trace_path.empty() || options.report) {
+  if (!options.trace_path.empty() || options.report ||
+      env_on("MIVID_TRACE")) {
     EnableTracing(true);
   }
   return options;

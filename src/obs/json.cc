@@ -1,6 +1,8 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -226,6 +228,69 @@ const JsonValue* JsonValue::Find(std::string_view key) const {
 
 Result<JsonValue> ParseJson(std::string_view text) {
   return Parser(text).Parse();
+}
+
+namespace {
+
+void SerializeTo(const JsonValue& value, std::string* out) {
+  switch (value.type) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      *out += value.bool_value ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber: {
+      // Integers within the exactly-representable range print without a
+      // fractional part so counters round-trip as written.
+      const double n = value.number;
+      if (n == static_cast<double>(static_cast<int64_t>(n)) &&
+          std::abs(n) < 9.007199254740992e15) {
+        *out += StrFormat("%lld", static_cast<long long>(n));
+      } else {
+        *out += StrFormat("%.17g", n);
+      }
+      break;
+    }
+    case JsonValue::Type::kString:
+      out->push_back('"');
+      *out += JsonEscape(value.string);
+      out->push_back('"');
+      break;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& element : value.array) {
+        if (!first) out->push_back(',');
+        first = false;
+        SerializeTo(element, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.object) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        *out += JsonEscape(key);
+        *out += "\":";
+        SerializeTo(member, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonSerialize(const JsonValue& value) {
+  std::string out;
+  SerializeTo(value, &out);
+  return out;
 }
 
 std::string JsonEscape(std::string_view s) {

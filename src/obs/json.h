@@ -48,6 +48,12 @@ Result<JsonValue> ParseJson(std::string_view text);
 /// Escapes `s` for embedding inside a JSON string literal (no quotes).
 std::string JsonEscape(std::string_view s);
 
+/// Serializes a parsed value back to compact JSON text. Numbers are
+/// emitted with %.17g (round-trip safe for doubles); member and element
+/// order is preserved. Used by the trace stitcher to re-emit events it
+/// parsed from per-process trace files.
+std::string JsonSerialize(const JsonValue& value);
+
 }  // namespace mivid
 
 #endif  // MIVID_OBS_JSON_H_

@@ -95,9 +95,46 @@ void Histogram::Observe(double value) {
   shard.count.fetch_add(1, std::memory_order_relaxed);
 }
 
+void RecomputeHistogramPercentiles(HistogramStats* stats) {
+  if (stats->count == 0 || stats->buckets.empty()) {
+    stats->p50 = stats->p95 = stats->p99 = stats->count ? stats->max : 0.0;
+    return;
+  }
+  const int last = static_cast<int>(stats->buckets.size()) - 1;
+  // A shard's count is bumped before its bucket under concurrent writes
+  // can momentarily disagree; normalize against the bucket total so the
+  // percentile walk always terminates.
+  uint64_t bucket_total = 0;
+  for (uint64_t b : stats->buckets) bucket_total += b;
+  auto percentile = [&](double q) -> double {
+    if (bucket_total == 0) return stats->max;
+    const double target = q * static_cast<double>(bucket_total);
+    uint64_t seen = 0;
+    for (int i = 0; i <= last; ++i) {
+      if (stats->buckets[i] == 0) continue;
+      const double before = static_cast<double>(seen);
+      seen += stats->buckets[i];
+      if (static_cast<double>(seen) >= target) {
+        const double lower = i == 0 ? 0.0 : Histogram::BucketBound(i - 1);
+        const double upper = i == last
+                                 ? stats->max
+                                 : std::min(Histogram::BucketBound(i), stats->max);
+        const double fraction =
+            (target - before) / static_cast<double>(stats->buckets[i]);
+        const double v = lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+        return std::clamp(v, stats->min, stats->max);
+      }
+    }
+    return stats->max;
+  };
+  stats->p50 = percentile(0.50);
+  stats->p95 = percentile(0.95);
+  stats->p99 = percentile(0.99);
+}
+
 HistogramStats Histogram::Stats() const {
-  uint64_t buckets[kBuckets + 1] = {};
   HistogramStats stats;
+  stats.buckets.assign(kBuckets + 1, 0);
   bool any = false;
   for (const auto& shard : shards_) {
     const uint64_t count = shard.count.load(std::memory_order_relaxed);
@@ -110,39 +147,14 @@ HistogramStats Histogram::Stats() const {
     if (std::isfinite(hi)) stats.max = any ? std::max(stats.max, hi) : hi;
     any = true;
     for (int i = 0; i <= kBuckets; ++i) {
-      buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+      stats.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
     }
   }
-  if (stats.count == 0) return stats;
-
-  // A shard's count is bumped before its bucket under concurrent writes
-  // can momentarily disagree; normalize against the bucket total so the
-  // percentile walk always terminates.
-  uint64_t bucket_total = 0;
-  for (int i = 0; i <= kBuckets; ++i) bucket_total += buckets[i];
-  auto percentile = [&](double q) -> double {
-    if (bucket_total == 0) return stats.max;
-    const double target = q * static_cast<double>(bucket_total);
-    uint64_t seen = 0;
-    for (int i = 0; i <= kBuckets; ++i) {
-      if (buckets[i] == 0) continue;
-      const double before = static_cast<double>(seen);
-      seen += buckets[i];
-      if (static_cast<double>(seen) >= target) {
-        const double lower = i == 0 ? 0.0 : BucketBound(i - 1);
-        const double upper =
-            i == kBuckets ? stats.max : std::min(BucketBound(i), stats.max);
-        const double fraction =
-            (target - before) / static_cast<double>(buckets[i]);
-        const double v = lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
-        return std::clamp(v, stats.min, stats.max);
-      }
-    }
-    return stats.max;
-  };
-  stats.p50 = percentile(0.50);
-  stats.p95 = percentile(0.95);
-  stats.p99 = percentile(0.99);
+  if (stats.count == 0) {
+    stats.buckets.clear();
+    return stats;
+  }
+  RecomputeHistogramPercentiles(&stats);
   return stats;
 }
 

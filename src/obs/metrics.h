@@ -108,9 +108,21 @@ struct HistogramStats {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  /// Raw per-bucket counts (Histogram::kBuckets + 1 entries, last =
+  /// overflow). Carried so snapshots from different processes can be
+  /// merged exactly — same bounds everywhere, so merging is a
+  /// bucket-wise sum. Empty in legacy snapshots; percentiles above are
+  /// then the only distribution view.
+  std::vector<uint64_t> buckets;
 
   double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
 };
+
+/// Recomputes p50/p95/p99 from stats->buckets (count/sum/min/max must
+/// already be set). Shared by Histogram::Stats() and the cross-process
+/// merge path so a merged histogram reports percentiles computed exactly
+/// the way a single process would over the union of observations.
+void RecomputeHistogramPercentiles(HistogramStats* stats);
 
 /// Fixed-bucket histogram of non-negative values.
 class Histogram {

@@ -59,8 +59,85 @@ std::vector<TraceEventData> CollectTraceEvents();
 uint64_t TraceDroppedEvents();
 
 /// Chrome trace_event JSON: {"traceEvents":[...]} with "M" thread-name
-/// metadata plus one "X" complete event per span.
+/// metadata plus one "X" complete event per span. Also emits a
+/// "clock_sync" metadata event carrying the wall-clock time of the
+/// process trace epoch (args.wall_epoch_us) and the process label, which
+/// is what lets the stitcher rebase traces from different processes onto
+/// one timeline.
 std::string TraceToChromeJson();
+
+// ---------------------------------------------------------------------------
+// Distributed trace context.
+//
+// A request that crosses the coordinator/worker boundary carries a
+// TraceContext on the wire ("trace" = whole-request id, "span" = the
+// sender's span id, which becomes the receiver's parent). ContextSpan is
+// the request-scoped counterpart of TraceSpan: it mints a span id,
+// records the (trace, span, parent) triple with the timing, and exposes
+// the context so it can be stamped onto downstream requests. Context
+// spans are request-frequency (a handful per request, not per-frame), so
+// they use a mutex-guarded side channel instead of the lock-free ring —
+// the hot-path MIVID_TRACE_SPAN cost is unchanged.
+// ---------------------------------------------------------------------------
+
+/// Wire identity of one span in a distributed trace. Ids are 16 lowercase
+/// hex chars; empty means "absent".
+struct TraceContext {
+  std::string trace_id;   ///< shared by every span of one request
+  std::string span_id;    ///< this span
+  std::string parent_id;  ///< sender's span id; empty at the root
+};
+
+/// Fresh process-unique 16-hex id (used for both trace and span ids).
+std::string NewSpanId();
+
+/// Wall-clock time (microseconds since the Unix epoch) of trace ts == 0
+/// for this process. Pinned together with the steady-clock epoch.
+uint64_t TraceWallEpochMicros();
+
+/// One recorded context span occurrence.
+struct ContextSpanData {
+  const char* name = nullptr;
+  TraceContext context;
+  uint64_t begin_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+  std::string thread_label;
+};
+
+/// Every retained context span, in close order.
+std::vector<ContextSpanData> CollectContextSpans();
+
+namespace obs_internal {
+void RecordContextSpan(const char* name, const TraceContext& context,
+                       uint64_t begin_us, uint64_t end_us);
+}  // namespace obs_internal
+
+/// RAII request-scoped span carrying a distributed trace context.
+/// `name` must be a string literal. When `trace_id` is empty a fresh
+/// trace is started (this span is the root); otherwise the span joins
+/// the existing trace under `parent_id`. Inert when tracing is off:
+/// no ids are minted and the clock is never read.
+class ContextSpan {
+ public:
+  ContextSpan(const char* name, const std::string& trace_id,
+              const std::string& parent_id);
+  ~ContextSpan();
+
+  ContextSpan(const ContextSpan&) = delete;
+  ContextSpan& operator=(const ContextSpan&) = delete;
+
+  /// True when tracing was enabled at construction.
+  bool active() const { return name_ != nullptr; }
+  /// The minted context ({} when inactive). Stamp context().trace_id /
+  /// context().span_id onto requests forwarded from inside this span.
+  const TraceContext& context() const { return context_; }
+
+ private:
+  const char* name_ = nullptr;
+  TraceContext context_;
+  uint64_t begin_us_ = 0;
+};
 
 /// Aggregated latency statistics for one span name.
 struct SpanStats {

@@ -1,0 +1,40 @@
+// Merges per-process Chrome trace documents into one cluster timeline.
+//
+// Each process exports its trace with timestamps relative to its own
+// trace epoch and a "clock_sync" metadata event recording the wall-clock
+// time of that epoch (see TraceToChromeJson). The stitcher rebases every
+// event onto the earliest epoch among the inputs, assigns each process a
+// distinct pid, and preserves event args — so the trace/span/parent ids
+// stamped by ContextSpan survive, and a single scatter-gather rank
+// renders as: coordinator admission span, per-worker rank spans, k-way
+// merge, all sharing one trace id across pids.
+//
+// Wall-clock rebasing is exact up to host clock skew; within one host
+// (the supported fleet topology today) span nesting is faithful.
+
+#ifndef MIVID_OBS_TRACE_STITCH_H_
+#define MIVID_OBS_TRACE_STITCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace mivid {
+
+/// One process's parsed trace document plus a fallback label used when
+/// the document carries no clock_sync process name.
+struct ProcessTrace {
+  std::string label;
+  JsonValue doc;  ///< parsed {"traceEvents":[...]} document
+};
+
+/// Stitches the inputs into one Chrome trace JSON document. Process i is
+/// exported as pid i+1 with a process_name metadata row. Returns an
+/// error when an input is not a trace document.
+Result<std::string> StitchChromeTraces(const std::vector<ProcessTrace>& inputs);
+
+}  // namespace mivid
+
+#endif  // MIVID_OBS_TRACE_STITCH_H_

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "db/packed_corpus_io.h"
+#include "obs/access_log.h"
 #include "obs/metrics.h"
 
 namespace mivid {
@@ -40,6 +41,10 @@ Result<std::shared_ptr<const CameraCorpus>> CorpusManager::Get(
   MIVID_METRIC_COUNT("serve/corpus_cache_misses", 1);
   lock.unlock();
 
+  // The whole cold path counts as corpus-load time in the request audit;
+  // snapshot_hit distinguishes an mmap restore from a full extraction.
+  AuditPhaseTimer corpus_phase(&RequestAudit::corpus_ms);
+
   const std::string snapshot_path = SnapshotPath(camera_id);
   std::shared_ptr<const CameraCorpus> corpus;
   if (!snapshot_path.empty()) {
@@ -49,6 +54,12 @@ Result<std::shared_ptr<const CameraCorpus>> CorpusManager::Get(
     if (restored.ok() && restored.value()->camera_id == camera_id) {
       corpus = std::move(restored).value();
       MIVID_METRIC_COUNT("serve/corpus_snapshot_hits", 1);
+      lock.lock();
+      ++snapshot_hits_;
+      lock.unlock();
+      if (RequestAudit* audit = CurrentRequestAudit()) {
+        audit->snapshot_hit = true;
+      }
     }
   }
 
@@ -70,6 +81,9 @@ Result<std::shared_ptr<const CameraCorpus>> CorpusManager::Get(
           WritePackedCorpusFile(built.value(), snapshot_path, query_);
       if (wrote.ok()) {
         MIVID_METRIC_COUNT("serve/corpus_snapshot_writes", 1);
+        lock.lock();
+        ++snapshot_writes_;
+        lock.unlock();
       } else {
         MIVID_LOG(Warn) << "corpus snapshot write failed: "
                            << wrote.ToString();
@@ -100,6 +114,8 @@ CorpusManager::Stats CorpusManager::stats() const {
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.snapshot_hits = snapshot_hits_;
+  s.snapshot_writes = snapshot_writes_;
   s.cached = cache_.size();
   return s;
 }

@@ -53,7 +53,9 @@ class CorpusManager {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    size_t cached = 0;  ///< cameras resident right now
+    uint64_t snapshot_hits = 0;    ///< cold loads served from a snapshot
+    uint64_t snapshot_writes = 0;  ///< extraction results snapshotted
+    size_t cached = 0;             ///< cameras resident right now
   };
   Stats stats() const;
 
@@ -80,6 +82,8 @@ class CorpusManager {
   std::map<std::string, Slot> cache_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t snapshot_hits_ = 0;
+  uint64_t snapshot_writes_ = 0;
 };
 
 }  // namespace mivid

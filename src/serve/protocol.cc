@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include <cmath>
+#include <iterator>
 
 #include "common/string_util.h"
 #include "obs/json.h"
@@ -66,6 +67,22 @@ constexpr CmdName kCommands[] = {
     {"stats", ServeCmd::kStats, false},
     {"shutdown", ServeCmd::kShutdown, false},
     {"ping", ServeCmd::kPing, false},
+    {"metrics", ServeCmd::kMetrics, false},
+    {"cluster_stats", ServeCmd::kClusterStats, false},
+    {"trace_dump", ServeCmd::kTraceDump, false},
+};
+
+// Parallel to ServeCmd values: wire names and the span names used when
+// tracing the execution of each command (literals — span names must
+// outlive the trace).
+constexpr const char* kWireNames[] = {
+    "open", "rank", "feedback", "save", "close", "stats",
+    "shutdown", "ping", "metrics", "cluster_stats", "trace_dump",
+};
+constexpr const char* kSpanNames[] = {
+    "serve/open", "serve/rank", "serve/feedback", "serve/save",
+    "serve/close", "serve/stats", "serve/shutdown", "serve/ping",
+    "serve/metrics", "serve/cluster_stats", "serve/trace_dump",
 };
 
 }  // namespace
@@ -119,6 +136,8 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
   MIVID_ASSIGN_OR_RETURN(req.engine, GetString(doc, "engine"));
   MIVID_ASSIGN_OR_RETURN(req.top, GetInt(doc, "top", 0));
   MIVID_ASSIGN_OR_RETURN(req.discard, GetBool(doc, "discard", false));
+  MIVID_ASSIGN_OR_RETURN(req.trace_id, GetString(doc, "trace"));
+  MIVID_ASSIGN_OR_RETURN(req.parent_span, GetString(doc, "span"));
 
   if (const JsonValue* cameras = doc.Find("cameras"); cameras != nullptr) {
     if (!cameras->is_array()) return FieldError("cameras", "must be an array");
@@ -153,6 +172,34 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
     }
   }
   return req;
+}
+
+const char* ServeCmdWireName(ServeCmd cmd) {
+  const size_t index = static_cast<size_t>(cmd);
+  return index < std::size(kWireNames) ? kWireNames[index] : "?";
+}
+
+const char* ServeCmdSpanName(ServeCmd cmd) {
+  const size_t index = static_cast<size_t>(cmd);
+  return index < std::size(kSpanNames) ? kSpanNames[index] : "serve/other";
+}
+
+std::string StampTraceContext(const std::string& line,
+                              const std::string& trace_id,
+                              const std::string& span_id) {
+  const size_t close = line.find_last_of('}');
+  if (close == std::string::npos) return line;
+  std::string stamped = line.substr(0, close);
+  // Empty object ("{}") needs no separating comma.
+  const size_t open = stamped.find_first_of('{');
+  const bool empty_object =
+      open != std::string::npos &&
+      stamped.find_first_not_of(" \t", open + 1) == std::string::npos;
+  if (!empty_object) stamped += ',';
+  stamped += "\"trace\":\"" + JsonEscape(trace_id) + "\",\"span\":\"" +
+             JsonEscape(span_id) + "\"";
+  stamped += line.substr(close);
+  return stamped;
 }
 
 const char* BagLabelWireName(BagLabel label) {
@@ -195,6 +242,18 @@ const char* StatusCodeWireName(StatusCode code) {
       return "DATA_LOSS";
   }
   return "INTERNAL";
+}
+
+std::string ResponseStatusCode(const std::string& response) {
+  if (response.compare(0, 11, "{\"ok\":true,") == 0 ||
+      response.compare(0, 11, "{\"ok\":true}") == 0) {
+    return "OK";
+  }
+  const size_t pos = response.find("\"code\":\"");
+  if (pos == std::string::npos) return "OK";
+  const size_t start = pos + 8;
+  const size_t end = response.find('"', start);
+  return end == std::string::npos ? "?" : response.substr(start, end - start);
 }
 
 std::string ErrorResponse(const Status& status) {

@@ -48,6 +48,9 @@ enum class ServeCmd : uint8_t {
   kStats = 5,
   kShutdown = 6,
   kPing = 7,
+  kMetrics = 8,       ///< raw MetricsRegistry snapshot (wire form)
+  kClusterStats = 9,  ///< fleet rollup + per-worker breakdown
+  kTraceDump = 10,    ///< Chrome trace (stitched fleet-wide on the coord)
 };
 
 /// Hard bound on one request line. Longer lines are rejected with
@@ -70,17 +73,43 @@ struct ServeRequest {
   std::vector<std::string> label_cameras;
   /// Multi-camera open (coordinator extension); empty otherwise.
   std::vector<std::string> cameras;
+  /// Distributed trace context ("trace"/"span" fields): trace_id names
+  /// the whole request, parent_span is the sender's span id. Stamped by
+  /// the coordinator onto relayed/fanned-out requests; clients may also
+  /// supply their own. Empty when untraced.
+  std::string trace_id;
+  std::string parent_span;
 };
 
 /// Parses one request line. InvalidArgument on malformed JSON, unknown
 /// commands, unknown labels, or missing required fields.
 Result<ServeRequest> ParseServeRequest(std::string_view line);
 
+/// Wire spelling of a command ("open", "cluster_stats", ...).
+const char* ServeCmdWireName(ServeCmd cmd);
+
+/// Stable span name for tracing one command on a worker ("serve/rank").
+const char* ServeCmdSpanName(ServeCmd cmd);
+
+/// Returns `line` with `"trace"`/`"span"` members appended to the
+/// top-level object — the coordinator uses it to stamp a trace context
+/// onto a request it relays verbatim. The caller must only stamp lines
+/// whose parsed request had no trace context (JSON duplicate keys would
+/// otherwise shadow the client's). Returns `line` unchanged when it is
+/// not a JSON object line.
+std::string StampTraceContext(const std::string& line,
+                              const std::string& trace_id,
+                              const std::string& span_id);
+
 /// Canonical label spelling on the wire ("relevant", ...).
 const char* BagLabelWireName(BagLabel label);
 
 /// UPPER_SNAKE wire spelling of a status code ("RESOURCE_EXHAUSTED", ...).
 const char* StatusCodeWireName(StatusCode code);
+
+/// Wire status code of a response line, for access logging: "OK" for
+/// success lines (they always start {"ok":true), else the "code" value.
+std::string ResponseStatusCode(const std::string& response);
 
 /// {"ok":false,"code":...,"error":...} for a failed request.
 std::string ErrorResponse(const Status& status);

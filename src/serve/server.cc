@@ -8,8 +8,12 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/version.h"
+#include "linalg/simd.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/metrics_wire.h"
+#include "obs/trace.h"
 #include "retrieval/engine_registry.h"
 
 namespace mivid {
@@ -98,7 +102,18 @@ RetrievalServer::RetrievalServer(VideoDb* db, ServeOptions options)
                 SessionManagerOptions{options_.default_engine,
                                       options_.max_sessions,
                                       options_.idle_timeout_ms,
-                                      options_.top_n}) {}
+                                      options_.top_n}) {
+  if (!options_.access_log_path.empty() || !options_.slow_log_path.empty()) {
+    AccessLog::Options log;
+    log.path = options_.access_log_path;
+    log.slow_path = options_.slow_log_path;
+    log.slow_threshold_ms = options_.slow_threshold_ms;
+    Status opened = access_log_.Open(log);
+    if (!opened.ok()) {
+      MIVID_LOG(Warn) << "access log disabled: " << opened.message();
+    }
+  }
+}
 
 RetrievalServer::~RetrievalServer() { Stop(); }
 
@@ -113,36 +128,103 @@ std::string RetrievalServer::HandleLine(const std::string& line) {
   }
   const ServeRequest& req = parsed.value();
 
+  // Distributed trace span for the whole request: joins the context the
+  // sender stamped onto the line (coordinator or client), or roots a
+  // fresh trace. Inert when tracing is off.
+  ContextSpan span(ServeCmdSpanName(req.cmd), req.trace_id, req.parent_span);
+
+  // The audit (latency breakdown) only runs when an access log is
+  // configured; disabled it costs one bool read and no clock reads.
+  const bool audited = access_log_.enabled();
+  RequestAudit audit;
+  std::chrono::steady_clock::time_point audit_start;
+  if (audited) audit_start = std::chrono::steady_clock::now();
+
   // Bounded admission: hold one in-flight slot for the request lifetime,
   // or reject right away so callers see backpressure instead of latency.
   const int depth = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
   AdmissionSlot slot{&in_flight_};
   MIVID_METRIC_GAUGE_SET("serve/queue_depth", depth);
+  std::string response;
   if (options_.max_pending > 0 &&
       depth > static_cast<int>(options_.max_pending)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     MIVID_METRIC_COUNT("serve/requests_rejected", 1);
-    return ErrorResponse(Status::ResourceExhausted(
+    response = ErrorResponse(Status::ResourceExhausted(
         "request queue full (" + std::to_string(options_.max_pending) +
         " in flight); retry later"));
+  } else {
+    if (options_.admission_hook) options_.admission_hook(req);
+    response = Dispatch(req, audited ? &audit : nullptr);
+    served_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (options_.admission_hook) options_.admission_hook(req);
 
-  std::string response = Dispatch(req);
-  served_.fetch_add(1, std::memory_order_relaxed);
+  if (audited) {
+    AccessRecord record;
+    record.role = "worker";
+    record.node = options_.worker_id.empty() ? "serve" : options_.worker_id;
+    record.cmd = ServeCmdWireName(req.cmd);
+    record.session = req.session_id;
+    record.engine = req.engine;
+    record.status = ResponseStatusCode(response);
+    record.trace_id =
+        span.active() ? span.context().trace_id : req.trace_id;
+    record.cameras = req.cameras;
+    if (record.cameras.empty() && !req.camera_id.empty()) {
+      record.cameras.push_back(req.camera_id);
+    }
+    // Session-addressed requests (rank, feedback, ...) name no camera on
+    // the wire; resolve it from the live session so the log can answer
+    // "which corpus was this slow query against" on its own. camera_id
+    // and engine are immutable after Build, so reading them without the
+    // session mutex is safe.
+    if ((record.cameras.empty() || record.engine.empty()) &&
+        !req.session_id.empty()) {
+      Result<std::shared_ptr<ServeSession>> live =
+          sessions_.Get(req.session_id);
+      if (live.ok()) {
+        if (record.cameras.empty() && !live.value()->camera_id.empty()) {
+          record.cameras.push_back(live.value()->camera_id);
+        }
+        if (record.engine.empty()) record.engine = live.value()->engine;
+      }
+    }
+    record.bytes_in = line.size();
+    record.bytes_out = response.size();
+    record.total_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - audit_start)
+            .count();
+    record.audit = audit;
+    access_log_.Write(record);
+  }
   return response;
 }
 
-std::string RetrievalServer::Dispatch(const ServeRequest& req) {
+std::string RetrievalServer::Dispatch(const ServeRequest& req,
+                                      RequestAudit* audit) {
   ThreadPool* pool = GlobalPool();
   if (pool == nullptr || ThreadPool::InWorkerThread()) {
     // Serial build (MIVID_THREADS=1) or already on a worker: run inline.
+    RequestAuditScope scope(audit);
     return Execute(req);
   }
   // Hand the work to the shared pool; the connection thread blocks until
   // its request's turn comes and finishes, which keeps responses on one
-  // connection strictly ordered.
-  std::packaged_task<std::string()> task([this, &req] { return Execute(req); });
+  // connection strictly ordered. The audit scope is installed inside the
+  // task — Execute runs on a pool worker, not this thread — and the gap
+  // between submit and task start is the queue wait.
+  std::chrono::steady_clock::time_point submitted;
+  if (audit != nullptr) submitted = std::chrono::steady_clock::now();
+  std::packaged_task<std::string()> task([this, &req, audit, submitted] {
+    if (audit != nullptr) {
+      audit->queue_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - submitted)
+                            .count();
+    }
+    RequestAuditScope scope(audit);
+    return Execute(req);
+  });
   std::future<std::string> done = task.get_future();
   pool->Submit([&task] { task(); });
   return done.get();
@@ -166,6 +248,12 @@ std::string RetrievalServer::Execute(const ServeRequest& req) {
       return CmdShutdown(req);
     case ServeCmd::kPing:
       return CmdPing(req);
+    case ServeCmd::kMetrics:
+      return CmdMetrics(req);
+    case ServeCmd::kClusterStats:
+      return CmdClusterStats(req);
+    case ServeCmd::kTraceDump:
+      return CmdTraceDump(req);
   }
   return ErrorResponse(Status::Internal("unhandled command"));
 }
@@ -217,8 +305,12 @@ std::string RetrievalServer::CmdRank(const ServeRequest& req) {
     limit = static_cast<size_t>(req.top);
   }
   limit = std::min(limit, total);
-  const std::vector<ScoredBag> ranking = s.session->CurrentTopK(limit);
+  const std::vector<ScoredBag> ranking = [&] {
+    AuditPhaseTimer rank_phase(&RequestAudit::rank_ms);
+    return s.session->CurrentTopK(limit);
+  }();
 
+  AuditPhaseTimer serialize_phase(&RequestAudit::serialize_ms);
   std::string items = "[";
   for (size_t i = 0; i < limit && i < ranking.size(); ++i) {
     if (i > 0) items += ',';
@@ -328,8 +420,9 @@ std::string RetrievalServer::CmdShutdown(const ServeRequest&) {
 }
 
 std::string RetrievalServer::CmdPing(const ServeRequest&) {
-  // Health probe for the cluster coordinator: identity plus the shards
-  // (cameras) this worker currently holds in its corpus cache.
+  // Health probe for the cluster coordinator and fleet dashboard:
+  // identity, build/SIMD tier/uptime (what is running, not just that it
+  // runs), plus the shards (cameras) this worker currently holds.
   std::string cameras = "[";
   bool first = true;
   for (const std::string& camera : corpora_.cached_cameras()) {
@@ -340,14 +433,86 @@ std::string RetrievalServer::CmdPing(const ServeRequest&) {
     cameras += '"';
   }
   cameras += ']';
+  const CorpusManager::Stats corpus = corpora_.stats();
   JsonLineBuilder out;
   out.Bool("ok", true)
       .Str("cmd", "ping")
       .Str("worker", options_.worker_id)
+      .Str("role", "worker")
+      .Str("version", kMividVersion)
+      .Str("simd", SimdTierName(ActiveSimdTier()))
+      .Int("uptime_s", UptimeSeconds())
       .Int("sessions_open", static_cast<int64_t>(sessions_.open_count()))
       .Raw("cameras", cameras)
+      .Int("corpora_cached", static_cast<int64_t>(corpus.cached))
+      .Int("snapshot_hits", static_cast<int64_t>(corpus.snapshot_hits))
+      .Int("snapshot_writes", static_cast<int64_t>(corpus.snapshot_writes))
       .Int("in_flight", in_flight_.load());
   return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdMetrics(const ServeRequest&) {
+  // Raw registry snapshot in wire form, scraped by the coordinator's
+  // cluster_stats aggregation (obs/metrics_wire.h).
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "metrics")
+      .Str("worker", options_.worker_id)
+      .Str("role", "worker")
+      .Str("version", kMividVersion)
+      .Bool("metrics_enabled", MetricsEnabled())
+      .Int("uptime_s", UptimeSeconds())
+      .Int("sessions_open", static_cast<int64_t>(sessions_.open_count()))
+      .Int("requests_served", static_cast<int64_t>(served_.load()))
+      .Int("requests_rejected", static_cast<int64_t>(rejected_.load()))
+      .Raw("metrics",
+           MetricsSnapshotToWireJson(MetricsRegistry::Global().Snapshot()));
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdClusterStats(const ServeRequest&) {
+  // A lone worker answers cluster_stats as a fleet of one, so the fleet
+  // dashboard (mivid_cli top) works against single-node deployments too.
+  const std::string wire =
+      MetricsSnapshotToWireJson(MetricsRegistry::Global().Snapshot());
+  JsonLineBuilder entry;
+  entry.Str("worker_id", options_.worker_id)
+      .Str("endpoint", "")
+      .Bool("alive", true)
+      .Str("version", kMividVersion)
+      .Int("uptime_s", UptimeSeconds())
+      .Int("sessions_open", static_cast<int64_t>(sessions_.open_count()))
+      .Int("requests_served", static_cast<int64_t>(served_.load()))
+      .Int("requests_rejected", static_cast<int64_t>(rejected_.load()))
+      .Raw("metrics", wire);
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "cluster_stats")
+      .Str("role", "worker")
+      .Int("workers_alive", 1)
+      .Raw("workers", "[" + std::move(entry).Build() + "]")
+      .Raw("fleet", wire);
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdTraceDump(const ServeRequest&) {
+  // This worker's Chrome trace, inline. The embedded clock_sync metadata
+  // carries the wall-clock anchor the coordinator-side stitcher uses to
+  // rebase it onto the fleet timeline.
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "trace_dump")
+      .Str("worker", options_.worker_id)
+      .Str("role", "worker")
+      .Bool("tracing_enabled", TracingEnabled())
+      .Raw("trace", TraceToChromeJson());
+  return std::move(out).Build();
+}
+
+int64_t RetrievalServer::UptimeSeconds() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
 }
 
 void RetrievalServer::RequestShutdown() {

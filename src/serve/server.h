@@ -29,6 +29,7 @@
 #define MIVID_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -37,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/access_log.h"
 #include "serve/corpus_manager.h"
 #include "serve/line_transport.h"
 #include "serve/protocol.h"
@@ -58,6 +60,13 @@ struct ServeOptions {
   QueryOptions query;           ///< corpus extraction parameters
   std::string corpus_snapshot_dir;  ///< packed-corpus snapshot cache (see
                                     ///< CorpusManager); "" disables it
+
+  /// Per-request JSON-lines access log (obs/access_log.h); "" = off.
+  std::string access_log_path;
+  /// Slow-query log: requests >= the slow threshold; "" = off.
+  std::string slow_log_path;
+  /// Slow threshold in ms; negative = MIVID_SLOW_QUERY_MS env (or 500).
+  double slow_threshold_ms = -1.0;
 
   /// Test-only: runs after a request is admitted (slot held) and before
   /// it executes. Blocking here holds the slot, which lets tests fill the
@@ -113,7 +122,7 @@ class RetrievalServer {
   uint64_t requests_rejected() const { return rejected_.load(); }
 
  private:
-  std::string Dispatch(const ServeRequest& req);
+  std::string Dispatch(const ServeRequest& req, RequestAudit* audit);
   std::string Execute(const ServeRequest& req);
   std::string CmdOpen(const ServeRequest& req);
   std::string CmdRank(const ServeRequest& req);
@@ -123,14 +132,21 @@ class RetrievalServer {
   std::string CmdStats(const ServeRequest& req);
   std::string CmdShutdown(const ServeRequest& req);
   std::string CmdPing(const ServeRequest& req);
+  std::string CmdMetrics(const ServeRequest& req);
+  std::string CmdClusterStats(const ServeRequest& req);
+  std::string CmdTraceDump(const ServeRequest& req);
 
   void RequestShutdown();
+  int64_t UptimeSeconds() const;
 
   VideoDb* db_;
   const ServeOptions options_;
   CorpusManager corpora_;
   SessionManager sessions_;
   std::unique_ptr<LineTransport> transport_;
+  AccessLog access_log_;
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 
   std::atomic<int> in_flight_{0};
   std::atomic<uint64_t> served_{0};

@@ -4,13 +4,19 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/access_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -172,6 +178,70 @@ TEST(LogThreadingTest, ConcurrentLogLinesDoNotInterleave) {
     EXPECT_EQ(line.find("END"), end) << line;
   }
   EXPECT_EQ(lines, static_cast<size_t>(kThreads * kLines));
+}
+
+TEST(AccessLogThreadingTest, ConcurrentWritesNeverTearLines) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("mivid_access_tsan." + std::to_string(getpid())))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  AccessLog log;
+  AccessLog::Options options;
+  options.path = dir + "/access.log";
+  options.slow_path = dir + "/slow.log";
+  options.slow_threshold_ms = 5.0;  // half the writes are slow
+  ASSERT_TRUE(log.Open(options).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kWrites = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      // Each writer also installs its own audit scope: phase timers on
+      // one thread must never bleed into another's record.
+      RequestAudit audit;
+      RequestAuditScope scope(&audit);
+      AccessRecord record;
+      record.role = "worker";
+      record.node = "w" + std::to_string(t);
+      record.cmd = "rank";
+      record.session = "tsan" + std::to_string(t);
+      record.status = "OK";
+      record.cameras = {"cam0"};
+      for (int i = 0; i < kWrites; ++i) {
+        AuditPhaseTimer timer(&RequestAudit::rank_ms);
+        record.total_ms = (i % 2) ? 10.0 : 1.0;
+        log.Write(record);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  log.Close();
+
+  // Every line is intact JSON-shaped output: starts with the ts_ms key,
+  // ends with the slow flag, and contains exactly one opening brace.
+  auto check_file = [](const std::string& path, size_t expected) {
+    std::ifstream in(path);
+    std::string line;
+    size_t count = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++count;
+      EXPECT_EQ(line.compare(0, 9, "{\"ts_ms\":"), 0) << line;
+      EXPECT_TRUE(line.find("\"slow\":") != std::string::npos) << line;
+      EXPECT_EQ(line.back(), '}') << line;
+      EXPECT_EQ(std::count(line.begin(), line.end(), '{'), 1) << line;
+    }
+    EXPECT_EQ(count, expected) << path;
+  };
+  check_file(options.path, static_cast<size_t>(kThreads * kWrites));
+  check_file(options.slow_path, static_cast<size_t>(kThreads * kWrites / 2));
+  fs::remove_all(dir);
 }
 
 }  // namespace

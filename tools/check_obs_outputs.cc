@@ -8,6 +8,14 @@
 //       run a miniature end-to-end experiment in-process with metrics and
 //       tracing enabled, export to a temp directory, then validate (this
 //       mode is registered as the tier-1 ctest `obs_output_check`)
+//   check_obs_outputs --stitched-trace <trace.json> [min_procs]
+//       validate a stitched cluster trace (a trace-merge output or a
+//       coordinator trace_dump response line): one trace id must span at
+//       least min_procs distinct pids (default 2) under a covering root
+//       span
+//   check_obs_outputs --cluster-stats <stats.json>
+//       validate a cluster_stats response line: the fleet rollup must be
+//       the exact merge of the per-worker snapshots
 //
 // Validation rules:
 //   metrics.json  parses; has counters/gauges/histograms/spans objects;
@@ -20,14 +28,17 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "eval/experiment.h"
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/metrics_wire.h"
 #include "obs/trace.h"
 
 using namespace mivid;
@@ -179,6 +190,186 @@ void CheckTraceJson(const std::string& path) {
   Expect(spans > 0, "trace: no spans recorded");
 }
 
+/// Validates a stitched cluster trace: either a raw Chrome document (as
+/// written by `mivid_cli trace-merge`) or a coordinator trace_dump
+/// response line, whose stitched document lives under "trace". The trace
+/// id covering the most distinct pids must span at least `min_procs`
+/// processes, and a single root span must cover every other span that
+/// shares its id (small tolerance for cross-process clock pinning skew).
+void CheckStitchedTrace(const std::string& path, int min_procs) {
+  Result<JsonValue> doc = ParseFile(path);
+  if (!doc.ok()) {
+    Fail("stitched trace: " + doc.status().ToString());
+    return;
+  }
+  const JsonValue* root = doc->is_object() ? &doc.value() : nullptr;
+  if (root != nullptr && root->Find("traceEvents") == nullptr) {
+    const JsonValue* inner = root->Find("trace");
+    if (inner != nullptr && inner->is_object()) root = inner;
+  }
+  const JsonValue* events =
+      root != nullptr ? root->Find("traceEvents") : nullptr;
+  if (events == nullptr || !events->is_array()) {
+    Fail("stitched trace: missing traceEvents array");
+    return;
+  }
+
+  struct SpanRow {
+    double pid;
+    double ts;
+    double dur;
+    std::string name;
+  };
+  std::map<std::string, std::vector<SpanRow>> by_trace_id;
+  size_t spans = 0;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      Fail("stitched trace: event without \"ph\"");
+      continue;
+    }
+    if (ph->string == "M") continue;
+    if (ph->string != "X") {
+      Fail("stitched trace: unexpected event phase \"" + ph->string + "\"");
+      continue;
+    }
+    ++spans;
+    const JsonValue* name = e.Find("name");
+    const JsonValue* ts = e.Find("ts");
+    const JsonValue* dur = e.Find("dur");
+    const JsonValue* pid = e.Find("pid");
+    if (name == nullptr || !name->is_string() || ts == nullptr ||
+        !ts->is_number() || dur == nullptr || !dur->is_number() ||
+        pid == nullptr || !pid->is_number()) {
+      Fail("stitched trace: X event missing name/ts/dur/pid");
+      continue;
+    }
+    const JsonValue* args = e.Find("args");
+    const JsonValue* id = args != nullptr ? args->Find("trace") : nullptr;
+    if (id != nullptr && id->is_string() && !id->string.empty()) {
+      by_trace_id[id->string].push_back(
+          SpanRow{pid->number, ts->number, dur->number, name->string});
+    }
+  }
+  Expect(spans > 0, "stitched trace: no spans recorded");
+  if (by_trace_id.empty()) {
+    Fail("stitched trace: no span carries a trace id");
+    return;
+  }
+
+  // The request trace is the id with the widest process coverage.
+  const std::vector<SpanRow>* best = nullptr;
+  std::string best_id;
+  size_t best_pids = 0;
+  for (const auto& [id, rows] : by_trace_id) {
+    std::set<double> pids;
+    for (const SpanRow& row : rows) pids.insert(row.pid);
+    if (pids.size() > best_pids) {
+      best_pids = pids.size();
+      best = &rows;
+      best_id = id;
+    }
+  }
+  Expect(static_cast<int>(best_pids) >= min_procs,
+         StrFormat("stitched trace: widest trace id spans %zu process(es), "
+                   "expected >= %d",
+                   best_pids, min_procs));
+
+  // One span must cover all the others sharing the id — the
+  // coordinator's admission span opens before any worker starts and
+  // closes after the merge. Allow a little slack for the skew between
+  // each process's steady/wall clock pinning.
+  constexpr double kSkewToleranceUs = 2000.0;
+  const SpanRow* cover = nullptr;
+  for (const SpanRow& row : *best) {
+    if (cover == nullptr || row.dur > cover->dur) cover = &row;
+  }
+  for (const SpanRow& row : *best) {
+    Expect(row.ts >= cover->ts - kSkewToleranceUs &&
+               row.ts + row.dur <= cover->ts + cover->dur + kSkewToleranceUs,
+           StrFormat("stitched trace: span \"%s\" escapes the root span "
+                     "\"%s\" of trace %s",
+                     row.name.c_str(), cover->name.c_str(), best_id.c_str()));
+  }
+}
+
+/// Validates a cluster_stats response line: schema, then exactness — the
+/// reported fleet rollup must serialize identically to a fresh merge of
+/// the per-worker snapshots it claims to aggregate.
+void CheckClusterStats(const std::string& path) {
+  Result<JsonValue> doc = ParseFile(path);
+  if (!doc.ok()) {
+    Fail("cluster_stats: " + doc.status().ToString());
+    return;
+  }
+  if (!doc->is_object()) {
+    Fail("cluster_stats: top level is not an object");
+    return;
+  }
+  const JsonValue* ok = doc->Find("ok");
+  Expect(ok != nullptr && ok->type == JsonValue::Type::kBool &&
+             ok->bool_value,
+         "cluster_stats: response is not ok");
+  const JsonValue* cmd = doc->Find("cmd");
+  Expect(cmd != nullptr && cmd->is_string() &&
+             cmd->string == "cluster_stats",
+         "cluster_stats: cmd is not \"cluster_stats\"");
+  const JsonValue* workers = doc->Find("workers");
+  if (workers == nullptr || !workers->is_array()) {
+    Fail("cluster_stats: missing workers array");
+    return;
+  }
+  const JsonValue* fleet = doc->Find("fleet");
+  if (fleet == nullptr || !fleet->is_object()) {
+    Fail("cluster_stats: missing fleet object");
+    return;
+  }
+
+  std::vector<MetricsSnapshot> snapshots;
+  size_t with_metrics = 0;
+  for (const JsonValue& worker : workers->array) {
+    const JsonValue* metrics = worker.Find("metrics");
+    if (metrics == nullptr) continue;
+    Result<MetricsSnapshot> snapshot = MetricsSnapshotFromWireJson(*metrics);
+    if (!snapshot.ok()) {
+      Fail("cluster_stats: worker snapshot: " +
+           snapshot.status().ToString());
+      continue;
+    }
+    snapshots.push_back(std::move(snapshot).value());
+    ++with_metrics;
+  }
+  Expect(with_metrics > 0, "cluster_stats: no worker carries a snapshot");
+
+  Result<MetricsSnapshot> reported = MetricsSnapshotFromWireJson(*fleet);
+  if (!reported.ok()) {
+    Fail("cluster_stats: fleet snapshot: " + reported.status().ToString());
+    return;
+  }
+  // Bit-exact aggregation check: same wire serialization, so counters,
+  // bucket vectors, and interpolated percentiles all match.
+  const std::string remerged =
+      MetricsSnapshotToWireJson(MergeMetricsSnapshots(snapshots));
+  const std::string fleet_wire =
+      MetricsSnapshotToWireJson(reported.value());
+  Expect(remerged == fleet_wire,
+         "cluster_stats: fleet rollup is not the exact merge of the "
+         "per-worker snapshots");
+
+  if (const JsonValue* hists = fleet->Find("histograms")) {
+    for (const auto& [name, stats] : hists->object) {
+      if (!stats.is_object()) {
+        Fail("cluster_stats: fleet histogram " + name + " is not an object");
+        continue;
+      }
+      CheckStatsObject("cluster_stats: fleet histogram " + name, stats,
+                       "min", "p50", "max");
+      CheckStatsObject("cluster_stats: fleet histogram " + name, stats,
+                       "p50", "p95", "p99");
+    }
+  }
+}
+
 /// Runs a miniature retrieval experiment with collection enabled and
 /// validates what the exporters wrote.
 int SelfTest() {
@@ -255,10 +446,22 @@ int SelfTest() {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: check_obs_outputs <metrics.json> <trace.json>\n"
-               "       check_obs_outputs --selftest\n");
+  std::fprintf(
+      stderr,
+      "usage: check_obs_outputs <metrics.json> <trace.json>\n"
+      "       check_obs_outputs --selftest\n"
+      "       check_obs_outputs --stitched-trace <trace.json> [min_procs]\n"
+      "       check_obs_outputs --cluster-stats <stats.json>\n");
   return 2;
+}
+
+int Report(const char* what) {
+  if (g_failures > 0) {
+    std::fprintf(stderr, "check_obs_outputs: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("check_obs_outputs: %s OK\n", what);
+  return 0;
 }
 
 }  // namespace
@@ -271,6 +474,21 @@ int main(int argc, char** argv) {
     }
     std::printf("check_obs_outputs: selftest OK\n");
     return 0;
+  }
+  if ((argc == 3 || argc == 4) &&
+      std::string(argv[1]) == "--stitched-trace") {
+    int min_procs = 2;
+    if (argc == 4) {
+      int64_t v = 0;
+      if (!ParseInt64(argv[3], &v) || v < 1) return Usage();
+      min_procs = static_cast<int>(v);
+    }
+    CheckStitchedTrace(argv[2], min_procs);
+    return Report(argv[2]);
+  }
+  if (argc == 3 && std::string(argv[1]) == "--cluster-stats") {
+    CheckClusterStats(argv[2]);
+    return Report(argv[2]);
   }
   if (argc != 3) return Usage();
   CheckMetricsJson(argv[1]);

@@ -92,16 +92,26 @@ EOF
 "$CLIENT" "$SOLO_SOCK" '{"cmd":"shutdown"}' >/dev/null
 wait "$SOLO_PID" 2>/dev/null || true
 
-echo "== boot fleet: 3 workers + coordinator =="
+echo "== boot fleet: 3 workers + coordinator (metrics/tracing/logs on) =="
+# Workers take the slow threshold from --slow-ms, the coordinator from
+# the MIVID_SLOW_QUERY_MS environment variable — both paths exercised.
+# Threshold 0 makes every request "slow", so the slow log is
+# deterministically non-empty.
 for i in 0 1 2; do
-  "$CLI" serve "$DB" none --tcp-port=0 --worker-id="w$i" \
+  MIVID_METRICS=1 MIVID_TRACE=1 \
+    "$CLI" serve "$DB" none --tcp-port=0 --worker-id="w$i" \
+    --access-log="$WORK_DIR/worker$i.access.log" \
+    --slow-log="$WORK_DIR/worker$i.slow.log" --slow-ms=0 \
     >"$WORK_DIR/worker$i.log" 2>&1 &
   WORKER_PIDS[$i]=$!
   PIDS+=("${WORKER_PIDS[$i]}")
   WORKER_PORTS[$i]=$(wait_for_port "$WORK_DIR/worker$i.log")
 done
 WORKERS="127.0.0.1:${WORKER_PORTS[0]},127.0.0.1:${WORKER_PORTS[1]},127.0.0.1:${WORKER_PORTS[2]}"
-"$CLI" coord "$COORD_SOCK" --workers="$WORKERS" \
+MIVID_METRICS=1 MIVID_TRACE=1 MIVID_SLOW_QUERY_MS=0 \
+  "$CLI" coord "$COORD_SOCK" --workers="$WORKERS" \
+  --access-log="$WORK_DIR/coord.access.log" \
+  --slow-log="$WORK_DIR/coord.slow.log" \
   >"$WORK_DIR/coord.log" 2>&1 &
 COORD_PID=$!
 PIDS+=("$COORD_PID")
@@ -181,6 +191,57 @@ cmp "$WORK_DIR/multi_fleet_rank.json" "$WORK_DIR/multi_one_rank.json" \
   || fail "merged multi-camera ranking depends on sharding"
 grep -q '"camera":"cam' "$WORK_DIR/multi_fleet_rank.json" \
   || fail "merged ranking entries are not camera-tagged"
+
+echo "== fleet observability: cluster stats, stitched trace, logs =="
+CHECK="$BUILD_DIR/tools/check_obs_outputs"
+
+# cluster_stats: fleet rollup must be the exact merge of the per-worker
+# snapshots (bucket-wise histogram sums, recomputed percentiles).
+"$CLIENT" "$COORD_SOCK" '{"cmd":"cluster_stats"}' \
+  >"$WORK_DIR/cluster_stats.json"
+"$CHECK" --cluster-stats "$WORK_DIR/cluster_stats.json" \
+  || fail "cluster_stats aggregation is not exact"
+grep -q '"worker_id":"w' "$WORK_DIR/cluster_stats.json" \
+  || fail "cluster_stats entries are not tagged with worker ids"
+
+# trace_dump: one stitched Chrome trace; the multi-camera rank must show
+# one trace id spanning the coordinator and every involved worker
+# (3 processes: coordinator + the 2 surviving workers).
+"$CLIENT" "$COORD_SOCK" '{"cmd":"trace_dump"}' \
+  >"$WORK_DIR/stitched_trace.json"
+"$CHECK" --stitched-trace "$WORK_DIR/stitched_trace.json" 3 \
+  || fail "no single trace id spans coordinator + workers"
+
+# mivid_cli top must render the fleet against the live coordinator.
+"$CLI" top "$COORD_SOCK" --iterations=1 >"$WORK_DIR/top.out" \
+  || fail "mivid_cli top failed against the coordinator"
+grep -q '^w' "$WORK_DIR/top.out" \
+  || fail "mivid_cli top shows no worker rows: $(cat "$WORK_DIR/top.out")"
+
+# Access logs: the coordinator logged the fan-out rank with its latency
+# breakdown, and the same trace id shows up in a worker's access log —
+# cross-process propagation visible from the logs alone.
+grep -q '"role":"coordinator"' "$WORK_DIR/coord.access.log" \
+  || fail "coordinator access log is empty"
+COORD_RANK_LINE=$(grep '"cmd":"rank"' "$WORK_DIR/coord.access.log" | tail -1)
+[ -n "$COORD_RANK_LINE" ] || fail "coordinator access log has no rank entry"
+echo "$COORD_RANK_LINE" | grep -q '"merge_ms":' \
+  || fail "coordinator rank entry lacks a merge_ms breakdown"
+TRACE_ID=$(echo "$COORD_RANK_LINE" \
+  | sed -E 's/.*"trace":"([0-9a-f]{16})".*/\1/')
+[ ${#TRACE_ID} -eq 16 ] \
+  || fail "coordinator rank entry carries no trace id: $COORD_RANK_LINE"
+grep -q "\"trace\":\"$TRACE_ID\"" "$WORK_DIR"/worker*.access.log \
+  || fail "trace id $TRACE_ID not found in any worker access log"
+
+# Slow-query log: with a 0ms threshold the deliberately slow rank (full
+# corpus extraction fan-out) must be mirrored there, flagged slow.
+grep -q '"cmd":"rank"' "$WORK_DIR/coord.slow.log" \
+  || fail "slow-query log has no rank entry"
+grep -q '"slow":true' "$WORK_DIR/coord.slow.log" \
+  || fail "slow-query entries are not flagged slow"
+grep -q '"slow":true' "$WORK_DIR"/worker*.slow.log \
+  || fail "no worker slow-query entry"
 
 echo "== graceful shutdown =="
 "$CLIENT" "$COORD_SOCK" '{"cmd":"shutdown"}' >/dev/null

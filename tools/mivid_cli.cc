@@ -5,21 +5,30 @@
 // `mivid_cli help` for the list and `mivid_cli <command> --help` (or
 // `mivid_cli help <command>`) for per-command details.
 
+#include <unistd.h>
+
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/coordinator.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "db/query_engine.h"
 #include "db/video_db.h"
 #include "eval/metrics.h"
 #include "obs/export.h"
+#include "obs/json.h"
+#include "obs/trace_stitch.h"
 #include "retrieval/engine_registry.h"
 #include "retrieval/mil_rf_engine.h"
+#include "serve/client.h"
 #include "serve/server.h"
 #include "trafficsim/scenarios.h"
 
@@ -381,10 +390,26 @@ int CmdServe(const Args& args) {
   if (const std::string* id = args.Flag("worker-id")) {
     options.worker_id = *id;
   }
+  if (const std::string* path = args.Flag("access-log")) {
+    options.access_log_path = *path;
+  }
+  if (const std::string* path = args.Flag("slow-log")) {
+    options.slow_log_path = *path;
+  }
+  if (args.Flag("slow-ms") != nullptr) {
+    v = -1;
+    if (!args.FlagInt("slow-ms", &v) || v < 0) {
+      return BadArgs(*FindSubcommand("serve"));
+    }
+    options.slow_threshold_ms = static_cast<double>(v);
+  }
 
   // Fail fast on inconsistent options before any socket is bound.
   const Status valid = ValidateServeOptions(options);
   if (!valid.ok()) return Fail(valid);
+
+  // Tag this process's log lines and trace export with its fleet role.
+  SetLogIdentity(options.worker_id.empty() ? "serve" : options.worker_id);
 
   RetrievalServer server(db.value().get(), options);
   const Status started = server.Start();
@@ -441,9 +466,24 @@ int CmdCoord(const Args& args) {
   v = 0;
   if (!args.FlagInt("vnodes", &v)) return BadArgs(*FindSubcommand("coord"));
   if (v > 0) options.virtual_nodes = static_cast<size_t>(v);
+  if (const std::string* path = args.Flag("access-log")) {
+    options.access_log_path = *path;
+  }
+  if (const std::string* path = args.Flag("slow-log")) {
+    options.slow_log_path = *path;
+  }
+  if (args.Flag("slow-ms") != nullptr) {
+    v = -1;
+    if (!args.FlagInt("slow-ms", &v) || v < 0) {
+      return BadArgs(*FindSubcommand("coord"));
+    }
+    options.slow_threshold_ms = static_cast<double>(v);
+  }
 
   const Status valid = ValidateCoordinatorOptions(options);
   if (!valid.ok()) return Fail(valid);
+
+  SetLogIdentity("coord");
 
   Coordinator coord(options);
   const Status started = coord.Start();
@@ -464,6 +504,196 @@ int CmdCoord(const Args& args) {
   std::printf("mivid_coord: shutting down (%s)\n",
               g_signal != 0 ? "signal" : "shutdown command");
   coord.Stop();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet dashboard (top) and trace stitching (trace-merge).
+
+/// Descends `path` of object keys from `v`; nullptr when any hop is
+/// missing or not an object.
+const JsonValue* JsonDescend(const JsonValue* v,
+                             std::initializer_list<const char*> path) {
+  for (const char* key : path) {
+    if (v == nullptr) return nullptr;
+    v = v->Find(key);
+  }
+  return v;
+}
+
+double JsonNumberOr(const JsonValue* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+int CmdTop(const Args& args) {
+  if (args.positional.size() != 1) return BadArgs(*FindSubcommand("top"));
+  int64_t interval_ms = 2000;
+  int64_t iterations = 0;
+  if (!args.FlagInt("interval-ms", &interval_ms) || interval_ms <= 0) {
+    return BadArgs(*FindSubcommand("top"));
+  }
+  if (!args.FlagInt("iterations", &iterations) || iterations < 0) {
+    return BadArgs(*FindSubcommand("top"));
+  }
+
+  Result<ServeClient> client = ServeClient::Connect(args.positional[0]);
+  if (!client.ok()) return Fail(client.status());
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  const bool tty = isatty(1) != 0;
+  // Previous poll's lifetime request counters, for interval QPS.
+  std::map<std::string, double> last_requests;
+  auto last_poll = std::chrono::steady_clock::now();
+
+  for (int64_t iter = 0; iterations == 0 || iter < iterations; ++iter) {
+    if (iter > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      if (g_signal != 0) break;
+    }
+    Result<JsonValue> doc =
+        client.value().CallJson("{\"cmd\":\"cluster_stats\"}");
+    if (!doc.ok()) return Fail(doc.status());
+    const JsonValue* ok = doc.value().Find("ok");
+    if (ok == nullptr || ok->type != JsonValue::Type::kBool ||
+        !ok->bool_value) {
+      const JsonValue* error = doc.value().Find("error");
+      return Fail(Status::Internal(
+          "cluster_stats failed: " +
+          (error != nullptr && error->is_string() ? error->string
+                                                  : std::string("?"))));
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed_s =
+        std::chrono::duration<double>(now - last_poll).count();
+    last_poll = now;
+
+    if (tty && iter > 0) std::printf("\033[H\033[J");
+    const JsonValue* fleet_hist = JsonDescend(
+        &doc.value(), {"fleet", "histograms", "serve/request_seconds"});
+    std::printf(
+        "mivid top  workers_alive=%.0f  fleet p50=%.1fms p99=%.1fms\n",
+        JsonNumberOr(doc.value().Find("workers_alive"), 0),
+        1000 * JsonNumberOr(JsonDescend(fleet_hist, {"p50"}), 0),
+        1000 * JsonNumberOr(JsonDescend(fleet_hist, {"p99"}), 0));
+    std::printf("%-14s %-6s %8s %8s %8s %6s %7s %6s\n", "WORKER", "ALIVE",
+                "QPS", "P50MS", "P99MS", "SESS", "CACHE%", "SNAP");
+
+    const JsonValue* workers = doc.value().Find("workers");
+    if (workers != nullptr && workers->is_array()) {
+      for (const JsonValue& worker : workers->array) {
+        const JsonValue* id = worker.Find("worker_id");
+        const JsonValue* endpoint = worker.Find("endpoint");
+        const std::string name =
+            id != nullptr && id->is_string() && !id->string.empty()
+                ? id->string
+            : endpoint != nullptr && endpoint->is_string()
+                ? endpoint->string
+                : "?";
+        const JsonValue* alive = worker.Find("alive");
+        const bool is_alive = alive != nullptr &&
+                              alive->type == JsonValue::Type::kBool &&
+                              alive->bool_value;
+        if (!is_alive) {
+          std::printf("%-14s %-6s\n", name.c_str(), "no");
+          continue;
+        }
+        const double requests = JsonNumberOr(
+            JsonDescend(&worker, {"metrics", "counters", "serve/requests"}),
+            0);
+        double qps = 0;
+        if (auto it = last_requests.find(name);
+            it != last_requests.end() && elapsed_s > 0) {
+          qps = (requests - it->second) / elapsed_s;
+          if (qps < 0) qps = 0;  // worker restarted between polls
+        }
+        last_requests[name] = requests;
+        const JsonValue* hist = JsonDescend(
+            &worker, {"metrics", "histograms", "serve/request_seconds"});
+        const double hits = JsonNumberOr(
+            JsonDescend(&worker,
+                        {"metrics", "counters", "serve/corpus_cache_hits"}),
+            0);
+        const double misses = JsonNumberOr(
+            JsonDescend(&worker,
+                        {"metrics", "counters", "serve/corpus_cache_misses"}),
+            0);
+        const double lookups = hits + misses;
+        std::printf(
+            "%-14s %-6s %8.1f %8.1f %8.1f %6.0f %7.1f %6.0f\n", name.c_str(),
+            "yes", qps, 1000 * JsonNumberOr(JsonDescend(hist, {"p50"}), 0),
+            1000 * JsonNumberOr(JsonDescend(hist, {"p99"}), 0),
+            JsonNumberOr(worker.Find("sessions_open"), 0),
+            lookups > 0 ? 100 * hits / lookups : 0,
+            JsonNumberOr(
+                JsonDescend(&worker, {"metrics", "counters",
+                                      "serve/corpus_snapshot_hits"}),
+                0));
+      }
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string data;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    data.append(buffer, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IOError("read of " + path + " failed");
+  return data;
+}
+
+int CmdTraceMerge(const Args& args) {
+  if (args.positional.size() < 2) {
+    return BadArgs(*FindSubcommand("trace-merge"));
+  }
+  const std::string& out_path = args.positional[0];
+  std::vector<ProcessTrace> inputs;
+  inputs.reserve(args.positional.size() - 1);
+  for (size_t i = 1; i < args.positional.size(); ++i) {
+    const std::string& path = args.positional[i];
+    Result<std::string> data = ReadWholeFile(path);
+    if (!data.ok()) return Fail(data.status());
+    Result<JsonValue> doc = ParseJson(data.value());
+    if (!doc.ok()) {
+      return Fail(Status::Corruption(path + ": " +
+                                     doc.status().message()));
+    }
+    ProcessTrace input;
+    // Label falls back to the file name (sans directory and .json); the
+    // trace's own clock_sync process name wins when present.
+    const size_t slash = path.find_last_of('/');
+    input.label =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    if (input.label.size() > 5 &&
+        input.label.compare(input.label.size() - 5, 5, ".json") == 0) {
+      input.label.resize(input.label.size() - 5);
+    }
+    input.doc = std::move(doc).value();
+    inputs.push_back(std::move(input));
+  }
+  Result<std::string> stitched = StitchChromeTraces(inputs);
+  if (!stitched.ok()) return Fail(stitched.status());
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Fail(Status::IOError("cannot open " + out_path));
+  }
+  const size_t written =
+      std::fwrite(stitched.value().data(), 1, stitched.value().size(), f);
+  std::fclose(f);
+  if (written != stitched.value().size()) {
+    return Fail(Status::IOError("write of " + out_path + " failed"));
+  }
+  std::printf("stitched %zu trace(s) into %s\n", inputs.size(),
+              out_path.c_str());
   return 0;
 }
 
@@ -499,6 +729,10 @@ const std::vector<Subcommand>& Subcommands() {
        "                        the bound port is printed at startup)\n"
        "  --tcp-host=<addr>     TCP bind address (127.0.0.1)\n"
        "  --worker-id=<id>      fleet identity reported by ping/stats\n"
+       "  --access-log=<file>   per-request JSON-lines access log\n"
+       "  --slow-log=<file>     requests over the slow threshold\n"
+       "  --slow-ms=N           slow threshold in ms (default\n"
+       "                        MIVID_SLOW_QUERY_MS or 500)\n"
        "  stops on SIGINT/SIGTERM or a {\"cmd\":\"shutdown\"} request;\n"
        "  sessions are journaled to the database either way\n",
        CmdServe},
@@ -512,9 +746,29 @@ const std::vector<Subcommand>& Subcommands() {
        "  --heartbeat-ms=N      probe workers every N ms and re-admit\n"
        "                        restarted ones (off: lazy failover only)\n"
        "  --vnodes=N            placement-ring points per worker (64)\n"
+       "  --access-log=<file>   per-request JSON-lines access log\n"
+       "  --slow-log=<file>     requests over the slow threshold\n"
+       "  --slow-ms=N           slow threshold in ms (default\n"
+       "                        MIVID_SLOW_QUERY_MS or 500)\n"
        "  speaks the same protocol as serve; single-camera sessions are\n"
        "  passthrough, open with \"cameras\":[...] scatter-gathers rank\n",
        CmdCoord},
+      {"top", "<endpoint> [--interval-ms=N] [--iterations=N]",
+       "live fleet dashboard polling cluster_stats",
+       "  polls {\"cmd\":\"cluster_stats\"} on a coordinator (or a single\n"
+       "  worker, which answers as a fleet of one) and renders per-worker\n"
+       "  QPS over the poll interval, lifetime p50/p99 request latency,\n"
+       "  open sessions, corpus cache hit rate, and snapshot hits.\n"
+       "  --interval-ms=N   poll interval (2000)\n"
+       "  --iterations=N    stop after N polls (0 = until SIGINT)\n",
+       CmdTop},
+      {"trace-merge", "<out.json> <in.json> [in.json ...]",
+       "stitch per-process Chrome traces into one cluster timeline",
+       "  each input is one process's --trace export; events are rebased\n"
+       "  onto a shared wall-clock timeline using the embedded clock_sync\n"
+       "  metadata and re-emitted under per-process pids. Open the output\n"
+       "  in Perfetto / chrome://tracing.\n",
+       CmdTraceMerge},
   };
   return kCommands;
 }
@@ -577,7 +831,8 @@ int main(int argc, char** argv) {
       std::vector<std::string>(words.begin() + 1, words.end()),
       {"engine", "max-pending", "max-sessions", "idle-timeout-ms", "top",
        "snapshot-dir", "tcp-port", "tcp-host", "worker-id", "workers",
-       "heartbeat-ms", "vnodes"});
+       "heartbeat-ms", "vnodes", "access-log", "slow-log", "slow-ms",
+       "interval-ms", "iterations"});
   if (args.help) return PrintCommandHelp(*cmd);
 
   // Dispatch, then flush the requested observability outputs regardless
