@@ -74,6 +74,14 @@ void StampRequestTrace(JsonLineBuilder& line) {
   }
 }
 
+/// Stamps the request's remaining budget onto a fan-out line under
+/// construction, so the worker can shed it if it expires in the queue.
+void StampDeadline(JsonLineBuilder& line, const Deadline& deadline) {
+  if (deadline.infinite()) return;
+  const int64_t remaining = deadline.remaining_ms();
+  line.Int("deadline_ms", remaining > 0 ? remaining : 1);
+}
+
 /// True when a worker response line says {"ok":true,...}.
 bool ResponseOk(const std::string& line) {
   Result<JsonValue> doc = ParseJson(line);
@@ -124,6 +132,12 @@ Status ValidateCoordinatorOptions(const CoordinatorOptions& options) {
   }
   if (options.heartbeat_ms < 0) {
     return Status::InvalidArgument("heartbeat_ms must be >= 0");
+  }
+  if (options.rpc_deadline_ms < 0) {
+    return Status::InvalidArgument("rpc_deadline_ms must be >= 0");
+  }
+  if (options.replication < 1) {
+    return Status::InvalidArgument("replication must be >= 1");
   }
   return Status::OK();
 }
@@ -238,13 +252,29 @@ std::string Coordinator::HandleLine(const std::string& line) {
     relay = &stamped;
   }
 
+  // Effective budget for every worker hop this request makes: the
+  // smaller of the client's own deadline and the coordinator's per-hop
+  // ceiling. Relayed lines that carried no deadline are stamped with it
+  // so workers can shed the request if it expires in their queue.
+  int64_t budget_ms = options_.rpc_deadline_ms;
+  if (req.deadline_ms > 0 &&
+      (budget_ms == 0 || req.deadline_ms < budget_ms)) {
+    budget_ms = req.deadline_ms;
+  }
+  const Deadline deadline =
+      budget_ms > 0 ? Deadline::AfterMs(budget_ms) : Deadline();
+  if (budget_ms > 0 && req.deadline_ms == 0) {
+    stamped = StampDeadlineMs(*relay, budget_ms);
+    relay = &stamped;
+  }
+
   const bool audited = access_log_.enabled();
   RequestAudit audit;
   RequestAuditScope audit_scope(audited ? &audit : nullptr);
   std::chrono::steady_clock::time_point started;
   if (audited) started = std::chrono::steady_clock::now();
 
-  std::string response = Route(req, *relay);
+  std::string response = Route(req, *relay, deadline);
 
   if (audited) {
     AccessRecord record;
@@ -290,17 +320,18 @@ std::string Coordinator::HandleLine(const std::string& line) {
 }
 
 std::string Coordinator::Route(const ServeRequest& req,
-                               const std::string& line) {
+                               const std::string& line,
+                               const Deadline& deadline) {
   switch (req.cmd) {
     case ServeCmd::kOpen:
-      return CmdOpen(req, line);
+      return CmdOpen(req, line, deadline);
     case ServeCmd::kRank:
-      return CmdRank(req, line);
+      return CmdRank(req, line, deadline);
     case ServeCmd::kFeedback:
-      return CmdFeedback(req, line);
+      return CmdFeedback(req, line, deadline);
     case ServeCmd::kSave:
     case ServeCmd::kClose:
-      return CmdForward(req, line);
+      return CmdForward(req, line, deadline);
     case ServeCmd::kStats:
       return CmdStats();
     case ServeCmd::kPing:
@@ -350,62 +381,243 @@ std::string Coordinator::OpenLineFor(const CoordSession& session,
   return std::move(line).Build();
 }
 
+Result<std::vector<std::string>> Coordinator::PlaceCamera(
+    const std::string& camera) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  std::vector<std::string> owners =
+      ring_.Owners(camera, static_cast<size_t>(options_.replication));
+  if (owners.empty()) {
+    return Status::FailedPrecondition("placement ring has no live workers");
+  }
+  return owners;
+}
+
 Result<std::string> Coordinator::CallSub(CoordSession& session,
                                          SubSession& sub,
-                                         const std::string& line) {
+                                         const std::string& line,
+                                         const Deadline& deadline,
+                                         bool prefer_fastest) {
+  bool saw_malformed = false;
+  bool prior_deadline_miss = false;
+  bool resume_attempted = false;
   for (;;) {
-    WorkerConn* worker = registry_.Find(sub.worker);
-    if (worker != nullptr &&
-        worker->alive.load(std::memory_order_acquire)) {
-      Result<std::string> response = registry_.Call(*worker, line);
-      if (response.ok()) return response;
-    }
-    // The home worker is gone. Drop it from the ring, re-place the
-    // camera, and resume the sub-session on the new owner: workers share
-    // one database, so the new owner replays the feedback journal and
-    // reconstructs the exact pre-crash session state.
-    std::string new_owner;
-    {
-      std::lock_guard<std::mutex> lock(ring_mu_);
-      ring_.Remove(sub.worker);
-      Result<std::string> owner = ring_.Owner(sub.camera);
-      if (!owner.ok()) {
-        return Status::FailedPrecondition(
-            "no live workers left for camera '" + sub.camera + "'");
+    // This round's candidates: the sub's live replicas, primary-first
+    // (or fastest-first for rank — EWMA is a relaxed read, so ties and
+    // staleness only cost a slightly worse ordering).
+    std::vector<WorkerConn*> live;
+    for (const std::string& endpoint : sub.workers) {
+      WorkerConn* worker = registry_.Find(endpoint);
+      if (worker != nullptr &&
+          worker->alive.load(std::memory_order_acquire)) {
+        live.push_back(worker);
       }
-      new_owner = std::move(owner).value();
+    }
+    if (prefer_fastest && live.size() > 1) {
+      std::stable_sort(live.begin(), live.end(),
+                       [](WorkerConn* a, WorkerConn* b) {
+                         return a->ewma_us.load(std::memory_order_relaxed) <
+                                b->ewma_us.load(std::memory_order_relaxed);
+                       });
+    }
+
+    for (size_t i = 0; i < live.size(); ++i) {
+      WorkerConn* worker = live[i];
+      if (deadline.expired()) {
+        return Status::DeadlineExceeded(
+            "deadline exhausted while failing over camera '" +
+            sub.camera + "'");
+      }
+      // Split the remaining budget evenly over the replicas not yet
+      // tried, plus one share held in reserve for failover: a hung
+      // replica burns one slice, never the whole budget, so the hedged
+      // retry — or a re-open on a fresh owner — still has time to
+      // answer.
+      Deadline attempt = deadline;
+      if (!deadline.infinite()) {
+        int64_t slice = deadline.remaining_ms() /
+                        static_cast<int64_t>(live.size() - i + 1);
+        if (slice < 10) slice = 10;
+        attempt = deadline.ClampedToMs(slice);
+      }
+      if (prior_deadline_miss && prefer_fastest) {
+        MIVID_METRIC_COUNT("cluster/hedged_ranks", 1);
+      }
+      prior_deadline_miss = false;
+      Result<std::string> response =
+          registry_.Call(*worker, line, attempt);
+      if (response.ok()) {
+        // A reply we cannot parse means the stream is corrupt
+        // (truncated write, desynced framing): treat the worker like a
+        // dead one, but remember that bytes were lost in case no
+        // replica can answer.
+        if (ParseJson(response.value()).ok()) {
+          // A live worker answering NOT_FOUND for a session the
+          // coordinator is actively routing has restarted since the
+          // sub-session was opened (a supervised respawn on the same
+          // endpoint): its process is fresh, its in-memory sessions are
+          // gone. Re-open in place — journal replay reconstructs the
+          // exact pre-crash state — and retry the request once.
+          if (!resume_attempted &&
+              ResponseStatusCode(response.value()) == "NOT_FOUND") {
+            resume_attempted = true;
+            Result<std::string> reopened = registry_.Call(
+                *worker, OpenLineFor(session, sub), attempt);
+            if (reopened.ok() && ParseJson(reopened.value()).ok() &&
+                ResponseStatusCode(reopened.value()) == "OK") {
+              MIVID_METRIC_COUNT("cluster/sessions_resumed", 1);
+              MIVID_LOG(Info)
+                  << "session '" << sub.sub_id
+                  << "' resumed on restarted worker " << worker->endpoint;
+              Result<std::string> retried =
+                  registry_.Call(*worker, line, attempt);
+              if (retried.ok() && ParseJson(retried.value()).ok()) {
+                return retried;
+              }
+            }
+          }
+          return response;
+        }
+        MIVID_LOG(Warn) << "worker " << worker->endpoint
+                        << " sent a malformed reply; marking dead";
+        MIVID_METRIC_COUNT("cluster/malformed_replies", 1);
+        registry_.MarkDead(*worker);
+        saw_malformed = true;
+      } else if (response.status().IsDeadlineExceeded()) {
+        prior_deadline_miss = true;
+      }
+      // The replica is unusable (dead, timed out, or desynced): drop it
+      // from the ring so placement stops handing it out. The heartbeat
+      // re-admits it when it answers again.
+      {
+        std::lock_guard<std::mutex> lock(ring_mu_);
+        ring_.Remove(worker->endpoint);
+      }
     }
     MIVID_METRIC_GAUGE_SET(
         "cluster/workers_alive",
         static_cast<int64_t>(registry_.AliveEndpoints().size()));
-    WorkerConn* next = registry_.Find(new_owner);
-    if (next == nullptr) {
-      return Status::Internal("ring owner '" + new_owner +
-                              "' is not a registered worker");
+
+    // Every current replica is gone. Re-place the camera on the ring
+    // and resume the sub-session on the new owners: workers share one
+    // database, so a new owner replays the feedback journal and
+    // reconstructs the exact pre-crash session state.
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(
+          "deadline exhausted while failing over camera '" + sub.camera +
+          "'");
     }
-    Result<std::string> reopened =
-        registry_.Call(*next, OpenLineFor(session, sub));
-    if (!reopened.ok()) {
-      // The replacement died too; drop it and keep walking the ring.
-      std::lock_guard<std::mutex> lock(ring_mu_);
-      ring_.Remove(new_owner);
-      continue;
-    }
-    if (!ResponseOk(reopened.value())) {
+    Result<std::vector<std::string>> placed = PlaceCamera(sub.camera);
+    if (!placed.ok()) {
+      if (saw_malformed) {
+        return Status::DataLoss(
+            "camera '" + sub.camera +
+            "' has no live replica and the last reply was corrupt");
+      }
       return Status::FailedPrecondition(
-          "failover re-open of '" + sub.sub_id + "' on " + new_owner +
-          " failed: " + ResponseError(reopened.value()));
+          "no live workers left for camera '" + sub.camera + "'");
     }
+    std::vector<std::string> owners = std::move(placed).value();
+    // Drop owners we already burned this round (all of sub.workers).
+    owners.erase(std::remove_if(owners.begin(), owners.end(),
+                                [&sub](const std::string& endpoint) {
+                                  return std::find(sub.workers.begin(),
+                                                   sub.workers.end(),
+                                                   endpoint) !=
+                                         sub.workers.end();
+                                }),
+                 owners.end());
+    if (owners.empty()) {
+      return saw_malformed
+                 ? Status::DataLoss("camera '" + sub.camera +
+                                    "' has no usable replica and the "
+                                    "last reply was corrupt")
+                 : Status::FailedPrecondition(
+                       "no live workers left for camera '" + sub.camera +
+                       "'");
+    }
+    const std::string open_line = OpenLineFor(session, sub);
+    std::vector<std::string> reopened;
+    for (const std::string& endpoint : owners) {
+      // Dialing a healthy worker with an exhausted budget would make it
+      // look dead; report the timeout instead of spreading it.
+      if (deadline.expired()) {
+        return Status::DeadlineExceeded(
+            "deadline exhausted while failing over camera '" +
+            sub.camera + "'");
+      }
+      WorkerConn* next = registry_.Find(endpoint);
+      if (next == nullptr) continue;
+      Result<std::string> opened =
+          registry_.Call(*next, open_line, deadline);
+      if (!opened.ok()) {
+        std::lock_guard<std::mutex> lock(ring_mu_);
+        ring_.Remove(endpoint);
+        continue;
+      }
+      if (!ParseJson(opened.value()).ok()) {
+        // Corrupt re-open reply: same treatment as a corrupt call reply.
+        MIVID_METRIC_COUNT("cluster/malformed_replies", 1);
+        registry_.MarkDead(*next);
+        saw_malformed = true;
+        std::lock_guard<std::mutex> lock(ring_mu_);
+        ring_.Remove(endpoint);
+        continue;
+      }
+      if (!ResponseOk(opened.value())) {
+        return Status::FailedPrecondition(
+            "failover re-open of '" + sub.sub_id + "' on " + endpoint +
+            " failed: " + ResponseError(opened.value()));
+      }
+      reopened.push_back(endpoint);
+    }
+    if (reopened.empty()) continue;  // keep walking the ring
     MIVID_LOG(Warn) << "session " << sub.sub_id << " failed over "
-                    << sub.worker << " -> " << new_owner;
-    sub.worker = new_owner;
+                    << (sub.workers.empty() ? std::string("<none>")
+                                            : sub.workers[0])
+                    << " -> " << reopened[0];
+    sub.workers = std::move(reopened);
     MIVID_METRIC_COUNT("cluster/sessions_failed_over", 1);
     // Loop retries the original request on the new home.
   }
 }
 
+Result<std::string> Coordinator::MirrorSub(CoordSession& session,
+                                          SubSession& sub,
+                                          const std::string& line,
+                                          const Deadline& deadline) {
+  Result<std::string> primary = CallSub(session, sub, line, deadline);
+  if (!primary.ok()) return primary;
+  // Best-effort mirror keeps the other replicas' in-memory session state
+  // in sync so rank can be served from any of them. Journaling is
+  // idempotent (full-state rewrite of a shared file), so replaying the
+  // same write on every replica converges instead of duplicating. A
+  // replica that cannot keep up is dropped from the sub's replica set;
+  // the next failover re-places the camera and re-opens it.
+  for (size_t i = 1; i < sub.workers.size();) {
+    WorkerConn* worker = registry_.Find(sub.workers[i]);
+    Result<std::string> mirrored =
+        worker != nullptr && worker->alive.load(std::memory_order_acquire)
+            ? registry_.Call(*worker, line, deadline)
+            : Result<std::string>(
+                  Status::IOError("replica is not connected"));
+    if (mirrored.ok() && ResponseOk(mirrored.value())) {
+      ++i;
+      continue;
+    }
+    MIVID_LOG(Warn) << "dropping replica " << sub.workers[i] << " of "
+                    << sub.sub_id << ": mirror failed ("
+                    << (mirrored.ok() ? ResponseError(mirrored.value())
+                                      : mirrored.status().message())
+                    << ")";
+    MIVID_METRIC_COUNT("cluster/mirror_failures", 1);
+    sub.workers.erase(sub.workers.begin() + static_cast<long>(i));
+  }
+  return primary;
+}
+
 std::string Coordinator::CmdOpen(const ServeRequest& req,
-                                 const std::string& line) {
+                                 const std::string& line,
+                                 const Deadline& deadline) {
   const bool multi = !req.cameras.empty();
   if (!multi && req.camera_id.empty()) {
     return ErrorResponse(
@@ -441,26 +653,23 @@ std::string Coordinator::CmdOpen(const ServeRequest& req,
   if (!multi) {
     // Single-camera: passthrough. The worker's response is relayed
     // byte-for-byte, so clients cannot tell the fleet from one process.
+    // The same open line is mirrored to the camera's other replicas so
+    // any of them can serve rank.
     if (session->subs.empty()) {
-      std::string owner;
-      {
-        std::lock_guard<std::mutex> lock(ring_mu_);
-        Result<std::string> placed = ring_.Owner(req.camera_id);
-        if (!placed.ok()) {
-          drop_session();
-          return ErrorResponse(placed.status());
-        }
-        owner = std::move(placed).value();
+      Result<std::vector<std::string>> placed = PlaceCamera(req.camera_id);
+      if (!placed.ok()) {
+        drop_session();
+        return ErrorResponse(placed.status());
       }
-      session->subs.push_back(
-          SubSession{req.camera_id, std::move(owner), req.session_id});
+      session->subs.push_back(SubSession{
+          req.camera_id, std::move(placed).value(), req.session_id});
     } else if (session->subs[0].camera != req.camera_id) {
       return ErrorResponse(Status::AlreadyExists(
           "session '" + req.session_id + "' is already open on camera '" +
           session->subs[0].camera + "'"));
     }
     Result<std::string> response =
-        CallSub(*session, session->subs[0], line);
+        MirrorSub(*session, session->subs[0], line, deadline);
     if (!response.ok()) {
       drop_session();
       return ErrorResponse(response.status());
@@ -469,7 +678,7 @@ std::string Coordinator::CmdOpen(const ServeRequest& req,
     return response.value();
   }
 
-  // Multi-camera: one sub-session per camera on that camera's owner.
+  // Multi-camera: one sub-session per camera on that camera's owners.
   if (session->subs.empty()) {
     for (const std::string& camera : req.cameras) {
       const std::string sub_id = req.session_id + "-" + camera;
@@ -479,17 +688,13 @@ std::string Coordinator::CmdOpen(const ServeRequest& req,
             "camera '" + camera + "' does not yield a valid sub-session "
             "id ('" + sub_id + "' must be 1..64 chars of [A-Za-z0-9._-])"));
       }
-      std::string owner;
-      {
-        std::lock_guard<std::mutex> lock(ring_mu_);
-        Result<std::string> placed = ring_.Owner(camera);
-        if (!placed.ok()) {
-          drop_session();
-          return ErrorResponse(placed.status());
-        }
-        owner = std::move(placed).value();
+      Result<std::vector<std::string>> placed = PlaceCamera(camera);
+      if (!placed.ok()) {
+        drop_session();
+        return ErrorResponse(placed.status());
       }
-      session->subs.push_back(SubSession{camera, std::move(owner), sub_id});
+      session->subs.push_back(
+          SubSession{camera, std::move(placed).value(), sub_id});
     }
   }
 
@@ -497,7 +702,7 @@ std::string Coordinator::CmdOpen(const ServeRequest& req,
   bool resumed = false;
   for (SubSession& sub : session->subs) {
     Result<std::string> response =
-        CallSub(*session, sub, OpenLineFor(*session, sub));
+        MirrorSub(*session, sub, OpenLineFor(*session, sub), deadline);
     if (!response.ok()) {
       drop_session();
       return ErrorResponse(response.status());
@@ -539,7 +744,8 @@ std::string Coordinator::CmdOpen(const ServeRequest& req,
 }
 
 std::string Coordinator::CmdRank(const ServeRequest& req,
-                                 const std::string& line) {
+                                 const std::string& line,
+                                 const Deadline& deadline) {
   MIVID_SCOPED_TIMER("cluster/rank_seconds");
   std::shared_ptr<CoordSession> session = FindSession(req.session_id);
   if (session == nullptr) {
@@ -549,7 +755,9 @@ std::string Coordinator::CmdRank(const ServeRequest& req,
   std::lock_guard<std::mutex> session_lock(session->mu);
 
   if (!session->multi) {
-    Result<std::string> response = CallSub(*session, session->subs[0], line);
+    Result<std::string> response =
+        CallSub(*session, session->subs[0], line, deadline,
+                /*prefer_fastest=*/true);
     if (!response.ok()) return ErrorResponse(response.status());
     return response.value();
   }
@@ -565,6 +773,7 @@ std::string Coordinator::CmdRank(const ServeRequest& req,
                      static_cast<int64_t>(session->subs.size()));
   std::vector<std::vector<ClusterScoredBag>> parts;
   parts.reserve(session->subs.size());
+  std::vector<std::string> missing_cameras;
   int64_t total = 0;
   {
     // The scatter-gather half of the request gets its own child span;
@@ -586,10 +795,13 @@ std::string Coordinator::CmdRank(const ServeRequest& req,
       sub_line.Str("cmd", "rank").Str("session", sub.sub_id).Int(
           "top", req.top < 0 ? -1 : static_cast<int64_t>(k));
       StampRequestTrace(sub_line);
+      StampDeadline(sub_line, deadline);
       futures.push_back(std::async(
           std::launch::async,
-          [this, &session, &sub, request = std::move(sub_line).Build()] {
-            return CallSub(*session, sub, request);
+          [this, &session, &sub, deadline,
+           request = std::move(sub_line).Build()] {
+            return CallSub(*session, sub, request, deadline,
+                           /*prefer_fastest=*/true);
           }));
     }
 
@@ -597,9 +809,14 @@ std::string Coordinator::CmdRank(const ServeRequest& req,
       Result<std::string> response = futures[i].get();
       const std::string& camera = session->subs[i].camera;
       if (!response.ok()) {
-        // Drain remaining futures before returning (they capture refs).
-        for (size_t j = i + 1; j < futures.size(); ++j) futures[j].wait();
-        return ErrorResponse(response.status());
+        // Every replica of this camera is gone (or out of budget).
+        // Degrade instead of failing the whole request: the surviving
+        // cameras' merged ranking is still exact for the corpora it
+        // covers, and the response says which cameras are missing.
+        MIVID_LOG(Warn) << "rank degrading without camera '" << camera
+                        << "': " << response.status().ToString();
+        missing_cameras.push_back(camera);
+        continue;
       }
       Result<JsonValue> doc = ParseJson(response.value());
       if (!doc.ok() || !ResponseOk(response.value())) {
@@ -627,6 +844,11 @@ std::string Coordinator::CmdRank(const ServeRequest& req,
       }
       parts.push_back(std::move(part));
     }
+  }
+  if (missing_cameras.size() == session->subs.size()) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "no live workers left for any camera of session '" + session->id +
+        "'"));
   }
 
   std::vector<ClusterScoredBag> merged;
@@ -658,11 +880,24 @@ std::string Coordinator::CmdRank(const ServeRequest& req,
       .Int("cameras", static_cast<int64_t>(session->subs.size()))
       .Int("total", total)
       .Raw("ranking", items);
+  if (!missing_cameras.empty()) {
+    MIVID_METRIC_COUNT("cluster/degraded_responses", 1);
+    std::string missing = "[";
+    for (size_t i = 0; i < missing_cameras.size(); ++i) {
+      if (i > 0) missing += ',';
+      missing += '"';
+      missing += JsonEscape(missing_cameras[i]);
+      missing += '"';
+    }
+    missing += ']';
+    out.Raw("degraded", "{\"missing_cameras\":" + missing + "}");
+  }
   return std::move(out).Build();
 }
 
 std::string Coordinator::CmdFeedback(const ServeRequest& req,
-                                     const std::string& line) {
+                                     const std::string& line,
+                                     const Deadline& deadline) {
   std::shared_ptr<CoordSession> session = FindSession(req.session_id);
   if (session == nullptr) {
     return ErrorResponse(
@@ -671,7 +906,8 @@ std::string Coordinator::CmdFeedback(const ServeRequest& req,
   std::lock_guard<std::mutex> session_lock(session->mu);
 
   if (!session->multi) {
-    Result<std::string> response = CallSub(*session, session->subs[0], line);
+    Result<std::string> response =
+        MirrorSub(*session, session->subs[0], line, deadline);
     if (!response.ok()) return ErrorResponse(response.status());
     return response.value();
   }
@@ -713,8 +949,9 @@ std::string Coordinator::CmdFeedback(const ServeRequest& req,
     sub_line.Str("cmd", "feedback").Str("session", sub->sub_id).Raw(
         "labels", items);
     StampRequestTrace(sub_line);
+    StampDeadline(sub_line, deadline);
     Result<std::string> response =
-        CallSub(*session, *sub, std::move(sub_line).Build());
+        MirrorSub(*session, *sub, std::move(sub_line).Build(), deadline);
     if (!response.ok()) return ErrorResponse(response.status());
     Result<JsonValue> doc = ParseJson(response.value());
     if (!doc.ok() || !ResponseOk(response.value())) {
@@ -738,7 +975,8 @@ std::string Coordinator::CmdFeedback(const ServeRequest& req,
 }
 
 std::string Coordinator::CmdForward(const ServeRequest& req,
-                                    const std::string& line) {
+                                    const std::string& line,
+                                    const Deadline& deadline) {
   std::shared_ptr<CoordSession> session = FindSession(req.session_id);
   if (session == nullptr) {
     return ErrorResponse(
@@ -750,7 +988,7 @@ std::string Coordinator::CmdForward(const ServeRequest& req,
     std::lock_guard<std::mutex> session_lock(session->mu);
     if (!session->multi) {
       Result<std::string> response =
-          CallSub(*session, session->subs[0], line);
+          MirrorSub(*session, session->subs[0], line, deadline);
       if (!response.ok()) return ErrorResponse(response.status());
       response_line = response.value();
     } else {
@@ -760,8 +998,9 @@ std::string Coordinator::CmdForward(const ServeRequest& req,
         sub_line.Str("cmd", cmd).Str("session", sub.sub_id);
         if (closing) sub_line.Bool("discard", req.discard);
         StampRequestTrace(sub_line);
+        StampDeadline(sub_line, deadline);
         Result<std::string> response =
-            CallSub(*session, sub, std::move(sub_line).Build());
+            MirrorSub(*session, sub, std::move(sub_line).Build(), deadline);
         if (!response.ok()) return ErrorResponse(response.status());
         if (!ResponseOk(response.value())) {
           return ErrorResponse(Status::Internal(
@@ -801,14 +1040,16 @@ std::string Coordinator::CmdStats() {
         placed.end();
     workers += StrFormat(
         "{\"endpoint\":\"%s\",\"alive\":%s,\"on_ring\":%s,"
-        "\"requests\":%llu,\"failures\":%llu}",
+        "\"requests\":%llu,\"failures\":%llu,\"ewma_us\":%lld}",
         JsonEscape(worker->endpoint).c_str(),
         worker->alive.load(std::memory_order_acquire) ? "true" : "false",
         on_ring ? "true" : "false",
         static_cast<unsigned long long>(
             worker->requests.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
-            worker->failures.load(std::memory_order_relaxed)));
+            worker->failures.load(std::memory_order_relaxed)),
+        static_cast<long long>(
+            worker->ewma_us.load(std::memory_order_relaxed)));
   }
   workers += ']';
 
@@ -871,8 +1112,11 @@ std::string Coordinator::CmdClusterStats() {
       workers_json += std::move(entry).Build();
       continue;
     }
-    Result<std::string> response =
-        registry_.Call(*worker, "{\"cmd\":\"metrics\"}");
+    Result<std::string> response = registry_.Call(
+        *worker, "{\"cmd\":\"metrics\"}",
+        options_.rpc_deadline_ms > 0
+            ? Deadline::AfterMs(options_.rpc_deadline_ms)
+            : Deadline());
     if (!response.ok()) {
       entry.Bool("alive", false).Str("error",
                                      response.status().message());
@@ -960,8 +1204,11 @@ std::string Coordinator::CmdTraceDump() {
   int64_t workers_dumped = 0;
   for (const auto& worker : registry_.workers()) {
     if (!worker->alive.load(std::memory_order_acquire)) continue;
-    Result<std::string> response =
-        registry_.Call(*worker, "{\"cmd\":\"trace_dump\"}");
+    Result<std::string> response = registry_.Call(
+        *worker, "{\"cmd\":\"trace_dump\"}",
+        options_.rpc_deadline_ms > 0
+            ? Deadline::AfterMs(options_.rpc_deadline_ms)
+            : Deadline());
     if (!response.ok()) continue;
     Result<JsonValue> doc = ParseJson(response.value());
     if (!doc.ok() || !ResponseOk(response.value())) continue;
@@ -1003,14 +1250,20 @@ void Coordinator::HeartbeatSweep() {
     return;
   }
   last_heartbeat_ = now;
+  // Probes are deadline-bounded so a hung worker cannot stall the sweep
+  // (and with it the accept loop's idle callback) indefinitely.
+  const Deadline probe_deadline =
+      options_.rpc_deadline_ms > 0
+          ? Deadline::AfterMs(options_.rpc_deadline_ms)
+          : Deadline();
   for (const auto& worker : registry_.workers()) {
     if (worker->alive.load(std::memory_order_acquire)) {
-      if (!registry_.Ping(*worker)) {
+      if (!registry_.Ping(*worker, probe_deadline)) {
         std::lock_guard<std::mutex> lock(ring_mu_);
         ring_.Remove(worker->endpoint);
       }
     } else if (registry_.Reconnect(*worker).ok() &&
-               registry_.Ping(*worker)) {
+               registry_.Ping(*worker, probe_deadline)) {
       // A restarted worker on the same endpoint rejoins the ring; its
       // cameras re-home to it on the next placement lookup.
       std::lock_guard<std::mutex> lock(ring_mu_);

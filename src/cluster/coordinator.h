@@ -24,6 +24,25 @@
 // deterministic, so the resumed session ranks bit-identically to the
 // pre-crash one. The optional heartbeat also re-dials dead workers, so
 // a restarted process on the same endpoint rejoins the ring.
+//
+// Robustness (see docs/robustness.md):
+//  * Deadlines: every coordinator->worker hop is bounded by
+//    rpc_deadline_ms (and by the client's own "deadline_ms" when
+//    smaller). A worker that does not answer in time is treated exactly
+//    like a dead one — marked dead, dropped from the ring, failed over —
+//    so a hung worker costs one budget slice, not a stuck fleet.
+//  * Replication: with replication > 1 each camera's sub-session is
+//    opened on that many distinct ring owners. Writes (open, feedback,
+//    save, close) go to the primary and are mirrored best-effort to the
+//    other replicas; since replicas share the db and feedback journaling
+//    rewrites the full deterministic session state, mirrored writes are
+//    idempotent. rank routes to the fastest live replica (EWMA latency)
+//    and retries the next one when a slice of the budget expires — a
+//    hedged retry.
+//  * Degraded responses: a multi-camera rank whose camera has no live
+//    replica left returns the merged ranking of the surviving cameras
+//    plus "degraded":{"missing_cameras":[...]} instead of failing the
+//    whole request.
 
 #ifndef MIVID_CLUSTER_COORDINATOR_H_
 #define MIVID_CLUSTER_COORDINATOR_H_
@@ -39,6 +58,7 @@
 
 #include "cluster/placement.h"
 #include "cluster/worker_registry.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "obs/access_log.h"
 #include "serve/line_transport.h"
@@ -61,6 +81,13 @@ struct CoordinatorOptions {
   std::string slow_log_path;
   /// Slow threshold in ms; negative = MIVID_SLOW_QUERY_MS env (or 500).
   double slow_threshold_ms = -1.0;
+
+  /// Per-hop budget for coordinator->worker calls in ms; 0 disables
+  /// deadline enforcement (a hung worker then blocks its caller).
+  int rpc_deadline_ms = 30000;
+  /// Distinct workers holding each camera's sub-session (>= 1). Clamped
+  /// to the fleet size at placement time.
+  int replication = 1;
 };
 
 /// Rejects an inconsistent option set before any socket is bound.
@@ -96,12 +123,15 @@ class Coordinator {
   size_t session_count() const;
 
  private:
-  /// One camera's slice of a session: which worker holds the
+  /// One camera's slice of a session: which workers hold the
   /// sub-session under which id.
   struct SubSession {
     std::string camera;
-    std::string worker;  ///< endpoint; may go stale until next failover
-    std::string sub_id;  ///< session id on the worker
+    /// Replica endpoints, [0] = primary. All replicas hold the same
+    /// sub_id (they share the db, so they share the journal). Entries
+    /// may go stale until the next failover re-places the camera.
+    std::vector<std::string> workers;
+    std::string sub_id;  ///< session id on the workers
   };
 
   /// One client-visible session.
@@ -114,14 +144,20 @@ class Coordinator {
   };
 
   /// HandleLine minus tracing/audit bookkeeping: routes one parsed
-  /// request. `line` is the relay form (stamped with trace context when
-  /// the incoming line carried none).
-  std::string Route(const ServeRequest& req, const std::string& line);
+  /// request. `line` is the relay form (stamped with trace context and
+  /// deadline when the incoming line carried none). `deadline` bounds
+  /// every worker hop made on behalf of this request.
+  std::string Route(const ServeRequest& req, const std::string& line,
+                    const Deadline& deadline);
 
-  std::string CmdOpen(const ServeRequest& req, const std::string& line);
-  std::string CmdRank(const ServeRequest& req, const std::string& line);
-  std::string CmdFeedback(const ServeRequest& req, const std::string& line);
-  std::string CmdForward(const ServeRequest& req, const std::string& line);
+  std::string CmdOpen(const ServeRequest& req, const std::string& line,
+                      const Deadline& deadline);
+  std::string CmdRank(const ServeRequest& req, const std::string& line,
+                      const Deadline& deadline);
+  std::string CmdFeedback(const ServeRequest& req, const std::string& line,
+                          const Deadline& deadline);
+  std::string CmdForward(const ServeRequest& req, const std::string& line,
+                         const Deadline& deadline);
   std::string CmdStats();
   std::string CmdPing();
   std::string CmdClusterStats();
@@ -129,12 +165,34 @@ class Coordinator {
 
   int64_t UptimeSeconds() const;
 
-  /// Sends `line` to `sub`'s worker. On a dead/failed worker: removes it
-  /// from the ring, re-places the camera, re-opens the sub-session on
-  /// the new owner (journal resume), and retries there — repeating until
-  /// a live owner answers or the ring is empty.
+  /// Sends `line` to one of `sub`'s replicas, walking them in order
+  /// ([0]-first, or fastest-EWMA-first when `prefer_fastest`). With a
+  /// finite `deadline` each attempt gets an even slice of the remaining
+  /// budget so a hung replica cannot starve the retries (a rank retry
+  /// after a deadline miss is a hedge, counted in
+  /// cluster/hedged_ranks). A replica that fails its transport (or its
+  /// deadline) is marked dead and dropped from the ring; a replica that
+  /// answers garbage is treated the same and remembered as data loss.
+  /// When every current replica is gone the camera is re-placed on the
+  /// ring, the sub-session re-opened on the new owners (journal
+  /// resume), and the call retried there — until a live owner answers
+  /// or the ring is empty.
   Result<std::string> CallSub(CoordSession& session, SubSession& sub,
-                              const std::string& line);
+                              const std::string& line,
+                              const Deadline& deadline,
+                              bool prefer_fastest = false);
+
+  /// Write-path fan-out: `line` must succeed on `sub`'s primary
+  /// (failover rules as CallSub) and is then mirrored best-effort to
+  /// the other replicas. A replica that fails its mirror is dropped
+  /// from the sub's replica set (re-picked at the next failover).
+  Result<std::string> MirrorSub(CoordSession& session, SubSession& sub,
+                                const std::string& line,
+                                const Deadline& deadline);
+
+  /// Places `camera` on up to `options_.replication` distinct live
+  /// workers. FailedPrecondition when the ring is empty.
+  Result<std::vector<std::string>> PlaceCamera(const std::string& camera);
 
   /// {"cmd":"open",...} line that (re)creates `sub` on its worker.
   std::string OpenLineFor(const CoordSession& session,

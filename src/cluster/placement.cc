@@ -1,5 +1,7 @@
 #include "cluster/placement.h"
 
+#include <algorithm>
+
 namespace mivid {
 
 uint64_t PlacementHash(std::string_view bytes) {
@@ -58,6 +60,32 @@ Result<std::string> PlacementRing::Owner(std::string_view key) const {
   auto it = ring_.lower_bound(std::make_pair(h, std::string()));
   if (it == ring_.end()) it = ring_.begin();
   return it->second;
+}
+
+std::vector<std::string> PlacementRing::Owners(std::string_view key,
+                                               size_t replicas) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || replicas == 0) return out;
+  const size_t want = std::min(replicas, workers_.size());
+  out.reserve(want);
+  const uint64_t h = PlacementHash(key);
+  auto it = ring_.lower_bound(std::make_pair(h, std::string()));
+  // One full lap visits every worker's points, so `want` distinct
+  // workers are always found.
+  while (out.size() < want) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::string& worker = it->second;
+    bool seen = false;
+    for (const std::string& w : out) {
+      if (w == worker) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(worker);
+    ++it;
+  }
+  return out;
 }
 
 std::vector<std::string> PlacementRing::Workers() const {

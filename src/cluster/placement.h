@@ -44,6 +44,16 @@ class PlacementRing {
   /// the ring is empty.
   Result<std::string> Owner(std::string_view key) const;
 
+  /// Up to `replicas` distinct workers for `key`, walking the ring
+  /// clockwise from the key's hash: [0] is the primary (== Owner), the
+  /// rest are the replica set. Shorter than `replicas` when fewer
+  /// workers are live; empty when the ring is. Because removal only
+  /// deletes the dead worker's points, the surviving members of a key's
+  /// replica set keep their roles when one dies — replacement replicas
+  /// append, they don't reshuffle.
+  std::vector<std::string> Owners(std::string_view key,
+                                  size_t replicas) const;
+
   /// Live workers, sorted.
   std::vector<std::string> Workers() const;
 

@@ -1,0 +1,103 @@
+// WorkerSupervisor: the coordinator's process manager for its workers.
+//
+// `mivid_cli coord --spawn-workers=N` replaces the smoke scripts' shell
+// plumbing: the supervisor fork/execs N `mivid_cli serve` processes on
+// ephemeral TCP ports, learns each port from the child's boot line, and
+// keeps the fleet alive — a crashed worker is restarted with capped
+// exponential backoff, pinned to its original port so its endpoint (and
+// therefore its place on the ring) never changes; the heartbeat sweep
+// re-admits it once it answers ping again. A worker that keeps dying
+// ("restart storm": max_restarts rapid deaths in a row) is given up on
+// and left off the fleet — the ring's failover already re-homed its
+// cameras.
+//
+// Monitoring is poll-driven: the coordinator's main loop calls Sweep()
+// every few hundred ms, which reaps exited children with
+// waitpid(WNOHANG) and spawns any due restarts. No SIGCHLD handler is
+// installed, so the signal cannot interrupt transport syscalls (which
+// are EINTR-safe anyway).
+
+#ifndef MIVID_CLUSTER_SUPERVISOR_H_
+#define MIVID_CLUSTER_SUPERVISOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mivid {
+
+struct SupervisorOptions {
+  std::string cli_path;     ///< binary to exec (argv[0] of the coordinator)
+  std::string db_path;      ///< database every worker serves
+  int count = 0;            ///< workers to spawn
+  std::string tcp_host = "127.0.0.1";
+  std::string log_dir;      ///< worker stdout/stderr logs (created)
+  std::vector<std::string> extra_args;  ///< forwarded to every worker
+
+  /// Consecutive rapid deaths before giving a worker up. A child that
+  /// stayed up longer than `stable_ms` resets its strike count.
+  int max_restarts = 5;
+  int backoff_base_ms = 200;
+  int backoff_max_ms = 5000;
+  int64_t stable_ms = 30 * 1000;
+
+  /// How long to wait for a freshly spawned worker to print its
+  /// "tcp_port=N" boot line.
+  int spawn_wait_ms = 15 * 1000;
+};
+
+class WorkerSupervisor {
+ public:
+  explicit WorkerSupervisor(SupervisorOptions options);
+  ~WorkerSupervisor();
+
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  /// Spawns all workers and blocks until each has printed its port.
+  /// On failure the already-spawned children are killed.
+  Status SpawnAll();
+
+  /// "host:port" per worker, stable across restarts. Valid after
+  /// SpawnAll() succeeds.
+  std::vector<std::string> endpoints() const;
+
+  /// Reaps dead children and restarts any whose backoff has elapsed.
+  /// Call periodically from the serving loop.
+  void Sweep();
+
+  /// SIGTERM then (after a grace period) SIGKILL every child.
+  void StopAll();
+
+  uint64_t restarts() const { return restarts_; }
+
+  /// Workers permanently given up on after a restart storm.
+  int given_up() const;
+
+ private:
+  struct Child {
+    std::string worker_id;
+    std::string log_path;
+    int port = 0;            ///< pinned after the first spawn
+    pid_t pid = -1;          ///< -1 when not running
+    int strikes = 0;         ///< consecutive rapid deaths
+    bool gave_up = false;
+    std::chrono::steady_clock::time_point started;
+    std::chrono::steady_clock::time_point restart_due;
+    bool restart_pending = false;
+  };
+
+  Status Spawn(Child& child);
+  Result<int> WaitForPortLine(const Child& child) const;
+
+  SupervisorOptions options_;
+  std::vector<Child> children_;
+  uint64_t restarts_ = 0;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_CLUSTER_SUPERVISOR_H_

@@ -1,5 +1,7 @@
 #include "cluster/worker_registry.h"
 
+#include <chrono>
+
 #include "obs/metrics.h"
 
 namespace mivid {
@@ -37,31 +39,46 @@ WorkerConn* WorkerRegistry::Find(const std::string& endpoint) {
 }
 
 Result<std::string> WorkerRegistry::Call(WorkerConn& worker,
-                                         const std::string& line) {
+                                         const std::string& line,
+                                         const Deadline& deadline) {
   std::lock_guard<std::mutex> lock(worker.mu);
   if (!worker.alive.load(std::memory_order_acquire) ||
       worker.client == nullptr) {
     return Status::IOError("worker " + worker.endpoint + " is down");
   }
-  Result<std::string> response = worker.client->Call(line);
+  const auto started = std::chrono::steady_clock::now();
+  Result<std::string> response = worker.client->Call(line, deadline);
   if (!response.ok()) {
-    // The connection is gone: mark dead under the lock so no later call
-    // races a half-closed client.
+    // The connection is gone (or desynced by a deadline miss): mark dead
+    // under the lock so no later call races a half-closed client.
+    const bool missed_deadline = response.status().IsDeadlineExceeded();
     worker.client.reset();
     worker.alive.store(false, std::memory_order_release);
     worker.failures.fetch_add(1, std::memory_order_relaxed);
     MIVID_METRIC_COUNT("cluster/worker_failures", 1);
-    return Status::IOError("worker " + worker.endpoint +
-                           " failed: " + response.status().message());
+    if (missed_deadline) MIVID_METRIC_COUNT("cluster/deadline_misses", 1);
+    // Preserve the code: callers treat DeadlineExceeded like death but
+    // report it distinctly.
+    return Status(response.status().code(),
+                  "worker " + worker.endpoint +
+                      " failed: " + response.status().message());
   }
+  const int64_t sample_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  // EWMA (alpha = 1/4) under the connection mutex; readers are lock-free.
+  const int64_t prev = worker.ewma_us.load(std::memory_order_relaxed);
+  worker.ewma_us.store(prev == 0 ? sample_us : (3 * prev + sample_us) / 4,
+                       std::memory_order_relaxed);
   worker.requests.fetch_add(1, std::memory_order_relaxed);
   MIVID_METRIC_COUNT_DYN("cluster/worker/" + worker.endpoint + "/requests",
                          1);
   return response;
 }
 
-bool WorkerRegistry::Ping(WorkerConn& worker) {
-  return Call(worker, R"({"cmd":"ping"})").ok();
+bool WorkerRegistry::Ping(WorkerConn& worker, const Deadline& deadline) {
+  return Call(worker, R"({"cmd":"ping"})", deadline).ok();
 }
 
 Status WorkerRegistry::Reconnect(WorkerConn& worker) {

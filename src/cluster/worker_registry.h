@@ -18,11 +18,13 @@
 #define MIVID_CLUSTER_WORKER_REGISTRY_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "serve/client.h"
 
@@ -36,6 +38,9 @@ struct WorkerConn {
   std::atomic<bool> alive{false};
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> failures{0};
+  /// EWMA of successful round-trip time in microseconds (0 = no sample
+  /// yet). The coordinator routes rank to the fastest live replica.
+  std::atomic<int64_t> ewma_us{0};
 };
 
 class WorkerRegistry {
@@ -53,12 +58,17 @@ class WorkerRegistry {
   WorkerConn* Find(const std::string& endpoint);
 
   /// Sends one request line to `worker` and returns the response line.
-  /// A transport failure marks the worker dead and returns IOError.
-  Result<std::string> Call(WorkerConn& worker, const std::string& line);
+  /// A transport failure marks the worker dead and returns IOError. With
+  /// a finite `deadline`, the call is poll-bounded: expiry also marks
+  /// the worker dead (its connection is desynced) and returns
+  /// DeadlineExceeded — a slow worker is handled exactly like a dead
+  /// one, it just gets caught sooner.
+  Result<std::string> Call(WorkerConn& worker, const std::string& line,
+                           const Deadline& deadline = Deadline());
 
   /// Round-trips {"cmd":"ping"}; false (and dead) when the worker does
-  /// not answer.
-  bool Ping(WorkerConn& worker);
+  /// not answer within `deadline`.
+  bool Ping(WorkerConn& worker, const Deadline& deadline = Deadline());
 
   /// Re-dials a dead worker's endpoint; alive again on success.
   Status Reconnect(WorkerConn& worker);

@@ -1,0 +1,67 @@
+// A monotonic-clock deadline threaded through every coordinator→worker
+// hop so no RPC can block past its budget.
+//
+// A default-constructed Deadline is infinite (never expires); a finite
+// one is anchored to std::chrono::steady_clock so wall-clock jumps
+// cannot fire or starve it. The type is a plain value: copy it freely
+// across retry loops — every attempt draws down the same budget.
+
+#ifndef MIVID_COMMON_DEADLINE_H_
+#define MIVID_COMMON_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace mivid {
+
+class Deadline {
+ public:
+  /// Infinite deadline: never expires, remaining_ms() is huge.
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now; ms <= 0 is already expired.
+  static Deadline AfterMs(int64_t ms) {
+    Deadline d;
+    d.finite_ = true;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return !finite_; }
+
+  bool expired() const {
+    return finite_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds left, clamped to >= 0. A very large value when infinite
+  /// (safe to pass to poll-style timeouts after clamping at the call site).
+  int64_t remaining_ms() const {
+    if (!finite_) return kInfiniteMs;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    at_ - std::chrono::steady_clock::now())
+                    .count();
+    return std::max<int64_t>(0, left);
+  }
+
+  /// The earlier of this deadline and one `ms` from now. With ms <= 0
+  /// (meaning "no budget configured") returns *this unchanged.
+  Deadline ClampedToMs(int64_t ms) const {
+    if (ms <= 0) return *this;
+    if (!finite_) return AfterMs(ms);
+    Deadline other = AfterMs(ms);
+    return other.at_ < at_ ? other : *this;
+  }
+
+  static constexpr int64_t kInfiniteMs = int64_t{1} << 40;  // ~35 years
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool finite_ = false;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_COMMON_DEADLINE_H_

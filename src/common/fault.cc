@@ -1,0 +1,167 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace mivid {
+
+namespace fault_internal {
+std::atomic<bool> g_armed{false};
+}  // namespace fault_internal
+
+namespace {
+
+// FNV-1a over the point name seeds each point's own splitmix64 stream,
+// so adding or reordering other points in the spec does not shift a
+// point's fire sequence.
+uint64_t HashName(std::string_view name, uint64_t seed) {
+  uint64_t h = 1469598103934665603ull ^ seed;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t SplitMixNext(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct FaultPoint {
+  double probability = 0.0;
+  int64_t param_ms = 0;
+  bool has_param = false;
+  uint64_t rng_state = 0;
+};
+
+struct FaultRegistry {
+  std::mutex mu;
+  std::map<std::string, FaultPoint, std::less<>> points;
+  std::string spec;
+};
+
+FaultRegistry& Registry() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+// Parses one "<point>=<prob>[:<param_ms>][@<seed>]" entry; returns false
+// (and logs) on malformed input rather than half-arming it.
+bool ParseEntry(const std::string& entry,
+                std::map<std::string, FaultPoint, std::less<>>* out) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  std::string name = entry.substr(0, eq);
+  std::string rest = entry.substr(eq + 1);
+
+  uint64_t seed = 0;
+  const size_t at = rest.find('@');
+  if (at != std::string::npos) {
+    seed = static_cast<uint64_t>(strtoull(rest.c_str() + at + 1, nullptr, 10));
+    rest = rest.substr(0, at);
+  }
+
+  FaultPoint point;
+  const size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    point.param_ms = strtoll(rest.c_str() + colon + 1, nullptr, 10);
+    point.has_param = true;
+    rest = rest.substr(0, colon);
+  }
+
+  char* end = nullptr;
+  point.probability = strtod(rest.c_str(), &end);
+  if (end == rest.c_str() || point.probability < 0.0 ||
+      point.probability > 1.0) {
+    return false;
+  }
+  point.rng_state = HashName(name, seed);
+  (*out)[std::move(name)] = point;
+  return true;
+}
+
+void ArmSpecLocked(const std::string& spec, FaultRegistry* registry) {
+  registry->points.clear();
+  registry->spec = spec;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t semi = spec.find(';', start);
+    if (semi == std::string::npos) semi = spec.size();
+    std::string entry = spec.substr(start, semi - start);
+    if (!entry.empty() && !ParseEntry(entry, &registry->points)) {
+      MIVID_LOG(Warn) << "ignoring malformed MIVID_FAULTS entry: " << entry;
+    }
+    start = semi + 1;
+  }
+  fault_internal::g_armed.store(!registry->points.empty(),
+                                std::memory_order_relaxed);
+  if (!registry->points.empty()) {
+    MIVID_LOG(Info) << "fault injection armed: " << spec;
+  }
+}
+
+std::once_flag g_env_once;
+
+void ArmFromEnvOnce() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("MIVID_FAULTS");
+    if (env == nullptr || env[0] == '\0') return;
+    FaultRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    if (registry.spec.empty()) ArmSpecLocked(env, &registry);
+  });
+}
+
+// Arm from the environment before main() so the very first fault check
+// in the process already sees MIVID_FAULTS.
+const bool g_armed_at_init = [] {
+  ArmFromEnvOnce();
+  return true;
+}();
+
+}  // namespace
+
+bool FaultInjected(std::string_view point, int64_t* param_ms) {
+  FaultRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(point);
+  if (it == registry.points.end()) return false;
+  FaultPoint& fp = it->second;
+  bool hit;
+  if (fp.probability >= 1.0) {
+    hit = true;
+  } else if (fp.probability <= 0.0) {
+    hit = false;
+  } else {
+    const uint64_t draw = SplitMixNext(&fp.rng_state);
+    // 53-bit mantissa draw in [0,1).
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    hit = u < fp.probability;
+  }
+  if (hit && param_ms != nullptr && fp.has_param) *param_ms = fp.param_ms;
+  return hit;
+}
+
+void SetFaultSpecForTest(const std::string& spec) {
+  FaultRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  ArmSpecLocked(spec, &registry);
+  if (spec.empty()) {
+    fault_internal::g_armed.store(false, std::memory_order_relaxed);
+  }
+}
+
+std::string ArmedFaultSpec() {
+  ArmFromEnvOnce();
+  FaultRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.spec;
+}
+
+}  // namespace mivid

@@ -1,0 +1,72 @@
+// Deterministic fault injection for exercising failure paths on demand.
+//
+// Fault points are named sites compiled into the binary but dormant
+// unless armed. Arming happens through the MIVID_FAULTS environment
+// variable (read once, at first check) or SetFaultSpecForTest():
+//
+//   MIVID_FAULTS="worker.rank.hang=1:2000;transport.write.short=0.5@7"
+//
+// Grammar, per ';'-separated entry:
+//
+//   <point>=<probability>[:<param_ms>][@<seed>]
+//
+//   probability  in [0,1]; each check at the point draws from a
+//                deterministic per-point RNG stream, so a given
+//                (spec, call sequence) always fires the same way.
+//   param_ms     optional integer the site may consume (e.g. how long
+//                a ".hang" sleeps); sites supply their own default.
+//   seed         optional; folded into the point's RNG stream.
+//
+// Sites may scope a point by worker id ("w1/worker.rank.hang") so a
+// multi-worker process — or a fleet sharing one environment — can fault
+// a single worker; unscoped names match every worker.
+//
+// When nothing is armed, MIVID_FAULT costs one relaxed atomic load and
+// a predicted-false branch — inside the repo's <2% disabled-overhead
+// budget alongside the metrics/tracing macros.
+
+#ifndef MIVID_COMMON_FAULT_H_
+#define MIVID_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mivid {
+
+namespace fault_internal {
+extern std::atomic<bool> g_armed;
+}  // namespace fault_internal
+
+/// True when any fault spec is armed. The disabled fast path.
+inline bool FaultsArmed() {
+  return fault_internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Draws the named point's next deterministic sample and reports whether
+/// the fault fires. Unknown points never fire. When the point carries a
+/// ":<param_ms>" and `param_ms` is non-null, *param_ms receives it on a
+/// hit (left untouched otherwise).
+bool FaultInjected(std::string_view point, int64_t* param_ms = nullptr);
+
+/// Replaces the armed spec at runtime ("" disarms). Resets every
+/// point's RNG stream, so a test re-arming the same spec replays the
+/// same fire sequence.
+void SetFaultSpecForTest(const std::string& spec);
+
+/// The spec currently armed (for diagnostics); "" when disarmed.
+std::string ArmedFaultSpec();
+
+}  // namespace mivid
+
+/// True when the named fault point fires now; zero-cost when disarmed.
+#define MIVID_FAULT(point) \
+  (::mivid::FaultsArmed() && ::mivid::FaultInjected(point))
+
+/// As MIVID_FAULT, but also receives the point's ":<param_ms>" into
+/// `ms_out` (an int64_t*) when the spec carries one.
+#define MIVID_FAULT_MS(point, ms_out) \
+  (::mivid::FaultsArmed() && ::mivid::FaultInjected(point, ms_out))
+
+#endif  // MIVID_COMMON_FAULT_H_

@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kInternal = 9,
   kResourceExhausted = 10,
   kDataLoss = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -87,6 +88,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return rep_ == nullptr; }
@@ -116,6 +120,9 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

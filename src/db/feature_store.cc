@@ -1,5 +1,7 @@
 #include "db/feature_store.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "db/codec.h"
@@ -135,7 +137,10 @@ Result<std::vector<IncidentRecord>> DeserializeIncidents(
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
+  // The temp name carries the pid so replicated workers journaling the
+  // same session file over a shared database never interleave writes
+  // into one temp file; rename() still makes the final swap atomic.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return Status::IOError("cannot open " + tmp + " for writing");
   const size_t written =

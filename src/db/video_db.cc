@@ -3,11 +3,14 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "svm/model_io.h"
 
@@ -148,7 +151,21 @@ std::string VideoDb::SessionPath(const std::string& name) const {
 
 Status VideoDb::SaveSession(const std::string& name,
                             const SessionState& state) {
-  return WriteFileAtomic(SessionPath(name), SerializeSessionState(state));
+  std::string bytes = SerializeSessionState(state);
+  // journal.write.torn simulates a crash mid-journal-write: half the
+  // bytes reach a temp file and the process dies before the atomic
+  // rename. The previous journal generation must survive intact — a
+  // failover replays it and the coordinator retries the lost round.
+  if (MIVID_FAULT("journal.write.torn")) {
+    const std::string torn =
+        SessionPath(name) + ".tmp." + std::to_string(::getpid());
+    if (std::FILE* f = std::fopen(torn.c_str(), "wb")) {
+      std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+      std::fclose(f);
+    }
+    _exit(134);
+  }
+  return WriteFileAtomic(SessionPath(name), bytes);
 }
 
 Result<SessionState> VideoDb::LoadSession(const std::string& name) const {

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -13,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace mivid {
@@ -41,9 +43,10 @@ bool ParseTcpEndpoint(std::string_view endpoint, std::string* host,
   return true;
 }
 
-Result<int> ConnectTcp(const std::string& host, int port) {
+Result<int> ConnectTcp(const std::string& host, int port, int* out_errno) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
+    if (out_errno != nullptr) *out_errno = errno;
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in addr{};
@@ -55,6 +58,7 @@ Result<int> ConnectTcp(const std::string& host, int port) {
                                    host);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (out_errno != nullptr) *out_errno = errno;
     Status s = Status::IOError("connect " + host + ":" +
                                std::to_string(port) + ": " +
                                std::strerror(errno));
@@ -64,24 +68,58 @@ Result<int> ConnectTcp(const std::string& host, int port) {
   return fd;
 }
 
-Result<int> ConnectUds(const std::string& socket_path) {
+Result<int> ConnectUds(const std::string& socket_path, int* out_errno) {
   sockaddr_un addr{};
   if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
     return Status::InvalidArgument("bad socket path: '" + socket_path + "'");
   }
   const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
+    if (out_errno != nullptr) *out_errno = errno;
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (out_errno != nullptr) *out_errno = errno;
     Status s = Status::IOError("connect " + socket_path + ": " +
                                std::strerror(errno));
     ::close(fd);
     return s;
   }
   return fd;
+}
+
+Result<int> Dial(const std::string& endpoint, int* out_errno) {
+  std::string host;
+  int port = 0;
+  return ParseTcpEndpoint(endpoint, &host, &port)
+             ? ConnectTcp(host, port, out_errno)
+             : ConnectUds(endpoint, out_errno);
+}
+
+/// Blocks until `fd` is ready for `events` or the deadline passes.
+/// DeadlineExceeded on expiry; OK when ready (or on poll-reported error
+/// conditions — the following send/recv surfaces the real errno).
+Status WaitFdUntil(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    const int64_t remaining = deadline.remaining_ms();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded("rpc deadline exceeded");
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int timeout =
+        static_cast<int>(std::min<int64_t>(remaining, 60 * 1000));
+    const int ready = ::poll(&p, 1, timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;  // timed slice over; re-check the deadline
+    return Status::OK();
+  }
 }
 
 }  // namespace
@@ -93,13 +131,42 @@ bool ServeClient::IsTcpEndpoint(std::string_view endpoint) {
 }
 
 Result<ServeClient> ServeClient::Connect(const std::string& endpoint) {
-  std::string host;
-  int port = 0;
-  Result<int> fd = ParseTcpEndpoint(endpoint, &host, &port)
-                       ? ConnectTcp(host, port)
-                       : ConnectUds(endpoint);
+  Result<int> fd = Dial(endpoint, nullptr);
   if (!fd.ok()) return fd.status();
-  return ServeClient(fd.value());
+  return ServeClient(fd.value(), endpoint);
+}
+
+bool TransientConnectErrno(int err) {
+  switch (err) {
+    case ECONNREFUSED:  // nothing listening yet (restart in progress)
+    case ECONNRESET:
+    case ECONNABORTED:
+    case ETIMEDOUT:
+    case EAGAIN:
+    case EINTR:
+    case ENOENT:  // UDS path not re-created yet
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status ServeClient::Reconnect() {
+  if (endpoint_.empty()) {
+    return Status::FailedPrecondition("client has no endpoint to re-dial");
+  }
+  Disconnect();
+  last_connect_errno_ = 0;
+  Result<int> fd = Dial(endpoint_, &last_connect_errno_);
+  if (!fd.ok()) return fd.status();
+  fd_ = fd.value();
+  return Status::OK();
+}
+
+void ServeClient::Disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
 }
 
 int BackoffDelayMs(const RetryPolicy& policy, int attempt, std::mt19937* rng) {
@@ -116,12 +183,17 @@ int BackoffDelayMs(const RetryPolicy& policy, int attempt, std::mt19937* rng) {
 }
 
 ServeClient::ServeClient(ServeClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      endpoint_(std::move(other.endpoint_)),
+      last_connect_errno_(other.last_connect_errno_),
+      buffer_(std::move(other.buffer_)) {}
 
 ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    endpoint_ = std::move(other.endpoint_);
+    last_connect_errno_ = other.last_connect_errno_;
     buffer_ = std::move(other.buffer_);
   }
   return *this;
@@ -131,17 +203,30 @@ ServeClient::~ServeClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<std::string> ServeClient::Call(std::string_view request_line) {
+Result<std::string> ServeClient::Call(std::string_view request_line,
+                                      const Deadline& deadline) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   std::string out(request_line);
   out += '\n';
+  // transport.write.short trickles the request out one byte per send()
+  // to exercise every short-write loop downstream.
+  const bool dribble = MIVID_FAULT("transport.write.short");
   size_t sent = 0;
   while (sent < out.size()) {
-    const ssize_t w =
-        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (w <= 0) {
+    if (!deadline.infinite()) {
+      Status ready = WaitFdUntil(fd_, POLLOUT, deadline);
+      if (!ready.ok()) {
+        if (ready.IsDeadlineExceeded()) Disconnect();
+        return ready;
+      }
+    }
+    const size_t chunk = dribble ? 1 : out.size() - sent;
+    const ssize_t w = ::send(fd_, out.data() + sent, chunk, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
       return Status::IOError(std::string("send: ") + std::strerror(errno));
     }
+    if (w == 0) return Status::IOError("send: connection closed");
     sent += static_cast<size_t>(w);
   }
   for (;;) {
@@ -151,9 +236,19 @@ Result<std::string> ServeClient::Call(std::string_view request_line) {
       buffer_.erase(0, newline + 1);
       return line;
     }
+    if (!deadline.infinite()) {
+      Status ready = WaitFdUntil(fd_, POLLIN, deadline);
+      if (!ready.ok()) {
+        // The response for this request is still owed on the stream; a
+        // later Call would pair it with the wrong request. Hang up.
+        if (ready.IsDeadlineExceeded()) Disconnect();
+        return ready;
+      }
+    }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
+      if (errno == EINTR) continue;
       return Status::IOError(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) return Status::IOError("daemon closed the connection");
@@ -173,7 +268,31 @@ Result<std::string> ServeClient::CallWithRetry(std::string_view request_line,
                              policy.jitter_seed)
                        : std::random_device{}());
   for (int attempt = 0;; ++attempt) {
-    MIVID_ASSIGN_OR_RETURN(std::string response, Call(request_line));
+    if (!connected()) {
+      Status redial = Reconnect();
+      if (!redial.ok()) {
+        if (attempt >= policy.max_retries ||
+            !TransientConnectErrno(last_connect_errno_)) {
+          return redial;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(BackoffDelayMs(policy, attempt, &rng)));
+        continue;
+      }
+    }
+    Result<std::string> call = Call(request_line);
+    if (!call.ok()) {
+      // A broken stream retries through a fresh dial; anything else
+      // (deadline expiry, protocol misuse) is not transient.
+      if (attempt >= policy.max_retries || !call.status().IsIOError()) {
+        return call.status();
+      }
+      Disconnect();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffDelayMs(policy, attempt, &rng)));
+      continue;
+    }
+    std::string response = std::move(call).value();
     if (attempt >= policy.max_retries) return response;
     Result<JsonValue> doc = ParseJson(response);
     if (!doc.ok()) return response;

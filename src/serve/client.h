@@ -14,6 +14,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "obs/json.h"
 
@@ -34,6 +35,12 @@ struct RetryPolicy {
 /// spread out instead of hammering the daemon in lockstep.
 int BackoffDelayMs(const RetryPolicy& policy, int attempt, std::mt19937* rng);
 
+/// True when `err` — the errno of a failed connect() — indicates the
+/// server is momentarily absent (e.g. a supervised worker mid-restart:
+/// ECONNREFUSED, ETIMEDOUT, a not-yet-recreated socket path) rather
+/// than a configuration error worth failing fast on.
+bool TransientConnectErrno(int err);
+
 class ServeClient {
  public:
   /// Connects to a daemon endpoint: "host:port" or "tcp:host:port" for
@@ -51,25 +58,46 @@ class ServeClient {
   ~ServeClient();
 
   /// Sends one request line (newline appended) and returns the response
-  /// line (newline stripped). IOError when the daemon hangs up.
-  Result<std::string> Call(std::string_view request_line);
+  /// line (newline stripped). IOError when the daemon hangs up. With a
+  /// finite `deadline`, send and receive are poll-bounded; on expiry the
+  /// connection is closed (the stream is desynced — a late response
+  /// would pair with the wrong request) and DeadlineExceeded returned.
+  Result<std::string> Call(std::string_view request_line,
+                           const Deadline& deadline = Deadline());
 
   /// Call() + JSON parse of the response.
   Result<JsonValue> CallJson(std::string_view request_line);
 
-  /// Like Call(), but a {"code":"RESOURCE_EXHAUSTED"} response sleeps
-  /// BackoffDelayMs and retries, up to policy.max_retries times. The
-  /// last rejection is returned verbatim when retries run out; transport
-  /// errors are never retried (the connection is gone).
+  /// Like Call(), but retries with BackoffDelayMs sleeps, up to
+  /// policy.max_retries times, on (a) {"code":"RESOURCE_EXHAUSTED"}
+  /// backpressure responses and (b) transport failures whose reconnect
+  /// fails with a transient errno (TransientConnectErrno) — the shape of
+  /// a supervised worker mid-restart. The last rejection is returned
+  /// verbatim when retries run out; non-transient connect errors fail
+  /// immediately.
   Result<std::string> CallWithRetry(std::string_view request_line,
                                     const RetryPolicy& policy);
 
+  /// Re-dials the endpoint this client was connected to, dropping any
+  /// buffered bytes from the old connection.
+  Status Reconnect();
+
+  /// Closes the connection (Reconnect can restore it).
+  void Disconnect();
+
   bool connected() const { return fd_ >= 0; }
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// errno of the last failed Reconnect() dial (0 when none).
+  int last_connect_errno() const { return last_connect_errno_; }
 
  private:
-  explicit ServeClient(int fd) : fd_(fd) {}
+  ServeClient(int fd, std::string endpoint)
+      : fd_(fd), endpoint_(std::move(endpoint)) {}
 
   int fd_ = -1;
+  std::string endpoint_;
+  int last_connect_errno_ = 0;
   std::string buffer_;  ///< bytes past the last returned response line
 };
 

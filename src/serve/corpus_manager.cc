@@ -1,5 +1,6 @@
 #include "serve/corpus_manager.h"
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "db/packed_corpus_io.h"
 #include "obs/access_log.h"
@@ -47,7 +48,9 @@ Result<std::shared_ptr<const CameraCorpus>> CorpusManager::Get(
 
   const std::string snapshot_path = SnapshotPath(camera_id);
   std::shared_ptr<const CameraCorpus> corpus;
-  if (!snapshot_path.empty()) {
+  // snapshot.load.fail pretends the mmap restore went bad (torn file,
+  // version skew) so the full-extraction fallback path stays exercised.
+  if (!snapshot_path.empty() && !MIVID_FAULT("snapshot.load.fail")) {
     // Cold path, stage 1: serve the mmap'd snapshot when one matches.
     Result<std::shared_ptr<const CameraCorpus>> restored =
         ReadPackedCorpusFile(snapshot_path, query_);

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "serve/protocol.h"
@@ -24,13 +25,21 @@ Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
-/// Writes the whole buffer; false when the peer went away.
+/// Writes the whole buffer, restarting on EINTR (worker supervision
+/// delivers SIGCHLD to this process); false when the peer went away.
 bool SendAll(int fd, const std::string& data) {
+  // transport.write.short forces one byte per send() so the loop's
+  // short-write handling is exercised end to end.
+  const bool dribble = MIVID_FAULT("transport.write.short");
   size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t w =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (w <= 0) return false;
+    const size_t chunk = dribble ? 1 : data.size() - sent;
+    const ssize_t w = ::send(fd, data.data() + sent, chunk, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
     sent += static_cast<size_t>(w);
   }
   return true;
@@ -167,7 +176,11 @@ void LineTransport::ConnectionLoop(int fd) {
   char chunk[4096];
   bool open = true;
   while (open) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    // transport.read.short shrinks each recv() to one byte so request
+    // reassembly across arbitrarily fragmented reads stays exercised.
+    const size_t want = MIVID_FAULT("transport.read.short") ? 1 : sizeof(chunk);
+    const ssize_t n = ::recv(fd, chunk, want, 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
     size_t newline;

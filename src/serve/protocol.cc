@@ -138,6 +138,9 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
   MIVID_ASSIGN_OR_RETURN(req.discard, GetBool(doc, "discard", false));
   MIVID_ASSIGN_OR_RETURN(req.trace_id, GetString(doc, "trace"));
   MIVID_ASSIGN_OR_RETURN(req.parent_span, GetString(doc, "span"));
+  MIVID_ASSIGN_OR_RETURN(int deadline_ms, GetInt(doc, "deadline_ms", 0));
+  if (deadline_ms < 0) return FieldError("deadline_ms", "must be >= 0");
+  req.deadline_ms = deadline_ms;
 
   if (const JsonValue* cameras = doc.Find("cameras"); cameras != nullptr) {
     if (!cameras->is_array()) return FieldError("cameras", "must be an array");
@@ -184,9 +187,13 @@ const char* ServeCmdSpanName(ServeCmd cmd) {
   return index < std::size(kSpanNames) ? kSpanNames[index] : "serve/other";
 }
 
-std::string StampTraceContext(const std::string& line,
-                              const std::string& trace_id,
-                              const std::string& span_id) {
+namespace {
+
+// Inserts `members` (already-serialized "key":value pairs) before the
+// closing brace of a one-line JSON object; `line` unchanged when it is
+// not an object line.
+std::string StampTopLevel(const std::string& line,
+                          const std::string& members) {
   const size_t close = line.find_last_of('}');
   if (close == std::string::npos) return line;
   std::string stamped = line.substr(0, close);
@@ -196,10 +203,23 @@ std::string StampTraceContext(const std::string& line,
       open != std::string::npos &&
       stamped.find_first_not_of(" \t", open + 1) == std::string::npos;
   if (!empty_object) stamped += ',';
-  stamped += "\"trace\":\"" + JsonEscape(trace_id) + "\",\"span\":\"" +
-             JsonEscape(span_id) + "\"";
+  stamped += members;
   stamped += line.substr(close);
   return stamped;
+}
+
+}  // namespace
+
+std::string StampTraceContext(const std::string& line,
+                              const std::string& trace_id,
+                              const std::string& span_id) {
+  return StampTopLevel(line, "\"trace\":\"" + JsonEscape(trace_id) +
+                                 "\",\"span\":\"" + JsonEscape(span_id) +
+                                 "\"");
+}
+
+std::string StampDeadlineMs(const std::string& line, int64_t ms) {
+  return StampTopLevel(line, "\"deadline_ms\":" + std::to_string(ms));
 }
 
 const char* BagLabelWireName(BagLabel label) {
@@ -240,6 +260,8 @@ const char* StatusCodeWireName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "INTERNAL";
 }

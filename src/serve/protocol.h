@@ -79,6 +79,11 @@ struct ServeRequest {
   /// supply their own. Empty when untraced.
   std::string trace_id;
   std::string parent_span;
+  /// Remaining per-request budget in milliseconds at send time
+  /// ("deadline_ms" field); 0 = no deadline. Workers shed requests whose
+  /// budget was already spent waiting in the dispatch queue, and the
+  /// coordinator clamps its own per-hop budget to the client's.
+  int64_t deadline_ms = 0;
 };
 
 /// Parses one request line. InvalidArgument on malformed JSON, unknown
@@ -100,6 +105,12 @@ const char* ServeCmdSpanName(ServeCmd cmd);
 std::string StampTraceContext(const std::string& line,
                               const std::string& trace_id,
                               const std::string& span_id);
+
+/// Returns `line` with `"deadline_ms":<ms>` appended to the top-level
+/// object — the coordinator stamps its remaining per-hop budget onto
+/// relayed lines. As with StampTraceContext, only stamp lines whose
+/// parsed request carried no deadline of its own.
+std::string StampDeadlineMs(const std::string& line, int64_t ms);
 
 /// Canonical label spelling on the wire ("relevant", ...).
 const char* BagLabelWireName(BagLabel label);

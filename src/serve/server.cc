@@ -1,10 +1,14 @@
 #include "serve/server.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <future>
+#include <thread>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -33,6 +37,33 @@ struct AdmissionSlot {
     MIVID_METRIC_GAUGE_SET("serve/queue_depth", depth);
   }
 };
+
+/// Checks a worker fault point both scoped to this worker's id
+/// ("w1/worker.rank.hang") and unscoped — the scoped form lets a test
+/// or a fleet sharing one MIVID_FAULTS environment fault exactly one
+/// worker. Only called behind FaultsArmed().
+bool WorkerFaultFires(const std::string& worker_id, const std::string& point,
+                      int64_t* param_ms) {
+  if (!worker_id.empty() && FaultInjected(worker_id + "/" + point, param_ms)) {
+    return true;
+  }
+  return FaultInjected(point, param_ms);
+}
+
+/// worker.<cmd>.crash kills the process mid-request (as if SIGKILLed);
+/// worker.<cmd>.hang stalls it for the point's param (default 30s) —
+/// long enough to trip any reasonable RPC deadline, short enough that a
+/// test process still unwinds.
+void MaybeInjectWorkerFault(const std::string& worker_id, ServeCmd cmd) {
+  const std::string base = std::string("worker.") + ServeCmdWireName(cmd);
+  if (WorkerFaultFires(worker_id, base + ".crash", nullptr)) {
+    _exit(134);
+  }
+  int64_t hang_ms = 30 * 1000;
+  if (WorkerFaultFires(worker_id, base + ".hang", &hang_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hang_ms));
+  }
+}
 
 }  // namespace
 
@@ -120,6 +151,10 @@ RetrievalServer::~RetrievalServer() { Stop(); }
 std::string RetrievalServer::HandleLine(const std::string& line) {
   MIVID_SCOPED_TIMER("serve/request_seconds");
   MIVID_METRIC_COUNT("serve/requests", 1);
+  // Anchor the request's "deadline_ms" budget at arrival: whatever part
+  // of it is spent waiting for a dispatch slot is gone for good.
+  const std::chrono::steady_clock::time_point arrival =
+      std::chrono::steady_clock::now();
 
   Result<ServeRequest> parsed = ParseServeRequest(line);
   if (!parsed.ok()) {
@@ -155,7 +190,7 @@ std::string RetrievalServer::HandleLine(const std::string& line) {
         " in flight); retry later"));
   } else {
     if (options_.admission_hook) options_.admission_hook(req);
-    response = Dispatch(req, audited ? &audit : nullptr);
+    response = Dispatch(req, audited ? &audit : nullptr, arrival);
     served_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -198,14 +233,40 @@ std::string RetrievalServer::HandleLine(const std::string& line) {
     record.audit = audit;
     access_log_.Write(record);
   }
+  // worker.reply.truncate hands the client half a response line — the
+  // shape of a worker dying mid-write — to exercise the coordinator's
+  // malformed-reply handling.
+  if (FaultsArmed() &&
+      WorkerFaultFires(options_.worker_id, "worker.reply.truncate", nullptr)) {
+    response.resize(response.size() / 2);
+  }
   return response;
 }
 
-std::string RetrievalServer::Dispatch(const ServeRequest& req,
-                                      RequestAudit* audit) {
+std::string RetrievalServer::Dispatch(
+    const ServeRequest& req, RequestAudit* audit,
+    std::chrono::steady_clock::time_point arrival) {
+  // Sheds a request whose wire deadline lapsed before execution started
+  // (typically while queued behind slower work): answering it late would
+  // only feed a coordinator that already failed over.
+  auto deadline_spent = [&] {
+    if (req.deadline_ms <= 0) return false;
+    const int64_t waited_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - arrival)
+            .count();
+    return waited_ms >= req.deadline_ms;
+  };
+  auto shed = [&] {
+    MIVID_METRIC_COUNT("serve/deadline_shed", 1);
+    return ErrorResponse(Status::DeadlineExceeded(
+        "deadline of " + std::to_string(req.deadline_ms) +
+        "ms expired before dispatch; shedding"));
+  };
   ThreadPool* pool = GlobalPool();
   if (pool == nullptr || ThreadPool::InWorkerThread()) {
     // Serial build (MIVID_THREADS=1) or already on a worker: run inline.
+    if (deadline_spent()) return shed();
     RequestAuditScope scope(audit);
     return Execute(req);
   }
@@ -216,21 +277,24 @@ std::string RetrievalServer::Dispatch(const ServeRequest& req,
   // between submit and task start is the queue wait.
   std::chrono::steady_clock::time_point submitted;
   if (audit != nullptr) submitted = std::chrono::steady_clock::now();
-  std::packaged_task<std::string()> task([this, &req, audit, submitted] {
-    if (audit != nullptr) {
-      audit->queue_ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - submitted)
-                            .count();
-    }
-    RequestAuditScope scope(audit);
-    return Execute(req);
-  });
+  std::packaged_task<std::string()> task(
+      [this, &req, audit, submitted, &deadline_spent, &shed] {
+        if (audit != nullptr) {
+          audit->queue_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - submitted)
+                                .count();
+        }
+        if (deadline_spent()) return shed();
+        RequestAuditScope scope(audit);
+        return Execute(req);
+      });
   std::future<std::string> done = task.get_future();
   pool->Submit([&task] { task(); });
   return done.get();
 }
 
 std::string RetrievalServer::Execute(const ServeRequest& req) {
+  if (FaultsArmed()) MaybeInjectWorkerFault(options_.worker_id, req.cmd);
   switch (req.cmd) {
     case ServeCmd::kOpen:
       return CmdOpen(req);

@@ -122,7 +122,8 @@ class RetrievalServer {
   uint64_t requests_rejected() const { return rejected_.load(); }
 
  private:
-  std::string Dispatch(const ServeRequest& req, RequestAudit* audit);
+  std::string Dispatch(const ServeRequest& req, RequestAudit* audit,
+                       std::chrono::steady_clock::time_point arrival);
   std::string Execute(const ServeRequest& req);
   std::string CmdOpen(const ServeRequest& req);
   std::string CmdRank(const ServeRequest& req);

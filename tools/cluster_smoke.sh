@@ -163,16 +163,22 @@ MULTI_OPEN='{"cmd":"open","session":"m1","cameras":["cam0","cam1","cam2","cam3",
 MULTI_FEEDBACK='{"cmd":"feedback","session":"m1","labels":[{"bag":0,"label":"relevant","camera":"cam3"},{"bag":0,"label":"irrelevant","camera":"cam9"}]}'
 MULTI_RANK='{"cmd":"rank","session":"m1","top":40}'
 
-"$CLI" serve "$DB_ONE" none --tcp-port=0 --worker-id=only \
-  >"$WORK_DIR/worker_one.log" 2>&1 &
-ONE_WORKER_PID=$!
-PIDS+=("$ONE_WORKER_PID")
-ONE_PORT=$(wait_for_port "$WORK_DIR/worker_one.log")
-"$CLI" coord "$ONE_SOCK" --workers="127.0.0.1:$ONE_PORT" \
+# The 1-worker fleet doubles as smoke coverage for supervised spawning:
+# the coordinator forks/execs its own worker instead of attaching to one
+# we started by hand.
+"$CLI" coord "$ONE_SOCK" --spawn-workers=1 --db="$DB_ONE" \
+  --worker-log-dir="$WORK_DIR/one_logs" \
   >"$WORK_DIR/coord_one.log" 2>&1 &
 ONE_COORD_PID=$!
 PIDS+=("$ONE_COORD_PID")
 wait_for_socket "$ONE_SOCK"
+for _ in $(seq 1 100); do
+  "$CLIENT" "$ONE_SOCK" '{"cmd":"stats"}' 2>/dev/null \
+    | grep -q '"workers_alive":1' && break
+  sleep 0.1
+done
+"$CLIENT" "$ONE_SOCK" '{"cmd":"stats"}' | grep -q '"workers_alive":1' \
+  || fail "spawned worker never came alive behind $ONE_SOCK"
 
 for side in fleet one; do
   sock=$COORD_SOCK

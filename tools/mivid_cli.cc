@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cluster/coordinator.h"
+#include "cluster/supervisor.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -443,9 +444,19 @@ int CmdCoord(const Args& args) {
   CoordinatorOptions options;
   options.socket_path = SocketPathArg(args.positional[0]);
   const std::string* workers = args.Flag("workers");
-  if (workers == nullptr) return BadArgs(*FindSubcommand("coord"));
-  for (const std::string& endpoint : Split(*workers, ',')) {
-    if (!endpoint.empty()) options.workers.push_back(endpoint);
+  int64_t spawn_workers = 0;
+  if (!args.FlagInt("spawn-workers", &spawn_workers) || spawn_workers < 0) {
+    return BadArgs(*FindSubcommand("coord"));
+  }
+  // Worker endpoints come from --workers, from the supervisor
+  // (--spawn-workers), or both.
+  if (workers == nullptr && spawn_workers == 0) {
+    return BadArgs(*FindSubcommand("coord"));
+  }
+  if (workers != nullptr) {
+    for (const std::string& endpoint : Split(*workers, ',')) {
+      if (!endpoint.empty()) options.workers.push_back(endpoint);
+    }
   }
   int64_t v = 0;
   if (!args.FlagInt("top", &v)) return BadArgs(*FindSubcommand("coord"));
@@ -479,11 +490,58 @@ int CmdCoord(const Args& args) {
     }
     options.slow_threshold_ms = static_cast<double>(v);
   }
+  if (args.Flag("rpc-deadline-ms") != nullptr) {
+    v = -1;
+    if (!args.FlagInt("rpc-deadline-ms", &v) || v < 0) {
+      return BadArgs(*FindSubcommand("coord"));
+    }
+    options.rpc_deadline_ms = static_cast<int>(v);
+  }
+  v = 0;
+  if (!args.FlagInt("replication", &v) || v < 0) {
+    return BadArgs(*FindSubcommand("coord"));
+  }
+  if (v > 0) options.replication = static_cast<int>(v);
+
+  SetLogIdentity("coord");
+
+  // --spawn-workers=N: this process owns its workers. They are spawned
+  // before the coordinator dials (their endpoints join the fleet), and
+  // the serving loop doubles as the supervision loop.
+  std::unique_ptr<WorkerSupervisor> supervisor;
+  if (spawn_workers > 0) {
+    const std::string* db = args.Flag("db");
+    if (db == nullptr) {
+      std::fprintf(stderr,
+                   "error: --spawn-workers needs --db=<database>\n");
+      return BadArgs(*FindSubcommand("coord"));
+    }
+    SupervisorOptions sup;
+    char exe[4096];
+    const ssize_t n = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (n <= 0) {
+      return Fail(Status::IOError("cannot resolve own binary path"));
+    }
+    exe[n] = '\0';
+    sup.cli_path = exe;
+    sup.db_path = *db;
+    sup.count = static_cast<int>(spawn_workers);
+    if (const std::string* dir = args.Flag("worker-log-dir")) {
+      sup.log_dir = *dir;
+    }
+    supervisor = std::make_unique<WorkerSupervisor>(std::move(sup));
+    const Status spawned = supervisor->SpawnAll();
+    if (!spawned.ok()) return Fail(spawned);
+    for (std::string& endpoint : supervisor->endpoints()) {
+      options.workers.push_back(std::move(endpoint));
+    }
+    // Supervised restarts only rejoin the ring through the heartbeat, so
+    // force one on if the user did not configure it.
+    if (options.heartbeat_ms == 0) options.heartbeat_ms = 500;
+  }
 
   const Status valid = ValidateCoordinatorOptions(options);
   if (!valid.ok()) return Fail(valid);
-
-  SetLogIdentity("coord");
 
   Coordinator coord(options);
   const Status started = coord.Start();
@@ -500,10 +558,12 @@ int CmdCoord(const Args& args) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
   while (g_signal == 0 && !coord.WaitForShutdownFor(200)) {
+    if (supervisor != nullptr) supervisor->Sweep();
   }
   std::printf("mivid_coord: shutting down (%s)\n",
               g_signal != 0 ? "signal" : "shutdown command");
   coord.Stop();
+  if (supervisor != nullptr) supervisor->StopAll();
   return 0;
 }
 
@@ -631,6 +691,28 @@ int CmdTop(const Args& args) {
                 0));
       }
     }
+    // Robustness counters live in the coordinator's own registry (a
+    // single worker's cluster_stats has no "coordinator" member).
+    if (const JsonValue* coord = doc.value().Find("coordinator");
+        coord != nullptr && coord->is_object()) {
+      std::printf(
+          "coord: deadline_misses=%.0f hedged_ranks=%.0f degraded=%.0f "
+          "worker_restarts=%.0f failovers=%.0f\n",
+          JsonNumberOr(JsonDescend(coord, {"counters",
+                                           "cluster/deadline_misses"}),
+                       0),
+          JsonNumberOr(
+              JsonDescend(coord, {"counters", "cluster/hedged_ranks"}), 0),
+          JsonNumberOr(JsonDescend(coord, {"counters",
+                                           "cluster/degraded_responses"}),
+                       0),
+          JsonNumberOr(JsonDescend(coord, {"counters",
+                                           "cluster/worker_restarts"}),
+                       0),
+          JsonNumberOr(JsonDescend(coord, {"counters",
+                                           "cluster/sessions_failed_over"}),
+                       0));
+    }
     std::fflush(stdout);
   }
   return 0;
@@ -740,12 +822,25 @@ const std::vector<Subcommand>& Subcommands() {
        "front a worker fleet with the cluster coordinator",
        "  --workers=<eps>       comma-separated worker endpoints\n"
        "                        (host:port or socket paths); required\n"
+       "                        unless --spawn-workers is given\n"
+       "  --spawn-workers=N     fork/exec N supervised workers on\n"
+       "                        ephemeral ports (needs --db); crashed\n"
+       "                        workers restart with capped backoff\n"
+       "  --db=<database>       database the spawned workers serve\n"
+       "  --worker-log-dir=<d>  spawned workers' stdout/stderr logs (.)\n"
        "  --top=N               default rank depth (20)\n"
        "  --tcp-port=N          also listen on TCP (0 = kernel-assigned)\n"
        "  --tcp-host=<addr>     TCP bind address (127.0.0.1)\n"
        "  --heartbeat-ms=N      probe workers every N ms and re-admit\n"
-       "                        restarted ones (off: lazy failover only)\n"
+       "                        restarted ones (off: lazy failover only;\n"
+       "                        forced to 500 under --spawn-workers)\n"
        "  --vnodes=N            placement-ring points per worker (64)\n"
+       "  --rpc-deadline-ms=N   per-hop worker call budget; a worker\n"
+       "                        that misses it is failed over like a\n"
+       "                        dead one (30000; 0 = unbounded)\n"
+       "  --replication=R       open each camera's session on R distinct\n"
+       "                        workers; rank is served by the fastest\n"
+       "                        live replica with hedged retry (1)\n"
        "  --access-log=<file>   per-request JSON-lines access log\n"
        "  --slow-log=<file>     requests over the slow threshold\n"
        "  --slow-ms=N           slow threshold in ms (default\n"
@@ -832,7 +927,8 @@ int main(int argc, char** argv) {
       {"engine", "max-pending", "max-sessions", "idle-timeout-ms", "top",
        "snapshot-dir", "tcp-port", "tcp-host", "worker-id", "workers",
        "heartbeat-ms", "vnodes", "access-log", "slow-log", "slow-ms",
-       "interval-ms", "iterations"});
+       "interval-ms", "iterations", "rpc-deadline-ms", "replication",
+       "spawn-workers", "db", "worker-log-dir"});
   if (args.help) return PrintCommandHelp(*cmd);
 
   // Dispatch, then flush the requested observability outputs regardless
