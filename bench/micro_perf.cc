@@ -12,8 +12,10 @@
 #include "common/thread_pool.h"
 #include "db/feature_store.h"
 #include "eval/experiment.h"
+#include "ingest/camera_ingestor.h"
 #include "linalg/simd.h"
 #include "db/video_db.h"
+#include "serve/corpus_manager.h"
 #include "obs/metrics.h"
 #include "retrieval/mil_rf_engine.h"
 #include "segment/segmenter.h"
@@ -351,6 +353,153 @@ void BM_ServeRank(benchmark::State& state) {
   fs::remove_all(dir);
 }
 BENCHMARK(BM_ServeRank)->Unit(benchmark::kMillisecond);
+
+std::vector<FrameObservations> BenchFramesFromTracks(
+    const std::vector<Track>& tracks, int total_frames) {
+  std::vector<FrameObservations> frames(total_frames);
+  for (int f = 0; f < total_frames; ++f) frames[f].frame = f;
+  for (const Track& track : tracks) {
+    for (const TrackPoint& point : track.points) {
+      if (point.frame < 0 || point.frame >= total_frames) continue;
+      TrackObservation obs;
+      obs.track_id = track.id;
+      obs.centroid = point.centroid;
+      obs.bbox = point.bbox;
+      frames[point.frame].observations.push_back(obs);
+    }
+  }
+  return frames;
+}
+
+/// Live-ingest throughput: per-frame Observe over a simulated clip plus
+/// the final Cut (incremental window extraction, normalization at the
+/// cut, clip persistence, bag staging). items/s is stream frames/s — the
+/// ceiling on how many cameras one ingest thread can keep live.
+void BM_IngestObserve(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "mivid_bench_ingest").string();
+  fs::remove_all(dir);
+  VideoDbOptions db_options;
+  db_options.create_if_missing = true;
+  auto opened = VideoDb::Open(dir, db_options);
+  if (!opened.ok()) {
+    state.SkipWithError(opened.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<VideoDb> db = std::move(opened).value();
+
+  TunnelScenarioOptions scenario_options;
+  scenario_options.total_frames = static_cast<int>(state.range(0));
+  scenario_options.num_wall_crashes = 1;
+  scenario_options.num_sudden_stops = 1;
+  scenario_options.num_speeding = 0;
+  scenario_options.num_uturns = 0;
+  TrafficWorld world(MakeTunnelScenario(scenario_options));
+  const GroundTruth gt = world.Run();
+  const std::vector<FrameObservations> frames =
+      BenchFramesFromTracks(gt.tracks, gt.total_frames);
+
+  const QueryOptions query;
+  IngestOptions ingest_options;
+  ingest_options.query = query;
+  for (auto _ : state) {
+    // Fresh ingestor + manager per iteration: stream frames restart at 0
+    // and nothing staged accumulates across iterations.
+    CorpusManager corpora(db.get(), query);
+    CameraIngestor ingestor("camB", db.get(), &corpora, ingest_options);
+    for (const FrameObservations& frame : frames) {
+      auto observed = ingestor.Observe(frame);
+      benchmark::DoNotOptimize(observed);
+    }
+    auto cut = ingestor.Cut();
+    benchmark::DoNotOptimize(cut);
+  }
+  state.SetItemsProcessed(state.iterations() * gt.total_frames);
+  db.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_IngestObserve)->Arg(400)->Arg(1200);
+
+/// Epoch-publish latency: staging happens off the clock; the timed
+/// region is CorpusManager::Publish alone (base + staged tail -> new
+/// immutable epoch). Iterations are fixed so the corpus grows to a
+/// known size instead of scaling with timer resolution; the histogram
+/// counters report what a production /stats scrape would see.
+void BM_EpochPublish(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "mivid_bench_publish").string();
+  fs::remove_all(dir);
+  VideoDbOptions db_options;
+  db_options.create_if_missing = true;
+  auto opened = VideoDb::Open(dir, db_options);
+  if (!opened.ok()) {
+    state.SkipWithError(opened.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<VideoDb> db = std::move(opened).value();
+
+  const QueryOptions query;
+  CorpusManager corpora(db.get(), query);
+  IngestOptions ingest_options;
+  ingest_options.query = query;
+  CameraIngestor ingestor("camP", db.get(), &corpora, ingest_options);
+
+  const bool metrics_were_enabled = MetricsEnabled();
+  EnableMetrics(true);
+  MetricsRegistry::Global()
+      .GetHistogram("serve/epoch_publish_seconds")
+      .Reset();
+
+  int offset = 0;
+  uint64_t seed = 31;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TunnelScenarioOptions scenario_options;
+    scenario_options.total_frames = 300;
+    scenario_options.num_wall_crashes = 1;
+    scenario_options.num_sudden_stops = 0;
+    scenario_options.num_speeding = 1;
+    scenario_options.num_uturns = 0;
+    scenario_options.seed = seed++;
+    TrafficWorld world(MakeTunnelScenario(scenario_options));
+    const GroundTruth gt = world.Run();
+    std::vector<FrameObservations> frames =
+        BenchFramesFromTracks(gt.tracks, gt.total_frames);
+    for (FrameObservations& frame : frames) {
+      frame.frame += offset;
+      if (!ingestor.Observe(frame).ok()) {
+        state.SkipWithError("observe failed");
+        return;
+      }
+    }
+    offset += gt.total_frames;
+    if (!ingestor.Cut().ok()) {
+      state.SkipWithError("cut failed");
+      return;
+    }
+    state.ResumeTiming();
+    auto epoch = corpora.Publish("camP");
+    benchmark::DoNotOptimize(epoch);
+  }
+  const HistogramStats publish_stats =
+      MetricsRegistry::Global()
+          .GetHistogram("serve/epoch_publish_seconds")
+          .Stats();
+  state.counters["p50_publish_seconds"] = publish_stats.p50;
+  state.counters["p99_publish_seconds"] = publish_stats.p99;
+  const auto last = corpora.Snapshot("camP");
+  if (last.ok()) {
+    state.counters["final_epoch"] = static_cast<double>(last.value()->id);
+    state.counters["final_bags"] =
+        static_cast<double>(last.value()->corpus->dataset.bags().size());
+  }
+  EnableMetrics(metrics_were_enabled);
+  db.reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_EpochPublish)->Unit(benchmark::kMillisecond)->Iterations(24);
 
 void BM_EndToEndPipeline(benchmark::State& state) {
   TunnelScenarioOptions scenario_options;

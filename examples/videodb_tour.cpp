@@ -99,7 +99,8 @@ int main() {
     std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
     return 1;
   }
-  Result<RetrievalSession> session = engine.StartSession("cam-tunnel-07", query);
+  Result<RetrievalSession> session =
+      RetrievalSession::Create(corpus->dataset, SessionOptionsFor(query));
   if (!session.ok()) {
     std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
     return 1;

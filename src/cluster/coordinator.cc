@@ -46,6 +46,12 @@ const char* CoordSpanName(ServeCmd cmd) {
       return "coord/cluster_stats";
     case ServeCmd::kTraceDump:
       return "coord/trace_dump";
+    case ServeCmd::kIngest:
+      return "coord/ingest";
+    case ServeCmd::kRefresh:
+      return "coord/refresh";
+    case ServeCmd::kPublish:
+      return "coord/publish";
   }
   return "coord/other";
 }
@@ -332,6 +338,11 @@ std::string Coordinator::Route(const ServeRequest& req,
     case ServeCmd::kSave:
     case ServeCmd::kClose:
       return CmdForward(req, line, deadline);
+    case ServeCmd::kRefresh:
+      return CmdRefresh(req, line, deadline);
+    case ServeCmd::kIngest:
+    case ServeCmd::kPublish:
+      return CmdCameraForward(req, line, deadline);
     case ServeCmd::kStats:
       return CmdStats();
     case ServeCmd::kPing:
@@ -1024,6 +1035,121 @@ std::string Coordinator::CmdForward(const ServeRequest& req,
   return response_line;
 }
 
+std::string Coordinator::CmdRefresh(const ServeRequest& req,
+                                    const std::string& line,
+                                    const Deadline& deadline) {
+  std::shared_ptr<CoordSession> session = FindSession(req.session_id);
+  if (session == nullptr) {
+    return ErrorResponse(
+        Status::NotFound("session '" + req.session_id + "' is not open"));
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu);
+
+  if (!session->multi) {
+    // Refresh re-pins in-memory state, so it is mirrored like the other
+    // write-path commands: every replica moves to the latest epoch it
+    // can see, keeping rank consistent whichever replica answers.
+    Result<std::string> response =
+        MirrorSub(*session, session->subs[0], line, deadline);
+    if (!response.ok()) return ErrorResponse(response.status());
+    return response.value();
+  }
+
+  int64_t total_bags = 0;
+  bool refreshed = false;
+  std::string epochs = "{";
+  bool first = true;
+  for (SubSession& sub : session->subs) {
+    JsonLineBuilder sub_line;
+    sub_line.Str("cmd", "refresh").Str("session", sub.sub_id);
+    StampRequestTrace(sub_line);
+    StampDeadline(sub_line, deadline);
+    Result<std::string> response =
+        MirrorSub(*session, sub, std::move(sub_line).Build(), deadline);
+    if (!response.ok()) return ErrorResponse(response.status());
+    Result<JsonValue> doc = ParseJson(response.value());
+    if (!doc.ok() || !ResponseOk(response.value())) {
+      return ErrorResponse(Status::Internal(
+          "refresh on camera '" + sub.camera +
+          "' failed: " + ResponseError(response.value())));
+    }
+    if (!first) epochs += ',';
+    first = false;
+    const JsonValue* epoch = doc.value().Find("epoch");
+    epochs += '"';
+    epochs += JsonEscape(sub.camera);
+    epochs += "\":";
+    epochs += std::to_string(epoch != nullptr && epoch->is_number()
+                                 ? static_cast<int64_t>(epoch->number)
+                                 : 0);
+    const JsonValue* bags = doc.value().Find("bags");
+    if (bags != nullptr && bags->is_number()) {
+      total_bags += static_cast<int64_t>(bags->number);
+    }
+    const JsonValue* moved = doc.value().Find("refreshed");
+    if (moved != nullptr && moved->type == JsonValue::Type::kBool &&
+        moved->bool_value) {
+      refreshed = true;
+    }
+  }
+  epochs += '}';
+
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "refresh")
+      .Str("session", session->id)
+      .Int("cameras", static_cast<int64_t>(session->subs.size()))
+      .Int("bags", total_bags)
+      .Bool("refreshed", refreshed)
+      .Raw("epochs", epochs);
+  return std::move(out).Build();
+}
+
+std::string Coordinator::CmdCameraForward(const ServeRequest& req,
+                                          const std::string& line,
+                                          const Deadline& deadline) {
+  MIVID_METRIC_COUNT("cluster/camera_relays", 1);
+  for (;;) {
+    if (deadline.expired()) {
+      return ErrorResponse(Status::DeadlineExceeded(
+          "deadline exhausted relaying " +
+          std::string(ServeCmdWireName(req.cmd)) + " for camera '" +
+          req.camera_id + "'"));
+    }
+    Result<std::vector<std::string>> placed = PlaceCamera(req.camera_id);
+    if (!placed.ok()) return ErrorResponse(placed.status());
+    const std::string primary = placed.value()[0];
+    WorkerConn* worker = registry_.Find(primary);
+    if (worker == nullptr ||
+        !worker->alive.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      ring_.Remove(primary);
+      continue;
+    }
+    Result<std::string> response = registry_.Call(*worker, line, deadline);
+    if (response.ok() && ParseJson(response.value()).ok()) {
+      return response.value();
+    }
+    if (response.ok()) {
+      MIVID_METRIC_COUNT("cluster/malformed_replies", 1);
+      registry_.MarkDead(*worker);
+    }
+    {
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      ring_.Remove(primary);
+    }
+    MIVID_METRIC_GAUGE_SET(
+        "cluster/workers_alive",
+        static_cast<int64_t>(registry_.AliveEndpoints().size()));
+    MIVID_LOG(Warn) << "camera '" << req.camera_id << "' "
+                    << ServeCmdWireName(req.cmd) << " failing over from "
+                    << primary;
+    // Loop re-places the camera: the next ring owner becomes the
+    // stream's new home (a fresh ingestor — the db-persisted clips are
+    // intact, only the open clip's frames are lost with the worker).
+  }
+}
+
 std::string Coordinator::CmdStats() {
   std::string workers = "[";
   bool first = true;
@@ -1085,6 +1211,7 @@ std::string Coordinator::CmdPing() {
       .Str("cmd", "ping")
       .Str("role", "coordinator")
       .Str("version", kMividVersion)
+      .Str("protocol_version", kProtocolVersion)
       .Int("uptime_s", UptimeSeconds())
       .Int("workers_alive",
            static_cast<int64_t>(registry_.AliveEndpoints().size()))

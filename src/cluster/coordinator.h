@@ -158,6 +158,18 @@ class Coordinator {
                           const Deadline& deadline);
   std::string CmdForward(const ServeRequest& req, const std::string& line,
                          const Deadline& deadline);
+  /// refresh: re-pins the session's sub-session(s) onto their cameras'
+  /// latest epochs. Single-camera relays the line; multi-camera fans out
+  /// and reports per-camera epochs.
+  std::string CmdRefresh(const ServeRequest& req, const std::string& line,
+                         const Deadline& deadline);
+  /// Camera-addressed, sessionless relay (ingest, publish): the line
+  /// goes to the camera's primary ring owner only. Replicas share the
+  /// db, so mirroring an ingest would double-persist every clip; they
+  /// see the new bags at their next cold load or refresh.
+  std::string CmdCameraForward(const ServeRequest& req,
+                               const std::string& line,
+                               const Deadline& deadline);
   std::string CmdStats();
   std::string CmdPing();
   std::string CmdClusterStats();

@@ -2,6 +2,64 @@
 
 namespace mivid {
 
+ClipExtraction ExtractClip(const ClipRecord& record,
+                           const QueryOptions& options) {
+  ClipExtraction clip;
+  clip.clip_id = record.info.clip_id;
+  clip.total_frames = record.info.total_frames;
+  const std::vector<TrackFeatures> features =
+      ComputeTrackFeatures(record.tracks, options.features);
+  clip.scaler =
+      FeatureScaler::Fit(features, options.features.include_velocity);
+  clip.windows = ExtractWindows(features, record.info.total_frames,
+                                options.features, options.windows);
+  clip.incidents = record.incidents;
+  return clip;
+}
+
+void AppendClipBags(const ClipExtraction& clip, const QueryOptions& options,
+                    CameraCorpus* corpus, int* next_bag_id) {
+  // Oracle labels from the stored incident annotations.
+  GroundTruth gt;
+  gt.total_frames = clip.total_frames;
+  gt.incidents = clip.incidents;
+  FeedbackOracle oracle(&gt, options.relevant_types);
+
+  for (const auto& vs : clip.windows) {
+    MilBag bag;
+    bag.id = *next_bag_id;
+    for (const auto& ts : vs.ts) {
+      MilInstance inst;
+      inst.bag_id = bag.id;
+      inst.instance_id = ts.track_id;
+      inst.features =
+          ts.Flatten(clip.scaler, options.features.include_velocity);
+      inst.raw_features = ts.FlattenRaw(options.features.include_velocity);
+      bag.instances.push_back(std::move(inst));
+    }
+    corpus->bag_refs[bag.id] =
+        CorpusBagRef{clip.clip_id, vs.vs_id, vs.begin_frame, vs.end_frame};
+    corpus->truth[bag.id] = oracle.LabelFor(vs);
+    corpus->dataset.AddBag(std::move(bag));
+    ++(*next_bag_id);
+  }
+}
+
+int NextBagId(const CameraCorpus& corpus) {
+  const auto& bags = corpus.dataset.bags();
+  return bags.empty() ? 0 : bags.back().id + 1;
+}
+
+SessionOptions SessionOptionsFor(const QueryOptions& options) {
+  SessionOptions session = options.session;
+  const size_t base_dim = options.features.include_velocity ? 4 : 3;
+  session.mil.base_dim = base_dim;
+  if (session.query_model.weights.empty()) {
+    session.query_model = EventModel::Accident(base_dim);
+  }
+  return session;
+}
+
 Result<CameraCorpus> QueryEngine::BuildCorpus(
     const std::string& camera_id, const QueryOptions& options) const {
   const std::vector<int> clip_ids = db_->ClipsForCamera(camera_id);
@@ -12,57 +70,21 @@ Result<CameraCorpus> QueryEngine::BuildCorpus(
   CameraCorpus corpus;
   corpus.camera_id = camera_id;
   int next_bag_id = 0;
-
-  for (int clip_id : clip_ids) {
-    MIVID_ASSIGN_OR_RETURN(ClipRecord record, db_->LoadClip(clip_id));
-
-    const std::vector<TrackFeatures> features =
-        ComputeTrackFeatures(record.tracks, options.features);
-    const FeatureScaler scaler =
-        FeatureScaler::Fit(features, options.features.include_velocity);
-    const std::vector<VideoSequence> windows =
-        ExtractWindows(features, record.info.total_frames, options.features,
-                       options.windows);
-
-    // Oracle labels from the stored incident annotations.
-    GroundTruth gt;
-    gt.total_frames = record.info.total_frames;
-    gt.incidents = record.incidents;
-    FeedbackOracle oracle(&gt, options.relevant_types);
-
-    for (const auto& vs : windows) {
-      MilBag bag;
-      bag.id = next_bag_id;
-      for (const auto& ts : vs.ts) {
-        MilInstance inst;
-        inst.bag_id = bag.id;
-        inst.instance_id = ts.track_id;
-        inst.features =
-            ts.Flatten(scaler, options.features.include_velocity);
-        inst.raw_features = ts.FlattenRaw(options.features.include_velocity);
-        bag.instances.push_back(std::move(inst));
-      }
-      corpus.bag_refs[bag.id] =
-          CorpusBagRef{clip_id, vs.vs_id, vs.begin_frame, vs.end_frame};
-      corpus.truth[bag.id] = oracle.LabelFor(vs);
-      corpus.dataset.AddBag(std::move(bag));
-      ++next_bag_id;
-    }
-  }
+  MIVID_RETURN_IF_ERROR(
+      AppendClips(clip_ids, options, &corpus, &next_bag_id));
   return corpus;
 }
 
-Result<RetrievalSession> QueryEngine::StartSession(
-    const std::string& camera_id, const QueryOptions& options) const {
-  MIVID_ASSIGN_OR_RETURN(CameraCorpus corpus,
-                         BuildCorpus(camera_id, options));
-  SessionOptions session_options = options.session;
-  const size_t base_dim = options.features.include_velocity ? 4 : 3;
-  session_options.mil.base_dim = base_dim;
-  if (session_options.query_model.weights.empty()) {
-    session_options.query_model = EventModel::Accident(base_dim);
+Status QueryEngine::AppendClips(const std::vector<int>& clip_ids,
+                                const QueryOptions& options,
+                                CameraCorpus* corpus,
+                                int* next_bag_id) const {
+  for (int clip_id : clip_ids) {
+    MIVID_ASSIGN_OR_RETURN(ClipRecord record, db_->LoadClip(clip_id));
+    AppendClipBags(ExtractClip(record, options), options, corpus,
+                   next_bag_id);
   }
-  return RetrievalSession(std::move(corpus.dataset), session_options);
+  return Status::OK();
 }
 
 }  // namespace mivid

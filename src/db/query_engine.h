@@ -3,7 +3,12 @@
 // Retrieval runs per camera (paper Sec. 6.2: clips from different cameras
 // are not normalized against each other). The engine loads every clip of
 // one camera, extracts features/windows per clip, merges them into one
-// corpus with globally unique bag ids, and opens a RetrievalSession.
+// corpus with globally unique bag ids.
+//
+// BuildCorpus is the extraction primitive. Consumers (serve, cluster,
+// tools, tests) obtain corpora exclusively through the epoch API of
+// serve/corpus_manager.h — CorpusManager::Snapshot — which caches,
+// snapshots, and extends corpora as streams append (docs/ingest.md).
 
 #ifndef MIVID_DB_QUERY_ENGINE_H_
 #define MIVID_DB_QUERY_ENGINE_H_
@@ -45,19 +50,53 @@ struct CameraCorpus {
                                          ///< incident annotations)
 };
 
+/// One clip's extraction output — everything needed to turn its windows
+/// into corpus bags. Produced by the batch path (ComputeTrackFeatures +
+/// FeatureScaler::Fit + ExtractWindows) and bit-identically by the
+/// streaming path (ingest/clip_extractor.h).
+struct ClipExtraction {
+  int clip_id = -1;
+  int total_frames = 0;
+  std::vector<VideoSequence> windows;  ///< raw (unnormalized) features
+  FeatureScaler scaler;                ///< whole-clip min/max
+  std::vector<IncidentRecord> incidents;
+};
+
+/// Extracts one loaded clip with the batch pipeline.
+ClipExtraction ExtractClip(const ClipRecord& record,
+                           const QueryOptions& options);
+
+/// Appends one clip's bags to `corpus`, assigning ids from
+/// `*next_bag_id` (advanced past the new bags). The single bag-building
+/// code path shared by batch corpus builds, streaming appends, and
+/// epoch publishes — guaranteeing identical bags regardless of how a
+/// clip reached the corpus.
+void AppendClipBags(const ClipExtraction& clip, const QueryOptions& options,
+                    CameraCorpus* corpus, int* next_bag_id);
+
+/// Bag id the next appended clip should start at (ids are dense).
+int NextBagId(const CameraCorpus& corpus);
+
+/// Session options derived from the query configuration: feature
+/// dimension and the default accident query model.
+SessionOptions SessionOptionsFor(const QueryOptions& options);
+
 /// Database-backed query front end.
 class QueryEngine {
  public:
   /// `db` must outlive the engine.
   explicit QueryEngine(const VideoDb* db) : db_(db) {}
 
-  /// Builds the merged corpus for `camera_id`.
+  /// Builds the merged corpus for `camera_id` over all of its clips.
   Result<CameraCorpus> BuildCorpus(const std::string& camera_id,
                                    const QueryOptions& options) const;
 
-  /// Opens an interactive session over the camera's corpus.
-  Result<RetrievalSession> StartSession(const std::string& camera_id,
-                                        const QueryOptions& options) const;
+  /// Extracts the given clips (in the given order) and appends their
+  /// bags to `corpus` — the epoch catch-up path for clips not yet
+  /// covered by restored segments or a published epoch.
+  Status AppendClips(const std::vector<int>& clip_ids,
+                     const QueryOptions& options, CameraCorpus* corpus,
+                     int* next_bag_id) const;
 
  private:
   const VideoDb* db_;

@@ -110,6 +110,13 @@ FeatureScaler FeatureScaler::Fit(const std::vector<TrackFeatures>& tracks,
   return scaler;
 }
 
+FeatureScaler FeatureScaler::FromBounds(Vec lo, Vec hi) {
+  FeatureScaler scaler;
+  scaler.lo_ = std::move(lo);
+  scaler.hi_ = std::move(hi);
+  return scaler;
+}
+
 Vec FeatureScaler::Apply(const Vec& raw) const {
   Vec out(raw.size());
   for (size_t d = 0; d < raw.size() && d < lo_.size(); ++d) {

@@ -71,6 +71,10 @@ class FeatureScaler {
   static FeatureScaler Fit(const std::vector<TrackFeatures>& tracks,
                            bool include_velocity);
 
+  /// Builds a scaler from precomputed bounds (the incremental path:
+  /// event/window_agg.h maintains the same min/max by add/evict).
+  static FeatureScaler FromBounds(Vec lo, Vec hi);
+
   /// Returns the normalized copy of a raw vector (clamped to [0, 1]).
   Vec Apply(const Vec& raw) const;
 

@@ -1,0 +1,103 @@
+#include "event/window_agg.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mivid {
+
+double SlidingAgg::Combine(double acc, double v) const {
+  switch (op_) {
+    case WindowAggOp::kMin:
+      return std::min(acc, v);
+    case WindowAggOp::kMax:
+      return std::max(acc, v);
+    case WindowAggOp::kSum:
+      return acc + v;
+  }
+  return v;
+}
+
+void SlidingAgg::Add(double value) {
+  back_agg_ = back_.empty() ? value : Combine(back_agg_, value);
+  back_.push_back(value);
+}
+
+void SlidingAgg::Evict() {
+  if (front_.empty()) {
+    // Flip: drain the in-stack newest-first so the oldest element ends
+    // on top of the out-stack, each entry carrying the fold over
+    // itself and everything newer in the flipped run.
+    double agg = 0.0;
+    for (size_t i = back_.size(); i-- > 0;) {
+      const double v = back_[i];
+      agg = i + 1 == back_.size() ? v : Combine(v, agg);
+      front_.push_back(Entry{v, agg});
+    }
+    back_.clear();
+  }
+  if (!front_.empty()) front_.pop_back();
+}
+
+double SlidingAgg::Query() const {
+  if (empty()) return 0.0;
+  if (front_.empty()) return back_agg_;
+  if (back_.empty()) return front_.back().agg;
+  return Combine(front_.back().agg, back_agg_);
+}
+
+void ScalerAgg::Add(const Vec& raw) {
+  if (mins_.empty()) {
+    mins_.assign(raw.size(), SlidingAgg(WindowAggOp::kMin));
+    maxs_.assign(raw.size(), SlidingAgg(WindowAggOp::kMax));
+  }
+  MIVID_CHECK(raw.size() == mins_.size())
+      << "ScalerAgg dimension mismatch: " << raw.size() << " vs "
+      << mins_.size();
+  for (size_t d = 0; d < raw.size(); ++d) {
+    mins_[d].Add(raw[d]);
+    maxs_[d].Add(raw[d]);
+  }
+  ++count_;
+}
+
+void ScalerAgg::Evict() {
+  if (count_ == 0) return;
+  for (size_t d = 0; d < mins_.size(); ++d) {
+    mins_[d].Evict();
+    maxs_[d].Evict();
+  }
+  --count_;
+}
+
+FeatureScaler ScalerAgg::Scaler(size_t fallback_dim) const {
+  if (count_ == 0) {
+    return FeatureScaler::FromBounds(Vec(fallback_dim, 0.0),
+                                     Vec(fallback_dim, 1.0));
+  }
+  Vec lo(mins_.size()), hi(maxs_.size());
+  for (size_t d = 0; d < mins_.size(); ++d) {
+    lo[d] = mins_[d].Query();
+    hi[d] = maxs_[d].Query();
+  }
+  return FeatureScaler::FromBounds(std::move(lo), std::move(hi));
+}
+
+RollingStats::RollingStats(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      min_(WindowAggOp::kMin),
+      max_(WindowAggOp::kMax),
+      sum_(WindowAggOp::kSum) {}
+
+void RollingStats::Observe(double value) {
+  if (sum_.size() == capacity_) {
+    min_.Evict();
+    max_.Evict();
+    sum_.Evict();
+  }
+  min_.Add(value);
+  max_.Add(value);
+  sum_.Add(value);
+}
+
+}  // namespace mivid

@@ -1,0 +1,125 @@
+// Exact incremental sliding-window aggregation (add/evict) for the
+// streaming ingestion pipeline (docs/ingest.md).
+//
+// The classic trick (HammerSlide / two-stack queue): a window is two
+// stacks, an out-stack holding the oldest elements with suffix
+// aggregates and an in-stack holding the newest with one running
+// aggregate. Add and Evict are amortized O(1) and never recompute the
+// whole window; Query combines the two partial aggregates.
+//
+// Exactness contract (property-tested in tests/window_agg_test.cc):
+//  * kMin/kMax are associative and commutative in IEEE-754 for NaN-free
+//    inputs, so Query() is bit-identical to a batch fold over the
+//    window contents regardless of the add/evict history. (The one
+//    caveat is a -0.0/+0.0 tie, where std::min/std::max pick by
+//    argument order; the tie compares equal either way and the feature
+//    pipeline never produces -0.0.)
+//  * kSum is exact — bit-identical to a left-to-right batch fold —
+//    whenever the partial sums are exactly representable (e.g.
+//    integer-valued doubles below 2^53, which is what the ingest
+//    counters feed it). For general floats it is a correctly-rounded
+//    reassociation, not bit-identical.
+
+#ifndef MIVID_EVENT_WINDOW_AGG_H_
+#define MIVID_EVENT_WINDOW_AGG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "event/features.h"
+#include "linalg/matrix.h"
+
+namespace mivid {
+
+enum class WindowAggOp { kMin, kMax, kSum };
+
+/// One scalar sliding-window aggregate with exact add/evict.
+class SlidingAgg {
+ public:
+  explicit SlidingAgg(WindowAggOp op) : op_(op) {}
+
+  /// Pushes the newest value into the window.
+  void Add(double value);
+
+  /// Drops the oldest value. No-op on an empty window.
+  void Evict();
+
+  /// Aggregate over the current window. Empty window: 0 for kSum;
+  /// min/max of nothing is undefined, so callers must check empty()
+  /// first (returns 0 as a safe fallback).
+  double Query() const;
+
+  size_t size() const { return front_.size() + back_.size(); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Entry {
+    double value;
+    double agg;  ///< fold over this element .. newest of its stack run
+  };
+
+  double Combine(double acc, double v) const;
+
+  WindowAggOp op_;
+  // front_: oldest elements; back() is the very oldest. Each entry's
+  // agg covers that element through the newest element flipped with it.
+  std::vector<Entry> front_;
+  // back_: newest elements in arrival order, aggregated in back_agg_.
+  std::vector<double> back_;
+  double back_agg_ = 0.0;
+};
+
+/// Per-dimension [min, max] over a sliding window of raw feature
+/// vectors. With an unbounded window (never evicting) the produced
+/// FeatureScaler is bit-identical to FeatureScaler::Fit over the same
+/// vectors in the same order.
+class ScalerAgg {
+ public:
+  /// Adds the newest raw vector. The first Add fixes the dimension;
+  /// later vectors must match it.
+  void Add(const Vec& raw);
+
+  /// Drops the oldest vector. No-op when empty.
+  void Evict();
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  size_t dimension() const { return mins_.size(); }
+
+  /// Current bounds as a FeatureScaler. Empty window: the identity
+  /// scaler over `fallback_dim` (mirrors FeatureScaler::Fit on no
+  /// data).
+  FeatureScaler Scaler(size_t fallback_dim) const;
+
+ private:
+  std::vector<SlidingAgg> mins_;
+  std::vector<SlidingAgg> maxs_;
+  size_t count_ = 0;
+};
+
+/// Rolling min/max/mean over the last `capacity` observations of one
+/// scalar series — the ingest pipeline's per-camera activity profile
+/// (e.g. TS count per materialized window), exported as gauges.
+class RollingStats {
+ public:
+  explicit RollingStats(size_t capacity);
+
+  void Observe(double value);
+
+  size_t size() const { return sum_.size(); }
+  bool empty() const { return sum_.empty(); }
+  double Min() const { return min_.Query(); }
+  double Max() const { return max_.Query(); }
+  double Sum() const { return sum_.Query(); }
+  double Mean() const { return empty() ? 0.0 : Sum() / size(); }
+
+ private:
+  size_t capacity_;
+  SlidingAgg min_;
+  SlidingAgg max_;
+  SlidingAgg sum_;
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_EVENT_WINDOW_AGG_H_

@@ -1,0 +1,54 @@
+#include "ingest/track_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mivid {
+
+LiveTrackBuilder::ObserveResult LiveTrackBuilder::Observe(
+    int frame, const std::vector<TrackObservation>& obs) {
+  MIVID_CHECK(frame > last_frame_)
+      << "ingest frames must be strictly ascending: " << frame << " after "
+      << last_frame_;
+  last_frame_ = frame;
+
+  ObserveResult result;
+  for (const auto& o : obs) {
+    if (finished_.count(o.track_id) != 0) {
+      ++result.late_observations;
+      continue;
+    }
+    Track& track = live_[o.track_id];
+    track.id = o.track_id;
+    track.points.push_back(TrackPoint{frame, o.centroid, o.bbox});
+  }
+
+  // Retire tracks that have been silent for the configured gap.
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (frame - it->second.last_frame() >= retire_after_frames_) {
+      result.retired.push_back(it->first);
+      finished_.emplace(it->first, std::move(it->second));
+      it = live_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return result;
+}
+
+std::vector<Track> LiveTrackBuilder::Finish() {
+  for (auto& [id, track] : live_) {
+    finished_.emplace(id, std::move(track));
+  }
+  live_.clear();
+
+  std::vector<Track> out;
+  out.reserve(finished_.size());
+  for (auto& [id, track] : finished_) out.push_back(std::move(track));
+  finished_.clear();
+  last_frame_ = -1;
+  return out;
+}
+
+}  // namespace mivid

@@ -1,0 +1,61 @@
+// LiveTrackBuilder: accumulates per-frame observations into Tracks.
+//
+// The builder is the single source of truth for track identity in the
+// streaming pipeline: the Tracks it finishes are exactly what the
+// ingestor persists to the VideoDb, so batch re-extraction over the
+// stored clip sees the same tracks the incremental extractor saw —
+// the foundation of the streamed == batch bit-identity guarantee
+// (docs/ingest.md).
+//
+// Identity rules:
+//  * An unseen track id starts a new track at its first observation.
+//  * A track with no observation for `retire_after_frames` frames is
+//    retired; retirement is what lets the extractor's commit watermark
+//    resolve the track's checkpoint-eligibility and move on.
+//  * An observation for an already-retired id is dropped (sources must
+//    not reuse ids within a clip) and reported to the caller.
+
+#ifndef MIVID_INGEST_TRACK_BUILDER_H_
+#define MIVID_INGEST_TRACK_BUILDER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ingest/stream_types.h"
+#include "trajectory/trajectory.h"
+
+namespace mivid {
+
+class LiveTrackBuilder {
+ public:
+  explicit LiveTrackBuilder(int retire_after_frames)
+      : retire_after_frames_(retire_after_frames) {}
+
+  /// What one Observe() call did.
+  struct ObserveResult {
+    std::vector<int> retired;  ///< track ids retired at this frame
+    int late_observations = 0;  ///< observations for retired ids, dropped
+  };
+
+  /// Ingests one frame's observations. `frame` must be strictly greater
+  /// than the previous call's frame.
+  ObserveResult Observe(int frame, const std::vector<TrackObservation>& obs);
+
+  /// Retires every live track and returns all of the clip's tracks in
+  /// ascending id order. Resets the builder for the next clip.
+  std::vector<Track> Finish();
+
+  size_t live_count() const { return live_.size(); }
+  int last_frame() const { return last_frame_; }
+
+ private:
+  const int retire_after_frames_;
+  int last_frame_ = -1;
+  std::map<int, Track> live_;      ///< id -> track under construction
+  std::map<int, Track> finished_;  ///< retired tracks, by id
+};
+
+}  // namespace mivid
+
+#endif  // MIVID_INGEST_TRACK_BUILDER_H_

@@ -70,6 +70,9 @@ constexpr CmdName kCommands[] = {
     {"metrics", ServeCmd::kMetrics, false},
     {"cluster_stats", ServeCmd::kClusterStats, false},
     {"trace_dump", ServeCmd::kTraceDump, false},
+    {"ingest", ServeCmd::kIngest, false},
+    {"refresh", ServeCmd::kRefresh, true},
+    {"publish", ServeCmd::kPublish, false},
 };
 
 // Parallel to ServeCmd values: wire names and the span names used when
@@ -78,12 +81,166 @@ constexpr CmdName kCommands[] = {
 constexpr const char* kWireNames[] = {
     "open", "rank", "feedback", "save", "close", "stats",
     "shutdown", "ping", "metrics", "cluster_stats", "trace_dump",
+    "ingest", "refresh", "publish",
 };
 constexpr const char* kSpanNames[] = {
     "serve/open", "serve/rank", "serve/feedback", "serve/save",
     "serve/close", "serve/stats", "serve/shutdown", "serve/ping",
     "serve/metrics", "serve/cluster_stats", "serve/trace_dump",
+    "serve/ingest", "serve/refresh", "serve/publish",
 };
+
+/// Validates the optional "v" protocol version field: an integer major
+/// or a "major[.minor]" string. Majors must match (different major =
+/// incompatible wire format); minors are additive and ignored. Absent
+/// "v" means v1, the original protocol.
+Status CheckProtocolVersion(const JsonValue& doc) {
+  const JsonValue* ver = doc.Find("v");
+  if (ver == nullptr) return Status::OK();
+  constexpr const char* kShape =
+      "must be an integer or \"major[.minor]\" string";
+  int major = 0;
+  if (ver->is_number()) {
+    if (ver->number != std::floor(ver->number)) {
+      return FieldError("v", kShape);
+    }
+    major = static_cast<int>(ver->number);
+  } else if (ver->is_string()) {
+    const std::string& s = ver->string;
+    const size_t dot = s.find('.');
+    const std::string_view head =
+        std::string_view(s).substr(0, dot == std::string::npos ? s.size()
+                                                               : dot);
+    if (head.empty() || head.size() > 9) return FieldError("v", kShape);
+    for (char c : head) {
+      if (c < '0' || c > '9') return FieldError("v", kShape);
+      major = major * 10 + (c - '0');
+    }
+  } else {
+    return FieldError("v", kShape);
+  }
+  if (major != kProtocolMajor) {
+    return Status::InvalidArgument(
+        "unsupported protocol major version " + std::to_string(major) +
+        ": this server speaks " + std::string(kProtocolVersion) +
+        " (see docs/serving.md)");
+  }
+  return Status::OK();
+}
+
+/// Fetches a required finite number member.
+Result<double> GetNum(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return FieldError(key, "is required");
+  if (!v->is_number() || !std::isfinite(v->number)) {
+    return FieldError(key, "must be a finite number");
+  }
+  return v->number;
+}
+
+/// Parses the `ingest` payload: "frames", "incidents", "cut",
+/// "publish".
+Status ParseIngestFields(const JsonValue& doc, ServeRequest* req) {
+  if (const JsonValue* frames = doc.Find("frames"); frames != nullptr) {
+    if (!frames->is_array()) return FieldError("frames", "must be an array");
+    req->frames.reserve(frames->array.size());
+    for (const JsonValue& entry : frames->array) {
+      if (!entry.is_object()) {
+        return FieldError("frames", "entries must be objects");
+      }
+      MIVID_ASSIGN_OR_RETURN(int frame, GetInt(entry, "frame", -1));
+      if (frame < 0) return FieldError("frames[].frame", "is required");
+      FrameObservations fo;
+      fo.frame = frame;
+      if (const JsonValue* obs = entry.Find("obs"); obs != nullptr) {
+        if (!obs->is_array()) {
+          return FieldError("frames[].obs", "must be an array");
+        }
+        fo.observations.reserve(obs->array.size());
+        for (const JsonValue& o : obs->array) {
+          if (!o.is_object()) {
+            return FieldError("frames[].obs", "entries must be objects");
+          }
+          TrackObservation track;
+          MIVID_ASSIGN_OR_RETURN(track.track_id, GetInt(o, "track", -1));
+          if (track.track_id < 0) {
+            return FieldError("frames[].obs[].track", "is required");
+          }
+          MIVID_ASSIGN_OR_RETURN(track.centroid.x, GetNum(o, "x"));
+          MIVID_ASSIGN_OR_RETURN(track.centroid.y, GetNum(o, "y"));
+          // Optional bbox [x0,y0,x1,y1]; defaults to the centroid point.
+          if (const JsonValue* box = o.Find("bbox"); box != nullptr) {
+            if (!box->is_array() || box->array.size() != 4) {
+              return FieldError("frames[].obs[].bbox",
+                                "must be an array of 4 numbers");
+            }
+            double edge[4];
+            for (size_t i = 0; i < 4; ++i) {
+              const JsonValue& e = box->array[i];
+              if (!e.is_number() || !std::isfinite(e.number)) {
+                return FieldError("frames[].obs[].bbox",
+                                  "must be an array of 4 numbers");
+              }
+              edge[i] = e.number;
+            }
+            track.bbox = BBox(edge[0], edge[1], edge[2], edge[3]);
+          } else {
+            track.bbox = BBox(track.centroid.x, track.centroid.y,
+                              track.centroid.x, track.centroid.y);
+          }
+          fo.observations.push_back(track);
+        }
+      }
+      req->frames.push_back(std::move(fo));
+    }
+  }
+
+  if (const JsonValue* incidents = doc.Find("incidents");
+      incidents != nullptr) {
+    if (!incidents->is_array()) {
+      return FieldError("incidents", "must be an array");
+    }
+    req->incidents.reserve(incidents->array.size());
+    for (const JsonValue& entry : incidents->array) {
+      if (!entry.is_object()) {
+        return FieldError("incidents", "entries must be objects");
+      }
+      MIVID_ASSIGN_OR_RETURN(std::string type_name,
+                             GetString(entry, "type"));
+      if (type_name.empty()) {
+        return FieldError("incidents[].type", "is required");
+      }
+      IncidentRecord incident;
+      MIVID_ASSIGN_OR_RETURN(incident.type, IncidentTypeFromName(type_name));
+      MIVID_ASSIGN_OR_RETURN(incident.begin_frame,
+                             GetInt(entry, "begin", -1));
+      MIVID_ASSIGN_OR_RETURN(incident.end_frame, GetInt(entry, "end", -1));
+      if (incident.begin_frame < 0 ||
+          incident.end_frame < incident.begin_frame) {
+        return FieldError("incidents[].begin/end",
+                          "must satisfy 0 <= begin <= end");
+      }
+      if (const JsonValue* vehicles = entry.Find("vehicles");
+          vehicles != nullptr) {
+        if (!vehicles->is_array()) {
+          return FieldError("incidents[].vehicles", "must be an array");
+        }
+        for (const JsonValue& v : vehicles->array) {
+          if (!v.is_number() || v.number != std::floor(v.number)) {
+            return FieldError("incidents[].vehicles",
+                              "entries must be integers");
+          }
+          incident.vehicle_ids.push_back(static_cast<int>(v.number));
+        }
+      }
+      req->incidents.push_back(std::move(incident));
+    }
+  }
+
+  MIVID_ASSIGN_OR_RETURN(req->cut, GetBool(doc, "cut", false));
+  MIVID_ASSIGN_OR_RETURN(req->publish, GetBool(doc, "publish", false));
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -108,6 +265,7 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
     return Status::InvalidArgument("request must be a JSON object");
   }
 
+  MIVID_RETURN_IF_ERROR(CheckProtocolVersion(doc));
   MIVID_ASSIGN_OR_RETURN(std::string cmd_name, GetString(doc, "cmd"));
   if (cmd_name.empty()) return FieldError("cmd", "is required");
 
@@ -173,6 +331,13 @@ Result<ServeRequest> ParseServeRequest(std::string_view line) {
       req.labels.emplace_back(bag, label);
       req.label_cameras.push_back(std::move(camera));
     }
+  }
+
+  if (req.cmd == ServeCmd::kIngest || req.cmd == ServeCmd::kPublish) {
+    if (req.camera_id.empty()) return FieldError("camera", "is required");
+  }
+  if (req.cmd == ServeCmd::kIngest) {
+    MIVID_RETURN_IF_ERROR(ParseIngestFields(doc, &req));
   }
   return req;
 }

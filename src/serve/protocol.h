@@ -13,6 +13,21 @@
 //   {"cmd":"ping"}
 //   {"cmd":"shutdown"}
 //
+// Streaming ingestion (docs/ingest.md):
+//   {"cmd":"ingest","camera":"cam0",
+//    "frames":[{"frame":0,"obs":[{"track":1,"x":12.5,"y":3.0}]}],
+//    "incidents":[{"type":"sudden_stop","begin":40,"end":80,
+//                  "vehicles":[1]}],
+//    "cut":false,"publish":false}
+//   {"cmd":"refresh","session":"s1"}   re-pin the session's epoch
+//   {"cmd":"publish","camera":"cam0"}  publish staged bags as an epoch
+//
+// Versioning: requests may carry "v" — an integer major or a
+// "major[.minor]" string. A major this server does not speak is
+// rejected with INVALID_ARGUMENT; minors are additive and ignored.
+// Absent "v" means v1. Responses to "ping" report the server's
+// "protocol_version".
+//
 // Cluster extensions (understood by the mivid_coord coordinator; plain
 // workers ignore them):
 //   open may carry "cameras":["cam0","cam1",...] to span a session over
@@ -34,9 +49,17 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ingest/stream_types.h"
 #include "mil/bag.h"
 
 namespace mivid {
+
+/// Protocol version this server speaks. Majors gate wire compatibility
+/// (a request whose "v" major differs is rejected); minors are additive
+/// — 1.1 added ingest/refresh/publish and the "epoch" response field.
+constexpr int kProtocolMajor = 1;
+constexpr int kProtocolMinor = 1;
+constexpr const char* kProtocolVersion = "1.1";
 
 /// Protocol commands.
 enum class ServeCmd : uint8_t {
@@ -51,6 +74,9 @@ enum class ServeCmd : uint8_t {
   kMetrics = 8,       ///< raw MetricsRegistry snapshot (wire form)
   kClusterStats = 9,  ///< fleet rollup + per-worker breakdown
   kTraceDump = 10,    ///< Chrome trace (stitched fleet-wide on the coord)
+  kIngest = 11,       ///< stream frames/incidents into a live camera
+  kRefresh = 12,      ///< re-pin a session onto the latest epoch
+  kPublish = 13,      ///< publish a camera's staged bags as a new epoch
 };
 
 /// Hard bound on one request line. Longer lines are rejected with
@@ -84,6 +110,13 @@ struct ServeRequest {
   /// budget was already spent waiting in the dispatch queue, and the
   /// coordinator clamps its own per-hop budget to the client's.
   int64_t deadline_ms = 0;
+  /// Streaming ingestion (`ingest` only): per-frame observations in
+  /// absolute stream frames, strictly ascending.
+  std::vector<FrameObservations> frames;
+  /// Incident annotations riding on `ingest` (absolute stream frames).
+  std::vector<IncidentRecord> incidents;
+  bool cut = false;      ///< ingest: cut the open clip after the frames
+  bool publish = false;  ///< ingest: also publish a new epoch after the cut
 };
 
 /// Parses one request line. InvalidArgument on malformed JSON, unknown

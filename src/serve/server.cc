@@ -100,6 +100,11 @@ Status ValidateServeOptions(const ServeOptions& options, bool will_listen) {
         "worker_id must be 1..64 chars of [A-Za-z0-9._-], got '" +
         options.worker_id + "'");
   }
+  if (options.ingest_retire_frames < 1) {
+    return Status::InvalidArgument(
+        "ingest_retire_frames must be >= 1, got " +
+        std::to_string(options.ingest_retire_frames));
+  }
   if (!options.corpus_snapshot_dir.empty()) {
     // Probe now: an unwritable snapshot dir would otherwise degrade every
     // cold corpus load into a mid-request warning.
@@ -318,6 +323,12 @@ std::string RetrievalServer::Execute(const ServeRequest& req) {
       return CmdClusterStats(req);
     case ServeCmd::kTraceDump:
       return CmdTraceDump(req);
+    case ServeCmd::kIngest:
+      return CmdIngest(req);
+    case ServeCmd::kRefresh:
+      return CmdRefresh(req);
+    case ServeCmd::kPublish:
+      return CmdPublish(req);
   }
   return ErrorResponse(Status::Internal("unhandled command"));
 }
@@ -342,6 +353,8 @@ std::string RetrievalServer::CmdOpen(const ServeRequest& req) {
       .Str("engine", s.engine)
       .Int("round", s.session->round())
       .Int("bags", static_cast<int64_t>(s.session->dataset().bags().size()))
+      .Int("epoch",
+           static_cast<int64_t>(s.epoch != nullptr ? s.epoch->id : 0))
       .Bool("resumed", result.resumed)
       .Bool("already_open", result.already_open);
   return std::move(out).Build();
@@ -389,6 +402,8 @@ std::string RetrievalServer::CmdRank(const ServeRequest& req) {
       .Str("session", s.id)
       .Int("round", s.session->round())
       .Bool("trained", s.session->engine().trained())
+      .Int("epoch",
+           static_cast<int64_t>(s.epoch != nullptr ? s.epoch->id : 0))
       .Int("total", static_cast<int64_t>(total))
       .Raw("ranking", items);
   return std::move(out).Build();
@@ -470,6 +485,8 @@ std::string RetrievalServer::CmdStats(const ServeRequest&) {
       .Int("corpora_cached", static_cast<int64_t>(corpus.cached))
       .Int("corpus_cache_hits", static_cast<int64_t>(corpus.hits))
       .Int("corpus_cache_misses", static_cast<int64_t>(corpus.misses))
+      .Int("epoch_publishes", static_cast<int64_t>(corpus.publishes))
+      .Int("tail_clips", static_cast<int64_t>(corpus.tail_clips))
       .Int("requests_served", static_cast<int64_t>(served_.load()))
       .Int("requests_rejected", static_cast<int64_t>(rejected_.load()))
       .Int("in_flight", in_flight_.load());
@@ -504,6 +521,7 @@ std::string RetrievalServer::CmdPing(const ServeRequest&) {
       .Str("worker", options_.worker_id)
       .Str("role", "worker")
       .Str("version", kMividVersion)
+      .Str("protocol_version", kProtocolVersion)
       .Str("simd", SimdTierName(ActiveSimdTier()))
       .Int("uptime_s", UptimeSeconds())
       .Int("sessions_open", static_cast<int64_t>(sessions_.open_count()))
@@ -570,6 +588,114 @@ std::string RetrievalServer::CmdTraceDump(const ServeRequest&) {
       .Str("role", "worker")
       .Bool("tracing_enabled", TracingEnabled())
       .Raw("trace", TraceToChromeJson());
+  return std::move(out).Build();
+}
+
+std::shared_ptr<CameraIngestor> RetrievalServer::IngestorFor(
+    const std::string& camera_id) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  auto it = ingestors_.find(camera_id);
+  if (it != ingestors_.end()) return it->second;
+  IngestOptions ingest;
+  ingest.query = options_.query;
+  ingest.clip_frames = options_.ingest_clip_frames;
+  ingest.retire_after_frames = options_.ingest_retire_frames;
+  auto created =
+      std::make_shared<CameraIngestor>(camera_id, db_, &corpora_, ingest);
+  ingestors_.emplace(camera_id, created);
+  return created;
+}
+
+std::string RetrievalServer::CmdIngest(const ServeRequest& req) {
+  MIVID_SCOPED_TIMER("serve/ingest_seconds");
+  std::shared_ptr<CameraIngestor> ingestor = IngestorFor(req.camera_id);
+
+  int64_t frames = 0;
+  int64_t late = 0;
+  int64_t clips_cut = 0;
+  for (const FrameObservations& frame : req.frames) {
+    Result<CameraIngestor::FrameResult> observed = ingestor->Observe(frame);
+    if (!observed.ok()) return ErrorResponse(observed.status());
+    ++frames;
+    late += observed.value().late_observations;
+    clips_cut += observed.value().clips_cut;
+  }
+  for (const IncidentRecord& incident : req.incidents) {
+    Status annotated =
+        ingestor->AddIncident(incident.type, incident.begin_frame,
+                              incident.end_frame, incident.vehicle_ids);
+    if (!annotated.ok()) return ErrorResponse(annotated);
+  }
+
+  int clip_id = -1;
+  int64_t bags_staged = 0;
+  if (req.cut || req.publish) {
+    Result<CameraIngestor::CutResult> cut = ingestor->Cut();
+    if (!cut.ok()) return ErrorResponse(cut.status());
+    clip_id = cut.value().clip_id;
+    bags_staged = static_cast<int64_t>(cut.value().bags_staged);
+    if (clip_id >= 0) ++clips_cut;
+  }
+
+  int64_t epoch = 0;
+  bool published = false;
+  if (req.publish) {
+    Result<std::shared_ptr<const CorpusEpoch>> swapped =
+        corpora_.Publish(req.camera_id);
+    if (!swapped.ok()) return ErrorResponse(swapped.status());
+    epoch = static_cast<int64_t>(swapped.value()->id);
+    published = true;
+  }
+
+  const CameraIngestor::Stats stats = ingestor->stats();
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "ingest")
+      .Str("camera", req.camera_id)
+      .Int("frames", frames)
+      .Int("late_observations", late)
+      .Int("clips_cut", clips_cut)
+      .Int("clip", clip_id)
+      .Int("bags_staged", bags_staged)
+      .Int("stream_frame", stats.stream_frame)
+      .Int("lag_frames", stats.lag_frames)
+      .Bool("published", published);
+  if (published) out.Int("epoch", epoch);
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdRefresh(const ServeRequest& req) {
+  Result<std::shared_ptr<ServeSession>> got = sessions_.Get(req.session_id);
+  if (!got.ok()) return ErrorResponse(got.status());
+  ServeSession& s = *got.value();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const uint64_t before = s.epoch != nullptr ? s.epoch->id : 0;
+  Status refreshed = sessions_.Refresh(&s);
+  if (!refreshed.ok()) return ErrorResponse(refreshed);
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "refresh")
+      .Str("session", s.id)
+      .Str("camera", s.camera_id)
+      .Int("epoch", static_cast<int64_t>(s.epoch->id))
+      .Bool("refreshed", s.epoch->id != before)
+      .Int("round", s.session->round())
+      .Int("bags", static_cast<int64_t>(s.session->dataset().bags().size()));
+  return std::move(out).Build();
+}
+
+std::string RetrievalServer::CmdPublish(const ServeRequest& req) {
+  Result<std::shared_ptr<const CorpusEpoch>> swapped =
+      corpora_.Publish(req.camera_id);
+  if (!swapped.ok()) return ErrorResponse(swapped.status());
+  const CorpusEpoch& epoch = *swapped.value();
+  JsonLineBuilder out;
+  out.Bool("ok", true)
+      .Str("cmd", "publish")
+      .Str("camera", req.camera_id)
+      .Int("epoch", static_cast<int64_t>(epoch.id))
+      .Int("bags",
+           static_cast<int64_t>(epoch.corpus->dataset.bags().size()));
   return std::move(out).Build();
 }
 

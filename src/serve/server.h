@@ -33,11 +33,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "ingest/camera_ingestor.h"
 #include "obs/access_log.h"
 #include "serve/corpus_manager.h"
 #include "serve/line_transport.h"
@@ -60,6 +62,12 @@ struct ServeOptions {
   QueryOptions query;           ///< corpus extraction parameters
   std::string corpus_snapshot_dir;  ///< packed-corpus snapshot cache (see
                                     ///< CorpusManager); "" disables it
+
+  /// Streaming ingestion (the `ingest` command): auto-cut clip length in
+  /// stream frames (<= 0 = clips end only on an explicit "cut") and the
+  /// track-retirement gap (see IngestOptions in ingest/stream_types.h).
+  int ingest_clip_frames = 0;
+  int ingest_retire_frames = 25;
 
   /// Per-request JSON-lines access log (obs/access_log.h); "" = off.
   std::string access_log_path;
@@ -136,6 +144,12 @@ class RetrievalServer {
   std::string CmdMetrics(const ServeRequest& req);
   std::string CmdClusterStats(const ServeRequest& req);
   std::string CmdTraceDump(const ServeRequest& req);
+  std::string CmdIngest(const ServeRequest& req);
+  std::string CmdRefresh(const ServeRequest& req);
+  std::string CmdPublish(const ServeRequest& req);
+
+  /// The camera's live ingestor, created on first use.
+  std::shared_ptr<CameraIngestor> IngestorFor(const std::string& camera_id);
 
   void RequestShutdown();
   int64_t UptimeSeconds() const;
@@ -146,6 +160,8 @@ class RetrievalServer {
   SessionManager sessions_;
   std::unique_ptr<LineTransport> transport_;
   AccessLog access_log_;
+  std::mutex ingest_mu_;  ///< guards ingestors_ (not the ingestors)
+  std::map<std::string, std::shared_ptr<CameraIngestor>> ingestors_;
   const std::chrono::steady_clock::time_point start_time_ =
       std::chrono::steady_clock::now();
 

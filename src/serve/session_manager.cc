@@ -17,30 +17,24 @@ int64_t SessionManager::NowMs() {
 Result<std::shared_ptr<ServeSession>> SessionManager::Build(
     const std::string& id, const std::string& camera_id,
     const std::string& engine, const SessionState* restore) {
-  MIVID_ASSIGN_OR_RETURN(std::shared_ptr<const CameraCorpus> corpus,
-                         corpora_->Get(camera_id));
+  MIVID_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusEpoch> epoch,
+                         corpora_->Snapshot(camera_id));
 
-  // Mirrors QueryEngine::StartSession so a served session ranks exactly
-  // like an in-process one over the same database and options.
-  const QueryOptions& query = corpora_->query();
-  SessionOptions session_options = query.session;
+  // Mirrors QueryEngine::BuildCorpus consumers so a served session ranks
+  // exactly like an in-process one over the same database and options.
+  SessionOptions session_options = SessionOptionsFor(corpora_->query());
   session_options.engine = engine;
   session_options.top_n = options_.top_n;
-  const size_t base_dim = query.features.include_velocity ? 4 : 3;
-  session_options.mil.base_dim = base_dim;
-  if (session_options.query_model.weights.empty()) {
-    session_options.query_model = EventModel::Accident(base_dim);
-  }
 
-  MIVID_ASSIGN_OR_RETURN(
-      RetrievalSession session,
-      RetrievalSession::Create(corpus->dataset, std::move(session_options)));
+  MIVID_ASSIGN_OR_RETURN(RetrievalSession session,
+                         RetrievalSession::Create(epoch->corpus->dataset,
+                                                  std::move(session_options)));
 
   auto serve = std::make_shared<ServeSession>();
   serve->id = id;
   serve->camera_id = camera_id;
   serve->engine = engine;
-  serve->corpus = std::move(corpus);
+  serve->epoch = std::move(epoch);
   serve->session = std::make_unique<RetrievalSession>(std::move(session));
   serve->last_used_ms.store(NowMs(), std::memory_order_relaxed);
   if (restore != nullptr && !restore->labels.empty()) {
@@ -168,6 +162,36 @@ Status SessionManager::Save(const ServeSession& session) {
   state.labels = session.session->LabeledBags();
   MIVID_METRIC_COUNT("serve/journal_writes", 1);
   return db_->SaveSession(JournalName(session.id), state);
+}
+
+Status SessionManager::Refresh(ServeSession* session) {
+  MIVID_ASSIGN_OR_RETURN(std::shared_ptr<const CorpusEpoch> epoch,
+                         corpora_->Snapshot(session->camera_id));
+  if (session->epoch != nullptr && epoch->id == session->epoch->id) {
+    return Status::OK();  // already pinned to the latest epoch
+  }
+
+  SessionOptions session_options = SessionOptionsFor(corpora_->query());
+  session_options.engine = session->engine;
+  session_options.top_n = options_.top_n;
+
+  // Rebuild over the new epoch's dataset, then replay the feedback so
+  // the session resumes mid-conversation. Bag ids never change meaning
+  // across epochs (new bags strictly append), so the replay reproduces
+  // the same trained state the old epoch held, now over more bags.
+  const std::vector<std::pair<int, BagLabel>> labels =
+      session->session->LabeledBags();
+  const int round = session->session->round();
+  MIVID_ASSIGN_OR_RETURN(RetrievalSession rebuilt,
+                         RetrievalSession::Create(epoch->corpus->dataset,
+                                                  std::move(session_options)));
+  if (!labels.empty()) {
+    MIVID_RETURN_IF_ERROR(rebuilt.Restore(labels, round));
+  }
+  session->epoch = std::move(epoch);
+  *session->session = std::move(rebuilt);
+  MIVID_METRIC_COUNT("serve/session_refreshes", 1);
+  return Status::OK();
 }
 
 Status SessionManager::Close(const std::string& id, bool discard) {

@@ -30,11 +30,16 @@ namespace mivid {
 
 /// One hosted session. Command handlers lock `mu` for the duration of a
 /// request; `last_used_ms` (steady-clock) feeds idle eviction.
+///
+/// The session pins the corpus epoch it opened on: concurrent ingest and
+/// epoch publishes never change its rankings. `refresh` re-pins onto the
+/// latest epoch, replaying the session's labels (bag ids are stable
+/// across epochs, so feedback keeps its meaning).
 struct ServeSession {
   std::string id;
   std::string camera_id;
   std::string engine;
-  std::shared_ptr<const CameraCorpus> corpus;
+  std::shared_ptr<const CorpusEpoch> epoch;
   std::unique_ptr<RetrievalSession> session;
   std::mutex mu;
   std::atomic<int64_t> last_used_ms{0};
@@ -76,6 +81,12 @@ class SessionManager {
 
   /// Journals `session`'s current state. Caller holds session.mu.
   Status Save(const ServeSession& session);
+
+  /// Re-pins `session` onto its camera's latest published epoch,
+  /// rebuilding the retrieval state and replaying the session's labels.
+  /// No-op when the session already pins the latest epoch. Caller holds
+  /// session->mu.
+  Status Refresh(ServeSession* session);
 
   /// Closes a live session: journals it (unless `discard`) and drops it
   /// from memory. The journal remains, so the id can be re-opened.

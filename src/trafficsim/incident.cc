@@ -25,6 +25,19 @@ const char* IncidentTypeName(IncidentType type) {
   return "?";
 }
 
+Result<IncidentType> IncidentTypeFromName(std::string_view name) {
+  static constexpr IncidentType kAll[] = {
+      IncidentType::kWallCrash,      IncidentType::kSuddenStop,
+      IncidentType::kRearEnd,        IncidentType::kCrossCollision,
+      IncidentType::kUTurn,          IncidentType::kSpeeding,
+  };
+  for (IncidentType type : kAll) {
+    if (name == IncidentTypeName(type)) return type;
+  }
+  return Status::InvalidArgument("unknown incident type: " +
+                                 std::string(name));
+}
+
 bool IsAccidentType(IncidentType type) {
   switch (type) {
     case IncidentType::kWallCrash:

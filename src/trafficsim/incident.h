@@ -11,9 +11,11 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "trafficsim/road.h"
 #include "trafficsim/vehicle.h"
 
@@ -30,6 +32,11 @@ enum class IncidentType : uint8_t {
 };
 
 const char* IncidentTypeName(IncidentType type);
+
+/// Inverse of IncidentTypeName ("wall_crash", "sudden_stop", ...);
+/// InvalidArgument on an unknown name. Used by the `ingest` wire
+/// command to parse incident annotations.
+Result<IncidentType> IncidentTypeFromName(std::string_view name);
 
 /// True for incident types that a user querying "accidents" would label
 /// relevant (crashes, bumps, sudden stops) as opposed to U-turns/speeding.

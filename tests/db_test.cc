@@ -317,7 +317,8 @@ TEST(QueryEngineTest, BuildsCorpusFromStoredClipsAndRunsSession) {
   }
   EXPECT_GT(relevant, 0u);
 
-  Result<RetrievalSession> session = engine.StartSession("cam-9", query);
+  Result<RetrievalSession> session =
+      RetrievalSession::Create(corpus->dataset, SessionOptionsFor(query));
   ASSERT_TRUE(session.ok());
   EXPECT_FALSE(session->TopBags().empty());
 

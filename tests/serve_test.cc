@@ -204,25 +204,27 @@ TEST(ServeProtocolTest, ErrorResponseCarriesWireCode) {
 
 TEST(CorpusManagerTest, CachesAndCountsSingleLoad) {
   CorpusManager corpora(Env().db.get(), QueryOptions{});
-  auto first = corpora.Get("camA");
+  auto first = corpora.Snapshot("camA");
   ASSERT_TRUE(first.ok()) << first.status().ToString();
-  auto second = corpora.Get("camA");
+  EXPECT_EQ(first.value()->id, 1u);  // cold load publishes epoch 1
+  auto second = corpora.Snapshot("camA");
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(first.value().get(), second.value().get());  // same object
+  EXPECT_EQ(first.value().get(), second.value().get());  // same epoch object
 
   const CorpusManager::Stats stats = corpora.stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.cached, 1u);
 
-  corpora.Invalidate("camA");
-  EXPECT_EQ(corpora.stats().cached, 0u);
-  ASSERT_TRUE(corpora.Get("camA").ok());
-  EXPECT_EQ(corpora.stats().misses, 2u);
+  // Publish with an empty tail is an idempotent no-op on the same epoch.
+  auto republished = corpora.Publish("camA");
+  ASSERT_TRUE(republished.ok());
+  EXPECT_EQ(republished.value().get(), first.value().get());
+  EXPECT_EQ(corpora.stats().publishes, 0u);
 
-  EXPECT_TRUE(corpora.Get("cam-none").status().IsNotFound());
+  EXPECT_TRUE(corpora.Snapshot("cam-none").status().IsNotFound());
   // failed loads are not cached
-  EXPECT_TRUE(corpora.Get("cam-none").status().IsNotFound());
+  EXPECT_TRUE(corpora.Snapshot("cam-none").status().IsNotFound());
   EXPECT_EQ(corpora.stats().cached, 1u);
 }
 
@@ -359,7 +361,8 @@ void DriveConversation(const std::string& engine_name) {
   QueryEngine qe(db);
   Result<CameraCorpus> corpus = qe.BuildCorpus("camB", query);
   ASSERT_TRUE(corpus.ok());
-  Result<RetrievalSession> reference = qe.StartSession("camB", query);
+  Result<RetrievalSession> reference =
+      RetrievalSession::Create(corpus->dataset, SessionOptionsFor(query));
   ASSERT_TRUE(reference.ok());
 
   auto server = std::make_unique<RetrievalServer>(db, TestServeOptions());

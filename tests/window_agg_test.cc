@@ -1,0 +1,231 @@
+// Property tests for event/window_agg.h: the exact incremental
+// sliding-window aggregates under the streaming ingestion pipeline.
+//
+// The exactness contract (see the header): after any randomized
+// add/evict history, Query() over a kMin/kMax aggregate is bit-identical
+// to a batch left-to-right fold over the surviving window contents
+// (NaN-free inputs), and a kSum aggregate is bit-identical whenever the
+// values are integer-valued doubles small enough that every partial sum
+// is exactly representable. ScalerAgg in add-only mode must reproduce
+// FeatureScaler::Fit bitwise — that equality is what makes the streamed
+// clip scaler equal the batch one (docs/ingest.md).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "event/features.h"
+#include "event/window_agg.h"
+
+namespace mivid {
+namespace {
+
+/// Batch reference: left-to-right fold over the window contents, the
+/// exact arithmetic FeatureScaler::Fit and the batch extractors use.
+double BatchFold(const std::deque<double>& window, WindowAggOp op) {
+  if (window.empty()) return 0.0;
+  double acc = window.front();
+  for (size_t i = 1; i < window.size(); ++i) {
+    switch (op) {
+      case WindowAggOp::kMin: acc = std::min(acc, window[i]); break;
+      case WindowAggOp::kMax: acc = std::max(acc, window[i]); break;
+      case WindowAggOp::kSum: acc = acc + window[i]; break;
+    }
+  }
+  return acc;
+}
+
+/// Drives one aggregate and the deque reference through the same
+/// randomized add/evict history, checking Query() bitwise at every step.
+void RunRandomizedHistory(WindowAggOp op, uint32_t seed, bool integer_values) {
+  std::mt19937 rng(seed);
+  // Finite, NaN-free magnitudes spanning several orders of magnitude —
+  // the feature pipeline's raw values (1/px, px/frame, radians) but also
+  // harsher: negatives and near-zero.
+  std::uniform_real_distribution<double> real_dist(-1e6, 1e6);
+  std::uniform_int_distribution<int> int_dist(-1000000, 1000000);
+  std::uniform_int_distribution<int> action(0, 99);
+
+  SlidingAgg agg(op);
+  std::deque<double> window;
+  for (int step = 0; step < 4000; ++step) {
+    // 60% add / 40% evict keeps the window growing but exercises long
+    // evict runs (the two-stack flip) regularly.
+    if (window.empty() || action(rng) < 60) {
+      const double value =
+          integer_values ? static_cast<double>(int_dist(rng)) : real_dist(rng);
+      agg.Add(value);
+      window.push_back(value);
+    } else {
+      agg.Evict();
+      window.pop_front();
+    }
+    ASSERT_EQ(agg.size(), window.size());
+    if (!window.empty() || op == WindowAggOp::kSum) {
+      // EXPECT_EQ on double is exact (bitwise for non-NaN): the contract
+      // under test, not an approximation.
+      ASSERT_EQ(agg.Query(), BatchFold(window, op))
+          << "op=" << static_cast<int>(op) << " step=" << step
+          << " size=" << window.size();
+    }
+  }
+}
+
+TEST(SlidingAggTest, MinBitIdenticalToBatchFold) {
+  for (uint32_t seed : {1u, 2u, 3u}) {
+    RunRandomizedHistory(WindowAggOp::kMin, seed, /*integer_values=*/false);
+  }
+}
+
+TEST(SlidingAggTest, MaxBitIdenticalToBatchFold) {
+  for (uint32_t seed : {7u, 8u, 9u}) {
+    RunRandomizedHistory(WindowAggOp::kMax, seed, /*integer_values=*/false);
+  }
+}
+
+TEST(SlidingAggTest, SumExactOnIntegerValuedDoubles) {
+  for (uint32_t seed : {11u, 12u, 13u}) {
+    RunRandomizedHistory(WindowAggOp::kSum, seed, /*integer_values=*/true);
+  }
+}
+
+TEST(SlidingAggTest, EmptyWindowEdgeCases) {
+  SlidingAgg sum(WindowAggOp::kSum);
+  EXPECT_TRUE(sum.empty());
+  EXPECT_EQ(sum.Query(), 0.0);
+  sum.Evict();  // no-op on empty
+  EXPECT_TRUE(sum.empty());
+  sum.Add(5.0);
+  sum.Add(7.0);
+  sum.Evict();
+  EXPECT_EQ(sum.Query(), 7.0);
+  sum.Evict();
+  EXPECT_TRUE(sum.empty());
+  EXPECT_EQ(sum.Query(), 0.0);
+  // Refilling after full drain starts a clean window.
+  sum.Add(3.0);
+  EXPECT_EQ(sum.Query(), 3.0);
+}
+
+TEST(SlidingAggTest, SingleElementWindowIsTheElement) {
+  SlidingAgg min_agg(WindowAggOp::kMin);
+  const double value = -0.12345678901234567;
+  min_agg.Add(value);
+  EXPECT_EQ(min_agg.Query(), value);
+}
+
+// ---------------------------------------------------------------------------
+// ScalerAgg
+
+std::vector<TrackFeatures> RandomTracks(uint32_t seed, int num_tracks,
+                                        int max_points) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> feat(0.0, 10.0);
+  std::uniform_int_distribution<int> npoints(0, max_points);
+  std::vector<TrackFeatures> tracks(num_tracks);
+  for (int t = 0; t < num_tracks; ++t) {
+    tracks[t].track_id = t;
+    const int n = npoints(rng);
+    for (int i = 0; i < n; ++i) {
+      SamplingPointFeatures p;
+      p.frame = 5 * i;
+      p.inv_mdist = feat(rng);
+      p.vdiff = feat(rng);
+      p.theta = feat(rng);
+      p.speed = feat(rng);
+      tracks[t].points.push_back(p);
+    }
+  }
+  return tracks;
+}
+
+void ExpectScalerBitIdentical(const FeatureScaler& got,
+                              const FeatureScaler& want) {
+  ASSERT_EQ(got.dimension(), want.dimension());
+  for (size_t d = 0; d < want.dimension(); ++d) {
+    EXPECT_EQ(got.lower()[d], want.lower()[d]) << "dim " << d;
+    EXPECT_EQ(got.upper()[d], want.upper()[d]) << "dim " << d;
+  }
+}
+
+TEST(ScalerAggTest, AddOnlyMatchesFitBitwise) {
+  for (const bool include_velocity : {false, true}) {
+    for (uint32_t seed : {21u, 22u, 23u}) {
+      const auto tracks = RandomTracks(seed, 8, 20);
+      const FeatureScaler batch = FeatureScaler::Fit(tracks, include_velocity);
+      ScalerAgg agg;
+      for (const TrackFeatures& tf : tracks) {
+        for (const SamplingPointFeatures& p : tf.points) {
+          agg.Add(p.ToVector(include_velocity));
+        }
+      }
+      ExpectScalerBitIdentical(agg.Scaler(include_velocity ? 4 : 3), batch);
+    }
+  }
+}
+
+TEST(ScalerAggTest, EmptyMatchesFitIdentityFallback) {
+  for (const bool include_velocity : {false, true}) {
+    const FeatureScaler batch = FeatureScaler::Fit({}, include_velocity);
+    ScalerAgg agg;
+    ExpectScalerBitIdentical(agg.Scaler(include_velocity ? 4 : 3), batch);
+  }
+}
+
+TEST(ScalerAggTest, EvictMatchesFitOverSurvivingSuffix) {
+  // Add all checkpoints of a flattened random sequence, evict a random
+  // prefix, and compare against Fit over only the survivors.
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> feat(-5.0, 5.0);
+  std::vector<Vec> raws;
+  for (int i = 0; i < 200; ++i) {
+    raws.push_back(Vec{feat(rng), feat(rng), feat(rng)});
+  }
+  ScalerAgg agg;
+  for (const Vec& raw : raws) agg.Add(raw);
+  const size_t evicted = 137;
+  for (size_t i = 0; i < evicted; ++i) agg.Evict();
+  ASSERT_EQ(agg.size(), raws.size() - evicted);
+
+  // Express the surviving suffix as one TrackFeatures so Fit folds it in
+  // the same left-to-right order.
+  TrackFeatures survivors;
+  survivors.track_id = 0;
+  for (size_t i = evicted; i < raws.size(); ++i) {
+    SamplingPointFeatures p;
+    p.inv_mdist = raws[i][0];
+    p.vdiff = raws[i][1];
+    p.theta = raws[i][2];
+    survivors.points.push_back(p);
+  }
+  ExpectScalerBitIdentical(agg.Scaler(3),
+                           FeatureScaler::Fit({survivors}, false));
+}
+
+// ---------------------------------------------------------------------------
+// RollingStats
+
+TEST(RollingStatsTest, TracksLastCapacityObservations) {
+  RollingStats stats(4);
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.Mean(), 0.0);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) stats.Observe(v);
+  EXPECT_EQ(stats.size(), 4u);
+  EXPECT_EQ(stats.Min(), 1.0);
+  EXPECT_EQ(stats.Max(), 4.0);
+  EXPECT_EQ(stats.Mean(), 2.5);
+  // A fifth observation evicts the oldest (1.0).
+  stats.Observe(10.0);
+  EXPECT_EQ(stats.size(), 4u);
+  EXPECT_EQ(stats.Min(), 2.0);
+  EXPECT_EQ(stats.Max(), 10.0);
+  EXPECT_EQ(stats.Mean(), (2.0 + 3.0 + 4.0 + 10.0) / 4);
+}
+
+}  // namespace
+}  // namespace mivid

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for streaming ingestion + epoch snapshots, run
+# by CI.
+#
+# Boots mivid_serve over an EMPTY database and makes a camera searchable
+# with nothing but the ingest API: `mivid_cli stream` replays a simulated
+# scenario as per-frame ingest requests while a scripted client opens a
+# session and ranks. Asserts the epoch-snapshot contract end to end:
+#
+#  1. a session opened on epoch 1 returns byte-identical rankings before
+#     and after a second clip is streamed + published underneath it,
+#  2. after one {"cmd":"refresh"} the session sees the new epoch and the
+#     freshly streamed bags,
+#  3. a daemon restart cold-restores the published corpus from the epoch
+#     snapshot dir and still ranks (and reports a snapshot hit).
+#
+# usage: tools/ingest_smoke.sh <build-dir> [work-dir]
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: ingest_smoke.sh <build-dir> [work-dir]}
+WORK_DIR=${2:-$(mktemp -d)}
+CLI="$BUILD_DIR/tools/mivid_cli"
+CLIENT="$BUILD_DIR/tools/mivid_client"
+DB="$WORK_DIR/streamdb"
+SOCK="$WORK_DIR/ingest.sock"
+SNAP="$WORK_DIR/epoch-snapshots"
+SERVE_PID=""
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  fail "daemon did not create $SOCK"
+}
+
+start_daemon() {  # start_daemon <metrics-file>
+  "$CLI" --metrics-json "$WORK_DIR/$1" \
+         serve "$DB" "$SOCK" --snapshot-dir="$SNAP" \
+    >"$WORK_DIR/serve.log" 2>&1 &
+  SERVE_PID=$!
+  wait_for_socket
+}
+
+json_int() {  # json_int <file> <key>
+  sed -n "s/.*\"$2\":\([0-9-][0-9]*\).*/\1/p" "$1" | head -1
+}
+
+echo "== boot daemon over an empty database =="
+rm -rf "$DB" "$SOCK" "$SNAP"
+"$CLI" init "$DB"
+start_daemon metrics_live.json
+
+echo "== stream clip 1: the camera becomes searchable live =="
+"$CLI" stream "$SOCK" camlive --frames=500 --batch=40 --seed=61 \
+  >"$WORK_DIR/stream1.json"
+grep -q '"published":true' "$WORK_DIR/stream1.json" \
+  || fail "first stream did not publish: $(cat "$WORK_DIR/stream1.json")"
+[ "$(json_int "$WORK_DIR/stream1.json" epoch)" = "1" ] \
+  || fail "first publish should be epoch 1: $(cat "$WORK_DIR/stream1.json")"
+
+"$CLIENT" "$SOCK" '{"cmd":"open","session":"live","camera":"camlive","v":"1.1"}' \
+  >"$WORK_DIR/open.json"
+[ "$(json_int "$WORK_DIR/open.json" epoch)" = "1" ] \
+  || fail "session did not pin epoch 1: $(cat "$WORK_DIR/open.json")"
+BAGS1=$(json_int "$WORK_DIR/open.json" bags)
+[ "$BAGS1" -gt 0 ] || fail "epoch 1 has no bags"
+
+"$CLIENT" "$SOCK" '{"cmd":"rank","session":"live","top":-1}' \
+  >"$WORK_DIR/rank_pinned_before.json"
+
+echo "== stream clip 2 + publish epoch 2 under the open session =="
+"$CLI" stream "$SOCK" camlive --frames=400 --batch=40 --seed=75 \
+  --frame-offset=500 >"$WORK_DIR/stream2.json"
+[ "$(json_int "$WORK_DIR/stream2.json" epoch)" = "2" ] \
+  || fail "second publish should be epoch 2: $(cat "$WORK_DIR/stream2.json")"
+
+# Epoch pinning: the open session's ranking must be byte-identical to
+# the pre-publish baseline even though the corpus grew underneath it.
+"$CLIENT" "$SOCK" '{"cmd":"rank","session":"live","top":-1}' \
+  >"$WORK_DIR/rank_pinned_after.json"
+cmp "$WORK_DIR/rank_pinned_before.json" "$WORK_DIR/rank_pinned_after.json" \
+  || fail "pinned-epoch ranking changed across a publish"
+
+echo "== refresh: the new clip's bags become visible =="
+"$CLIENT" "$SOCK" '{"cmd":"refresh","session":"live"}' \
+  >"$WORK_DIR/refresh.json"
+grep -q '"refreshed":true' "$WORK_DIR/refresh.json" \
+  || fail "refresh did not move the session: $(cat "$WORK_DIR/refresh.json")"
+[ "$(json_int "$WORK_DIR/refresh.json" epoch)" = "2" ] \
+  || fail "refresh did not land on epoch 2: $(cat "$WORK_DIR/refresh.json")"
+BAGS2=$(json_int "$WORK_DIR/refresh.json" bags)
+[ "$BAGS2" -gt "$BAGS1" ] \
+  || fail "refresh exposed no new bags ($BAGS1 -> $BAGS2)"
+"$CLIENT" "$SOCK" '{"cmd":"rank","session":"live","top":-1}' \
+  >"$WORK_DIR/rank_refreshed.json"
+RANKED=$(grep -o '"bag":' "$WORK_DIR/rank_refreshed.json" | wc -l)
+[ "$RANKED" = "$BAGS2" ] \
+  || fail "refreshed rank covers $RANKED bags, expected $BAGS2"
+
+echo "== wrong protocol major is rejected =="
+set +e
+"$CLIENT" "$SOCK" '{"cmd":"rank","session":"live","v":2}' \
+  >"$WORK_DIR/wrong_major.json"
+RC=$?
+set -e
+[ "$RC" -ne 0 ] || fail "v:2 request was accepted"
+grep -q 'unsupported protocol major' "$WORK_DIR/wrong_major.json" \
+  || fail "v:2 rejection lacks version message: $(cat "$WORK_DIR/wrong_major.json")"
+
+echo "== restart: cold restore from epoch snapshots =="
+"$CLIENT" "$SOCK" '{"cmd":"shutdown"}' >/dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+rm -f "$SOCK"
+ls "$SNAP" | grep -q manifest || fail "no epoch manifest written to $SNAP"
+
+# The first daemon's export must carry the ingest-path counters.
+[ -s "$WORK_DIR/metrics_live.json" ] || fail "live daemon wrote no metrics"
+for metric in 'ingest/frames' 'ingest/clips_cut' 'ingest/bags_staged' \
+              'serve/epoch_publishes' 'serve/epoch_publish_seconds'; do
+  grep -q "\"$metric\"" "$WORK_DIR/metrics_live.json" \
+    || fail "live metrics export is missing $metric"
+done
+
+start_daemon metrics_restore.json
+"$CLIENT" "$SOCK" '{"cmd":"open","session":"after","camera":"camlive"}' \
+  >"$WORK_DIR/reopen.json"
+BAGS3=$(json_int "$WORK_DIR/reopen.json" bags)
+[ "$BAGS3" = "$BAGS2" ] \
+  || fail "restored corpus has $BAGS3 bags, expected $BAGS2"
+"$CLIENT" "$SOCK" '{"cmd":"ping"}' >"$WORK_DIR/ping.json"
+grep -q '"snapshot_hits":1' "$WORK_DIR/ping.json" \
+  || fail "restart did not cold-restore from snapshots: $(cat "$WORK_DIR/ping.json")"
+grep -q '"protocol_version":"' "$WORK_DIR/ping.json" \
+  || fail "ping does not advertise protocol_version"
+
+echo "== graceful shutdown + restore metrics export =="
+"$CLIENT" "$SOCK" '{"cmd":"shutdown"}' >/dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+[ -s "$WORK_DIR/metrics_restore.json" ] \
+  || fail "restored daemon wrote no metrics export"
+grep -q '"serve/corpus_snapshot_hits"' "$WORK_DIR/metrics_restore.json" \
+  || fail "restore metrics export is missing serve/corpus_snapshot_hits"
+
+echo "PASS: ingest smoke ($WORK_DIR)"

@@ -251,7 +251,8 @@ int CmdQuery(const Args& args) {
   QueryEngine engine(db.value().get());
   Result<CameraCorpus> corpus = engine.BuildCorpus(camera, query);
   if (!corpus.ok()) return Fail(corpus.status());
-  Result<RetrievalSession> session = engine.StartSession(camera, query);
+  Result<RetrievalSession> session =
+      RetrievalSession::Create(corpus->dataset, SessionOptionsFor(query));
   if (!session.ok()) return Fail(session.status());
 
   size_t relevant = 0;
@@ -341,6 +342,147 @@ void OnSignal(int) { g_signal = 1; }
 /// (TCP-only daemon).
 std::string SocketPathArg(const std::string& arg) {
   return arg == "none" ? std::string() : arg;
+}
+
+// ---------------------------------------------------------------------------
+// stream: replay a simulated scenario into a live daemon's ingest API.
+
+/// Serializes one `ingest` request line. %.17g keeps every coordinate's
+/// JSON round-trip bit-exact, so a streamed corpus matches a batch
+/// rebuild bitwise (docs/ingest.md).
+std::string IngestRequestLine(const std::string& camera,
+                              const std::vector<FrameObservations>& frames,
+                              const std::vector<IncidentRecord>& incidents,
+                              bool cut, bool publish) {
+  std::string line = "{\"cmd\":\"ingest\",\"v\":\"" +
+                     std::string(kProtocolVersion) + "\",\"camera\":\"" +
+                     JsonEscape(camera) + "\",\"frames\":[";
+  for (size_t f = 0; f < frames.size(); ++f) {
+    if (f > 0) line += ',';
+    line += "{\"frame\":" + std::to_string(frames[f].frame) + ",\"obs\":[";
+    for (size_t o = 0; o < frames[f].observations.size(); ++o) {
+      const TrackObservation& obs = frames[f].observations[o];
+      if (o > 0) line += ',';
+      line += StrFormat(
+          "{\"track\":%d,\"x\":%.17g,\"y\":%.17g,"
+          "\"bbox\":[%.17g,%.17g,%.17g,%.17g]}",
+          obs.track_id, obs.centroid.x, obs.centroid.y, obs.bbox.min_x,
+          obs.bbox.min_y, obs.bbox.max_x, obs.bbox.max_y);
+    }
+    line += "]}";
+  }
+  line += "],\"incidents\":[";
+  for (size_t i = 0; i < incidents.size(); ++i) {
+    if (i > 0) line += ',';
+    line += StrFormat(
+        "{\"type\":\"%s\",\"begin\":%d,\"end\":%d,\"vehicles\":[",
+        IncidentTypeName(incidents[i].type), incidents[i].begin_frame,
+        incidents[i].end_frame);
+    for (size_t v = 0; v < incidents[i].vehicle_ids.size(); ++v) {
+      if (v > 0) line += ',';
+      line += std::to_string(incidents[i].vehicle_ids[v]);
+    }
+    line += "]}";
+  }
+  line += "],\"cut\":";
+  line += cut ? "true" : "false";
+  line += ",\"publish\":";
+  line += publish ? "true" : "false";
+  line += "}";
+  return line;
+}
+
+int CmdStream(const Args& args) {
+  if (args.positional.size() != 2) return BadArgs(*FindSubcommand("stream"));
+  const std::string& endpoint = args.positional[0];
+  const std::string& camera = args.positional[1];
+
+  std::string scenario = "tunnel";
+  if (const std::string* s = args.Flag("scenario")) scenario = *s;
+  if (scenario != "tunnel" && scenario != "intersection") {
+    return BadArgs(*FindSubcommand("stream"));
+  }
+  int64_t clips = 1, frames = 600, batch = 50, seed = 2026;
+  int64_t frame_offset = 0;
+  if (!args.FlagInt("clips", &clips) || clips < 1 ||
+      !args.FlagInt("frames", &frames) || frames < 1 ||
+      !args.FlagInt("batch", &batch) || batch < 1 ||
+      !args.FlagInt("seed", &seed) ||
+      !args.FlagInt("frame-offset", &frame_offset) || frame_offset < 0) {
+    return BadArgs(*FindSubcommand("stream"));
+  }
+  const bool publish = args.Flag("no-publish") == nullptr;
+
+  Result<ServeClient> client = ServeClient::Connect(endpoint);
+  if (!client.ok()) return Fail(client.status());
+
+  // Stream frames must ascend across the camera's whole lifetime, so a
+  // follow-up invocation against the same camera needs --frame-offset
+  // set past the frames already ingested.
+  int offset = static_cast<int>(frame_offset);
+  for (int64_t c = 0; c < clips; ++c) {
+    // One simulated clip per iteration, seeds varied so clips differ.
+    ScenarioSpec spec;
+    if (scenario == "tunnel") {
+      TunnelScenarioOptions options;
+      options.total_frames = static_cast<int>(frames);
+      options.seed = static_cast<uint64_t>(seed) + c;
+      spec = MakeTunnelScenario(options);
+    } else {
+      IntersectionScenarioOptions options;
+      options.total_frames = static_cast<int>(frames);
+      options.seed = static_cast<uint64_t>(seed) + c;
+      spec = MakeIntersectionScenario(options);
+    }
+    TrafficWorld world(spec);
+    const GroundTruth gt = world.Run();
+
+    // Per-frame observation replay, shifted into absolute stream frames.
+    std::vector<FrameObservations> stream(gt.total_frames);
+    for (int f = 0; f < gt.total_frames; ++f) stream[f].frame = offset + f;
+    for (const Track& track : gt.tracks) {
+      for (const TrackPoint& point : track.points) {
+        if (point.frame < 0 || point.frame >= gt.total_frames) continue;
+        TrackObservation obs;
+        obs.track_id = track.id;
+        obs.centroid = point.centroid;
+        obs.bbox = point.bbox;
+        stream[point.frame].observations.push_back(obs);
+      }
+    }
+    std::vector<IncidentRecord> incidents = gt.incidents;
+    for (IncidentRecord& incident : incidents) {
+      incident.begin_frame += offset;
+      incident.end_frame += offset;
+    }
+
+    // Ship the clip in frame batches; incidents + cut ride the last one.
+    for (size_t begin = 0; begin < stream.size();
+         begin += static_cast<size_t>(batch)) {
+      const size_t end =
+          std::min(stream.size(), begin + static_cast<size_t>(batch));
+      const bool last = end == stream.size();
+      const std::vector<FrameObservations> chunk(stream.begin() + begin,
+                                                 stream.begin() + end);
+      const std::string request = IngestRequestLine(
+          camera, chunk, last ? incidents : std::vector<IncidentRecord>{},
+          /*cut=*/last, /*publish=*/last && publish);
+      Result<std::string> response = client.value().Call(request);
+      if (!response.ok()) return Fail(response.status());
+      Result<JsonValue> doc = ParseJson(response.value());
+      if (!doc.ok()) return Fail(doc.status());
+      const JsonValue* ok = doc.value().Find("ok");
+      if (ok == nullptr || ok->type != JsonValue::Type::kBool ||
+          !ok->bool_value) {
+        std::fprintf(stderr, "error: %s\n", response.value().c_str());
+        return 1;
+      }
+      if (last) std::printf("%s\n", response.value().c_str());
+    }
+    offset += gt.total_frames;
+  }
+  std::fflush(stdout);
+  return 0;
 }
 
 int CmdServe(const Args& args) {
@@ -818,6 +960,22 @@ const std::vector<Subcommand>& Subcommands() {
        "  stops on SIGINT/SIGTERM or a {\"cmd\":\"shutdown\"} request;\n"
        "  sessions are journaled to the database either way\n",
        CmdServe},
+      {"stream", "<endpoint> <camera-id> [flags]",
+       "replay a simulated scenario into a live daemon's ingest API",
+       "  --scenario=<name>  tunnel or intersection (tunnel)\n"
+       "  --clips=N          clips to stream, cut after each (1)\n"
+       "  --frames=N         frames per clip (600)\n"
+       "  --batch=N          frames per ingest request (50)\n"
+       "  --seed=N           simulation seed, +1 per clip (2026)\n"
+       "  --frame-offset=N   first absolute stream frame (0); set past\n"
+       "                     frames already ingested when re-invoking\n"
+       "                     against the same camera\n"
+       "  --no-publish       stage cut clips without publishing a new\n"
+       "                     corpus epoch (publish by default)\n"
+       "  streams per-frame track observations as ingest requests, so\n"
+       "  the camera becomes searchable while 'video' is still arriving;\n"
+       "  each clip's incidents are annotated on its final request\n",
+       CmdStream},
       {"coord", "<socket-path|none> --workers=<ep,ep,...> [flags]",
        "front a worker fleet with the cluster coordinator",
        "  --workers=<eps>       comma-separated worker endpoints\n"
@@ -928,7 +1086,8 @@ int main(int argc, char** argv) {
        "snapshot-dir", "tcp-port", "tcp-host", "worker-id", "workers",
        "heartbeat-ms", "vnodes", "access-log", "slow-log", "slow-ms",
        "interval-ms", "iterations", "rpc-deadline-ms", "replication",
-       "spawn-workers", "db", "worker-log-dir"});
+       "spawn-workers", "db", "worker-log-dir", "scenario", "clips", "frames",
+       "batch", "seed", "frame-offset"});
   if (args.help) return PrintCommandHelp(*cmd);
 
   // Dispatch, then flush the requested observability outputs regardless
